@@ -1,0 +1,303 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table or
+// figure (driving the same code paths as cmd/frazbench), plus ablation
+// benchmarks for the design choices discussed in DESIGN.md (region
+// parallelism, early-termination cutoff, time-step bound reuse, and the
+// SZ pipeline stages).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package fraz
+
+import (
+	"context"
+	"testing"
+
+	"fraz/internal/core"
+	"fraz/internal/dataset"
+	"fraz/internal/experiments"
+	"fraz/internal/grid"
+	"fraz/internal/pressio"
+	"fraz/internal/sz"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.MaxTimeSteps = 6
+	return cfg
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(name, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("experiment %s produced no data", name)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates Fig. 1: ZFP fixed-accuracy vs fixed-rate rate
+// distortion and quality at a common ratio.
+func BenchmarkFigure1(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFigure3 regenerates Fig. 3: SZ's non-monotonic ratio-vs-bound
+// curve on the hurricane log-cloud field.
+func BenchmarkFigure3(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFigure4 regenerates Fig. 4: the ratio curve and the clamped
+// quadratic loss FRaZ minimises.
+func BenchmarkFigure4(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFigure6 regenerates Fig. 6: per-time-step convergence for a
+// feasible and an infeasible target ratio.
+func BenchmarkFigure6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFigure7 regenerates Fig. 7: runtime sensitivity to the target
+// compression ratio.
+func BenchmarkFigure7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFigure8 regenerates Fig. 8: strong scaling of the tuning job with
+// the number of workers, for SZ and ZFP.
+func BenchmarkFigure8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFigure9 regenerates Fig. 9: rate-distortion curves for all five
+// applications and four compressor configurations.
+func BenchmarkFigure9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFigure10 regenerates Fig. 10: quality metrics at a common
+// compression ratio on the NYX temperature field.
+func BenchmarkFigure10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkTableIII regenerates Table III: the dataset inventory.
+func BenchmarkTableIII(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkIterationComparison regenerates the §V-B1 iteration-count
+// comparison between FRaZ's optimizer and binary search.
+func BenchmarkIterationComparison(b *testing.B) { runExperiment(b, "iters") }
+
+// --- ablation benchmarks ------------------------------------------------------
+
+func hurricaneBuffer(b *testing.B) pressio.Buffer {
+	b.Helper()
+	d, err := dataset.New("Hurricane", dataset.ScaleTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, shape, err := d.Generate("CLOUDf", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, err := pressio.NewBuffer(data, shape)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return buf
+}
+
+func tuneWith(b *testing.B, cfg core.Config) core.Result {
+	b.Helper()
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tu, err := core.NewTuner(c, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := tu.TuneBuffer(context.Background(), hurricaneBuffer(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationSingleRegion measures the search with a single error-bound
+// region (no region parallelism), the configuration the paper's Fig. 5/§V-C
+// design improves upon.
+func BenchmarkAblationSingleRegion(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tuneWith(b, core.Config{TargetRatio: 8, Tolerance: 0.1, Regions: 1, Seed: 1, MaxIterationsPerRegion: 48})
+	}
+}
+
+// BenchmarkAblationTwelveRegions measures the paper's default of 12
+// overlapping regions searched in parallel.
+func BenchmarkAblationTwelveRegions(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tuneWith(b, core.Config{TargetRatio: 8, Tolerance: 0.1, Regions: 12, Seed: 1, MaxIterationsPerRegion: 24})
+	}
+}
+
+// BenchmarkAblationNoCutoff disables the early-termination cutoff by
+// requiring an (almost) exact ratio match, quantifying what the §V-B3 cutoff
+// modification saves.
+func BenchmarkAblationNoCutoff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tuneWith(b, core.Config{TargetRatio: 8, Tolerance: 0.001, Regions: 6, Seed: 1, MaxIterationsPerRegion: 24})
+	}
+}
+
+// BenchmarkAblationWithCutoff is the counterpart of BenchmarkAblationNoCutoff
+// with the paper's default 10% acceptance band.
+func BenchmarkAblationWithCutoff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tuneWith(b, core.Config{TargetRatio: 8, Tolerance: 0.1, Regions: 6, Seed: 1, MaxIterationsPerRegion: 24})
+	}
+}
+
+func hurricaneSeries(b *testing.B, steps int) core.Series {
+	b.Helper()
+	d, err := dataset.New("Hurricane", dataset.ScaleTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Series{
+		Field: "Hurricane/CLOUDf",
+		Steps: steps,
+		At: func(t int) (pressio.Buffer, error) {
+			data, shape, err := d.Generate("CLOUDf", t)
+			if err != nil {
+				return pressio.Buffer{}, err
+			}
+			return pressio.NewBuffer(data, shape)
+		},
+	}
+}
+
+// BenchmarkAblationSeriesWithReuse tunes a time series with the previous
+// step's bound reused as the prediction (Algorithm 3).
+func BenchmarkAblationSeriesWithReuse(b *testing.B) {
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tu, err := core.NewTuner(c, core.Config{TargetRatio: 8, Tolerance: 0.1, Regions: 6, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := hurricaneSeries(b, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tu.TuneSeries(context.Background(), s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSeriesWithoutReuse retrains from scratch at every
+// time-step, quantifying the benefit of bound reuse.
+func BenchmarkAblationSeriesWithoutReuse(b *testing.B) {
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tu, err := core.NewTuner(c, core.Config{TargetRatio: 8, Tolerance: 0.1, Regions: 6, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := hurricaneSeries(b, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < s.Steps; t++ {
+			buf, err := s.At(t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tu.TuneBuffer(context.Background(), buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- SZ pipeline ablations ----------------------------------------------------
+
+func szAblationData(b *testing.B) ([]float32, grid.Dims, float64) {
+	b.Helper()
+	d, err := dataset.New("Hurricane", dataset.ScaleTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, shape, err := d.Generate("TCf", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A 10^-3 relative bound is the paper's typical operating point.
+	return data, shape, grid.ValueRange(data) * 1e-3
+}
+
+func benchSZ(b *testing.B, build func(bound float64) sz.Options) {
+	data, shape, bound := szAblationData(b)
+	opts := build(bound)
+	b.SetBytes(int64(len(data) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		comp, err := sz.Compress(data, shape, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(comp)
+	}
+	b.ReportMetric(float64(len(data)*4)/float64(size), "ratio")
+}
+
+// BenchmarkSZFullPipeline measures the complete SZ pipeline (hybrid
+// predictor, Huffman, dictionary stage).
+func BenchmarkSZFullPipeline(b *testing.B) {
+	benchSZ(b, func(bound float64) sz.Options { return sz.Options{ErrorBound: bound} })
+}
+
+// BenchmarkSZNoRegression forces the Lorenzo predictor everywhere.
+func BenchmarkSZNoRegression(b *testing.B) {
+	benchSZ(b, func(bound float64) sz.Options { return sz.Options{ErrorBound: bound, DisableRegression: true} })
+}
+
+// BenchmarkSZNoDictionary skips the DEFLATE dictionary stage (stage 4).
+func BenchmarkSZNoDictionary(b *testing.B) {
+	benchSZ(b, func(bound float64) sz.Options { return sz.Options{ErrorBound: bound, DisableDictionary: true} })
+}
+
+// BenchmarkRegionAblation regenerates the region-count/overlap ablation
+// backing the paper's Fig. 5 design discussion.
+func BenchmarkRegionAblation(b *testing.B) { runExperiment(b, "regions") }
+
+// BenchmarkLosslessMotivation regenerates the lossless-versus-lossy
+// motivation comparison from the paper's introduction.
+func BenchmarkLosslessMotivation(b *testing.B) { runExperiment(b, "lossless") }
+
+// BenchmarkTuneForQualityPSNR measures the future-work extension: tuning the
+// error bound to hit a PSNR target instead of a ratio target.
+func BenchmarkTuneForQualityPSNR(b *testing.B) {
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tu, err := core.NewTuner(c, core.Config{TargetRatio: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := hurricaneBuffer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tu.TuneForQuality(context.Background(), buf, core.PSNRMetric(), core.QualityConfig{
+			Target: 60, Tolerance: 2, Regions: 6, MaxIterationsPerRegion: 16, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command datagen writes the synthetic SDRBench stand-in datasets to disk as
+// raw little-endian float32 files (one file per field and time-step), the
+// same layout the real SDRBench archives use, so the fraz CLI and external
+// tools can consume them.
+//
+// Example:
+//
+//	datagen -dataset Hurricane -scale small -out ./data -timesteps 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fraz/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		name      = fs.String("dataset", "", "dataset to generate (empty = all): "+strings.Join(dataset.Names(), ", "))
+		scaleName = fs.String("scale", "tiny", "dataset scale: tiny, small, medium")
+		outDir    = fs.String("out", "./data", "output directory")
+		steps     = fs.Int("timesteps", 0, "cap on time-steps to write (0 = all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale dataset.Scale
+	switch strings.ToLower(*scaleName) {
+	case "tiny":
+		scale = dataset.ScaleTiny
+	case "small":
+		scale = dataset.ScaleSmall
+	case "medium":
+		scale = dataset.ScaleMedium
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	names := dataset.Names()
+	if *name != "" {
+		names = []string{*name}
+	}
+	total := 0
+	for _, n := range names {
+		d, err := dataset.New(n, scale)
+		if err != nil {
+			return err
+		}
+		if *steps > 0 && *steps < d.TimeSteps {
+			d.TimeSteps = *steps
+		}
+		count, err := dataset.Export(d, *outDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: wrote %d files (%d fields x %d time-steps, shape %s) under %s\n",
+			d.Name, count, len(d.Fields), d.TimeSteps, d.Fields[0].Shape, *outDir)
+		total += count
+	}
+	fmt.Printf("total: %d files\n", total)
+	return nil
+}

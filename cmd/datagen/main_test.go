@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-dataset", "EXAALT", "-scale", "tiny", "-timesteps", "2", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "EXAALT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 { // 3 fields x 2 time-steps
+		t.Errorf("expected 6 files, got %d", len(entries))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-scale", "enormous"}); err == nil {
+		t.Errorf("unknown scale should fail")
+	}
+	if err := run([]string{"-dataset", "Nope", "-out", t.TempDir()}); err == nil {
+		t.Errorf("unknown dataset should fail")
+	}
+}

@@ -1,0 +1,174 @@
+// Command fraz performs fixed-ratio lossy compression of a single field: it
+// tunes the chosen compressor's error bound until the achieved compression
+// ratio reaches the requested target (within the tolerance), then optionally
+// writes the compressed stream.
+//
+// The field can come from a raw little-endian float32 file (-in, with -dims)
+// or from one of the built-in synthetic SDRBench stand-ins (-dataset/-field).
+//
+// Examples:
+//
+//	fraz -dataset Hurricane -field TCf -ratio 10
+//	fraz -in cloud.f32 -dims 100x500x500 -compressor zfp:accuracy -ratio 25 -out cloud.zfp
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"fraz/internal/core"
+	"fraz/internal/dataset"
+	"fraz/internal/grid"
+	"fraz/internal/pressio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fraz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fraz", flag.ContinueOnError)
+	var (
+		inPath     = fs.String("in", "", "raw little-endian float32 input file")
+		dims       = fs.String("dims", "", "input dimensions, slowest first, e.g. 100x500x500 (required with -in)")
+		dsName     = fs.String("dataset", "", "built-in synthetic dataset name (Hurricane, HACC, CESM, EXAALT, NYX)")
+		fieldName  = fs.String("field", "", "field name within the dataset")
+		timeStep   = fs.Int("timestep", 0, "time-step within the dataset")
+		scaleName  = fs.String("scale", "small", "synthetic dataset scale: tiny, small, medium")
+		compressor = fs.String("compressor", "sz:abs", "compressor to tune: "+strings.Join(pressio.Names(), ", "))
+		ratio      = fs.Float64("ratio", 10, "target compression ratio")
+		tolerance  = fs.Float64("tolerance", 0.1, "acceptable fractional deviation from the target ratio")
+		maxError   = fs.Float64("max-error", 0, "maximum allowed compression error U (0 = value range of the data)")
+		regions    = fs.Int("regions", 12, "number of overlapping error-bound search regions")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed       = fs.Int64("seed", 1, "search seed")
+		outPath    = fs.String("out", "", "write the compressed stream to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	buf, label, err := loadInput(*inPath, *dims, *dsName, *fieldName, *timeStep, *scaleName)
+	if err != nil {
+		return err
+	}
+
+	c, err := pressio.New(*compressor)
+	if err != nil {
+		return err
+	}
+	tuner, err := core.NewTuner(c, core.Config{
+		TargetRatio: *ratio,
+		Tolerance:   *tolerance,
+		MaxError:    *maxError,
+		Regions:     *regions,
+		Workers:     *workers,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	res, err := tuner.TuneBuffer(context.Background(), buf)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "input:            %s (%s, %d values, %.2f MB)\n", label, buf.Shape, len(buf.Data), float64(buf.Bytes())/1e6)
+	fmt.Fprintf(out, "compressor:       %s (%s)\n", c.Name(), c.BoundName())
+	fmt.Fprintf(out, "target ratio:     %.2f (+/- %.0f%%)\n", *ratio, *tolerance*100)
+	fmt.Fprintf(out, "recommended bound: %g\n", res.ErrorBound)
+	fmt.Fprintf(out, "achieved ratio:   %.2f (compressed %.2f MB)\n", res.AchievedRatio, float64(res.CompressedSize)/1e6)
+	fmt.Fprintf(out, "feasible:         %v\n", res.Feasible)
+	fmt.Fprintf(out, "compressor calls: %d in %v\n", res.Iterations, res.Elapsed)
+	if !res.Feasible {
+		fmt.Fprintf(out, "note: the target ratio was not reachable within the error-bound range;\n")
+		fmt.Fprintf(out, "      the closest observed ratio is reported. Consider relaxing -tolerance,\n")
+		fmt.Fprintf(out, "      raising -max-error, or switching -compressor.\n")
+	}
+
+	if *outPath != "" {
+		comp, err := c.Compress(buf, res.ErrorBound)
+		if err != nil {
+			return fmt.Errorf("final compression: %w", err)
+		}
+		if err := os.WriteFile(*outPath, comp, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d bytes to %s\n", len(comp), *outPath)
+	}
+	return nil
+}
+
+func loadInput(inPath, dims, dsName, fieldName string, timeStep int, scaleName string) (pressio.Buffer, string, error) {
+	switch {
+	case inPath != "":
+		shape, err := parseDims(dims)
+		if err != nil {
+			return pressio.Buffer{}, "", err
+		}
+		data, err := dataset.ReadRaw(inPath, shape)
+		if err != nil {
+			return pressio.Buffer{}, "", err
+		}
+		buf, err := pressio.NewBuffer(data, shape)
+		return buf, inPath, err
+	case dsName != "":
+		if fieldName == "" {
+			return pressio.Buffer{}, "", fmt.Errorf("-field is required with -dataset")
+		}
+		scale, err := parseScale(scaleName)
+		if err != nil {
+			return pressio.Buffer{}, "", err
+		}
+		d, err := dataset.New(dsName, scale)
+		if err != nil {
+			return pressio.Buffer{}, "", err
+		}
+		data, shape, err := d.Generate(fieldName, timeStep)
+		if err != nil {
+			return pressio.Buffer{}, "", err
+		}
+		buf, err := pressio.NewBuffer(data, shape)
+		return buf, fmt.Sprintf("%s/%s t=%d", dsName, fieldName, timeStep), err
+	default:
+		return pressio.Buffer{}, "", fmt.Errorf("either -in or -dataset must be provided")
+	}
+}
+
+func parseDims(s string) (grid.Dims, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-dims is required with -in")
+	}
+	parts := strings.Split(s, "x")
+	extents := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad dimension %q: %w", p, err)
+		}
+		extents = append(extents, v)
+	}
+	return grid.NewDims(extents...)
+}
+
+func parseScale(s string) (dataset.Scale, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return dataset.ScaleTiny, nil
+	case "small", "":
+		return dataset.ScaleSmall, nil
+	case "medium":
+		return dataset.ScaleMedium, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want tiny, small, or medium)", s)
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fraz/internal/dataset"
+	"fraz/internal/grid"
+)
+
+func TestRunWithSyntheticDataset(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "NYX", "-field", "temperature", "-scale", "tiny",
+		"-ratio", "8", "-regions", "4", "-seed", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"NYX/temperature", "recommended bound", "achieved ratio", "feasible"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunWritesCompressedOutput(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "field.szc")
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "EXAALT", "-field", "x", "-scale", "tiny",
+		"-ratio", "6", "-regions", "4", "-seed", "3", "-out", outFile,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(outFile)
+	if err != nil {
+		t.Fatalf("compressed output not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Errorf("compressed output is empty")
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Errorf("output should mention the written file:\n%s", out.String())
+	}
+}
+
+func TestRunWithRawInputFile(t *testing.T) {
+	dir := t.TempDir()
+	d, err := dataset.New("CESM", dataset.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, shape, err := d.Generate("CLOUD", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "cloud.f32")
+	if err := dataset.WriteRaw(path, data); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err = run([]string{
+		"-in", path, "-dims", shape.String(),
+		"-compressor", "zfp:accuracy", "-ratio", "6", "-regions", "4",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "zfp:accuracy") {
+		t.Errorf("output should mention the compressor:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                  // neither -in nor -dataset
+		{"-dataset", "Hurricane"},           // missing -field
+		{"-dataset", "Nope", "-field", "x"}, // unknown dataset
+		{"-in", "/does/not/exist", "-dims", "4"},
+		{"-in", "x.f32"}, // missing dims
+		{"-dataset", "NYX", "-field", "temperature", "-scale", "huge"}, // bad scale
+		{"-dataset", "NYX", "-field", "temperature", "-ratio", "0.5"},  // bad ratio
+		{"-dataset", "NYX", "-field", "temperature", "-compressor", "nope"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestParseDims(t *testing.T) {
+	d, err := parseDims("100x500x500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(grid.MustDims(100, 500, 500)) {
+		t.Errorf("parsed %v", d)
+	}
+	if _, err := parseDims(""); err == nil {
+		t.Errorf("empty dims should fail")
+	}
+	if _, err := parseDims("10xabc"); err == nil {
+		t.Errorf("non-numeric dims should fail")
+	}
+	if _, err := parseDims("10x0"); err == nil {
+		t.Errorf("zero extent should fail")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for name, want := range map[string]dataset.Scale{
+		"tiny": dataset.ScaleTiny, "small": dataset.ScaleSmall, "medium": dataset.ScaleMedium, "": dataset.ScaleSmall,
+	} {
+		got, err := parseScale(name)
+		if err != nil || got != want {
+			t.Errorf("parseScale(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseScale("gigantic"); err == nil {
+		t.Errorf("unknown scale should fail")
+	}
+}

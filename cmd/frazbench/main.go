@@ -1,0 +1,91 @@
+// Command frazbench regenerates the paper's evaluation tables and figures on
+// the synthetic datasets and prints them as ASCII tables (or CSV).
+//
+// Examples:
+//
+//	frazbench                      # run every experiment at the quick scale
+//	frazbench -exp fig9 -scale small
+//	frazbench -exp fig7 -csv > fig7.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fraz/internal/dataset"
+	"fraz/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "frazbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("frazbench", flag.ContinueOnError)
+	var (
+		exp       = fs.String("exp", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
+		scaleName = fs.String("scale", "tiny", "dataset scale: tiny, small, medium")
+		seed      = fs.Int64("seed", 42, "seed for the tuning searches")
+		workers   = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		steps     = fs.Int("timesteps", 12, "cap on time-steps per series (0 = dataset default)")
+		full      = fs.Bool("full", false, "run full (untrimmed) parameter sweeps")
+		csv       = fs.Bool("csv", false, "emit CSV instead of ASCII tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale dataset.Scale
+	switch strings.ToLower(*scaleName) {
+	case "tiny":
+		scale = dataset.ScaleTiny
+	case "small":
+		scale = dataset.ScaleSmall
+	case "medium":
+		scale = dataset.ScaleMedium
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	cfg := experiments.Config{
+		Scale:        scale,
+		Seed:         *seed,
+		Workers:      *workers,
+		MaxTimeSteps: *steps,
+		Quick:        !*full,
+	}
+
+	names := experiments.Names()
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		start := time.Now()
+		tables, err := experiments.Run(name, cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+		for _, tab := range tables {
+			if *csv {
+				if err := tab.WriteCSV(os.Stdout); err != nil {
+					return err
+				}
+				fmt.Println()
+			} else {
+				if err := tab.WriteASCII(os.Stdout); err != nil {
+					return err
+				}
+			}
+		}
+		if !*csv {
+			fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

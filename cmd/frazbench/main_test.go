@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "table3", "-scale", "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	if err := run([]string{"-exp", "fig4", "-scale", "tiny", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Errorf("unknown experiment should fail")
+	}
+	if err := run([]string{"-scale", "huge"}); err == nil {
+		t.Errorf("unknown scale should fail")
+	}
+}

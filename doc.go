@@ -1,0 +1,21 @@
+// Package fraz is the root of a pure-Go reproduction of "FRaZ: A Generic
+// High-Fidelity Fixed-Ratio Lossy Compression Framework for Scientific
+// Floating-point Data" (Underwood, Di, Calhoun, Cappello — IPDPS 2020).
+//
+// The implementation lives under internal/:
+//
+//   - internal/core      — the FRaZ autotuner and parallel orchestrator
+//   - internal/pressio   — the generic compressor abstraction (libpressio analogue)
+//   - internal/sz        — SZ-like prediction-based error-bounded compressor
+//   - internal/zfp       — ZFP-like transform compressor (accuracy + fixed-rate)
+//   - internal/mgard     — MGARD-like multilevel compressor
+//   - internal/optim     — Dlib-style global minimiser with cutoff + baselines
+//   - internal/dataset   — synthetic SDRBench stand-ins (Hurricane, HACC, CESM, EXAALT, NYX)
+//   - internal/metrics   — PSNR, SSIM, ACF(error), ratio/bit-rate metrics
+//   - internal/experiments — regenerates every table and figure of the paper
+//
+// Executables are under cmd/ (fraz, frazbench, datagen) and runnable usage
+// examples under examples/. The benchmarks in bench_test.go regenerate the
+// paper's evaluation (one benchmark per table/figure) plus ablations of the
+// design choices called out in DESIGN.md.
+package fraz

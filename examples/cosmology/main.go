@@ -1,0 +1,85 @@
+// The cosmology example reproduces the paper's second use case (§II-B):
+// choosing the best-fit compressor for a fixed compressed size. For an
+// HACC-like particle field and a NYX-like grid field it drives every
+// applicable compressor to the same target ratio with FRaZ, adds ZFP's
+// native fixed-rate mode as the baseline, and reports which one preserves
+// the data best at that size (the comparison behind the paper's Fig. 9 and
+// Fig. 10).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"fraz/internal/core"
+	"fraz/internal/dataset"
+	"fraz/internal/pressio"
+)
+
+func main() {
+	const (
+		targetRatio = 16.0
+		tolerance   = 0.1
+	)
+
+	cases := []struct {
+		app, field string
+		compressor []string
+	}{
+		{"HACC", "x", []string{"sz:abs", "zfp:accuracy"}},                       // 1-D: MGARD not applicable
+		{"NYX", "temperature", []string{"sz:abs", "zfp:accuracy", "mgard:abs"}}, // 3-D: all back ends
+	}
+
+	for _, cse := range cases {
+		d, err := dataset.New(cse.app, dataset.ScaleSmall)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, shape, err := d.Generate(cse.field, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf, err := pressio.NewBuffer(data, shape)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s/%s %s — target %.0f:1\n", cse.app, cse.field, shape, targetRatio)
+		fmt.Printf("  %-22s %-10s %-10s %-12s %s\n", "compressor", "ratio", "feasible", "psnr (dB)", "max error")
+
+		for _, name := range cse.compressor {
+			c, err := pressio.New(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tuner, err := core.NewTuner(c, core.Config{TargetRatio: targetRatio, Tolerance: tolerance, Seed: 11})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := tuner.TuneBuffer(context.Background(), buf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			full, err := pressio.Run(c, buf, res.ErrorBound)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-22s %-10.2f %-10v %-12.2f %.4g\n",
+				name+" (FRaZ)", full.Report.CompressionRatio, res.Feasible, full.Report.PSNR, full.Report.MaxError)
+		}
+
+		// ZFP fixed-rate baseline at the equivalent bit rate.
+		rate := 32.0 / targetRatio
+		fixed, err := pressio.New("zfp:rate")
+		if err != nil {
+			log.Fatal(err)
+		}
+		full, err := pressio.Run(fixed, buf, rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %-10.2f %-10v %-12.2f %.4g\n\n",
+			"zfp:rate (baseline)", full.Report.CompressionRatio, true, full.Report.PSNR, full.Report.MaxError)
+	}
+}

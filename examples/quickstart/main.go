@@ -1,0 +1,64 @@
+// The quickstart example shows the minimal FRaZ workflow: take one field of
+// scientific floating-point data, ask for a 10:1 compression ratio, and let
+// the tuner find the error bound that delivers it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"fraz/internal/core"
+	"fraz/internal/dataset"
+	"fraz/internal/pressio"
+)
+
+func main() {
+	// 1. Get some data: one time-step of the synthetic Hurricane temperature
+	//    field (a stand-in for the SDRBench Hurricane-TCf field).
+	hurricane, err := dataset.New("Hurricane", dataset.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, shape, err := hurricane.Generate("TCf", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf, err := pressio.NewBuffer(data, shape)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Pick an error-bounded compressor through the generic interface.
+	compressor, err := pressio.New("sz:abs")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Ask FRaZ for a 10:1 ratio, accepting anything within 10%.
+	tuner, err := core.NewTuner(compressor, core.Config{
+		TargetRatio: 10,
+		Tolerance:   0.1,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := tuner.TuneBuffer(context.Background(), buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("field:             Hurricane/TCf %s (%.2f MB)\n", shape, float64(buf.Bytes())/1e6)
+	fmt.Printf("recommended bound: %g (%s)\n", result.ErrorBound, compressor.BoundName())
+	fmt.Printf("achieved ratio:    %.2f (target 10 +/- 10%%)\n", result.AchievedRatio)
+	fmt.Printf("feasible:          %v after %d compressor calls in %v\n",
+		result.Feasible, result.Iterations, result.Elapsed)
+
+	// 4. Use the bound: compress, decompress, and check the fidelity.
+	full, err := pressio.Run(compressor, buf, result.ErrorBound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quality:           %s\n", full.Report)
+}

@@ -1,0 +1,174 @@
+// Package bitstream implements bit-granular writers and readers used by the
+// embedded (bit-plane) coder of the ZFP-like compressor and by the canonical
+// Huffman coder of the SZ-like compressor.
+//
+// Bits are written least-significant-bit first within each byte, which makes
+// WriteBits/ReadBits round-trip cheaply for arbitrary bit widths up to 64.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Writer accumulates bits into a byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // bit accumulator
+	nCur uint   // number of valid bits in cur (0..7)
+	bits int    // total number of bits written
+}
+
+// NewWriter returns a Writer with an initial capacity hint in bytes.
+func NewWriter(capacityBytes int) *Writer {
+	if capacityBytes < 0 {
+		capacityBytes = 0
+	}
+	return &Writer{buf: make([]byte, 0, capacityBytes)}
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(bit uint) {
+	w.cur |= uint64(bit&1) << w.nCur
+	w.nCur++
+	w.bits++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur = 0
+		w.nCur = 0
+	}
+}
+
+// WriteBool appends a single bit encoded from a boolean.
+func (w *Writer) WriteBool(b bool) {
+	if b {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+}
+
+// WriteBits appends the n least-significant bits of v, LSB first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitstream: WriteBits width %d out of range", n))
+	}
+	for i := uint(0); i < n; i++ {
+		w.WriteBit(uint(v>>i) & 1)
+	}
+}
+
+// WriteUnary writes v as v one-bits followed by a terminating zero bit.
+// It is used by the group-testing stage of the embedded coder.
+func (w *Writer) WriteUnary(v uint) {
+	for i := uint(0); i < v; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+// Len reports the total number of bits written so far.
+func (w *Writer) Len() int { return w.bits }
+
+// Bytes flushes any partial byte (padding with zero bits) and returns the
+// accumulated buffer. The Writer remains usable; subsequent writes continue
+// at the next byte boundary.
+func (w *Writer) Bytes() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.bits += int(8 - w.nCur)
+		w.cur = 0
+		w.nCur = 0
+	}
+	return w.buf
+}
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur = 0
+	w.nCur = 0
+	w.bits = 0
+}
+
+// ErrOutOfBits is returned by Reader methods when the stream is exhausted.
+var ErrOutOfBits = errors.New("bitstream: out of bits")
+
+// Reader consumes bits from a byte buffer produced by Writer.
+type Reader struct {
+	buf []byte
+	pos int  // byte position
+	bit uint // bit position within current byte (0..7)
+}
+
+// NewReader returns a Reader over the given buffer. The buffer is not copied.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrOutOfBits
+	}
+	b := (uint(r.buf[r.pos]) >> r.bit) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return b, nil
+}
+
+// ReadBool reads a single bit as a boolean.
+func (r *Reader) ReadBool() (bool, error) {
+	b, err := r.ReadBit()
+	return b == 1, err
+}
+
+// ReadBits reads n bits (LSB first) into a uint64. n must be in [0, 64].
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitstream: ReadBits width %d out of range", n))
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b) << i
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary-coded value (count of one-bits before a zero bit).
+func (r *Reader) ReadUnary() (uint, error) {
+	var v uint
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// BitsRemaining reports the number of unread bits left in the buffer.
+func (r *Reader) BitsRemaining() int {
+	return (len(r.buf)-r.pos)*8 - int(r.bit)
+}
+
+// AlignByte advances the reader to the next byte boundary (no-op if already
+// aligned).
+func (r *Reader) AlignByte() {
+	if r.bit != 0 {
+		r.bit = 0
+		r.pos++
+	}
+}

@@ -1,0 +1,482 @@
+// Package core implements FRaZ itself: the fixed-ratio autotuning framework
+// of the paper. Given an error-bounded lossy compressor (through the
+// pressio abstraction), a target compression ratio ρt, and an acceptance
+// tolerance ε, it searches the compressor's error-bound parameter until the
+// achieved ratio ρr lands inside [ρt(1−ε), ρt(1+ε)], optionally subject to a
+// maximum allowed compression error U (the paper's Eq. 1 and Eq. 2).
+//
+// The search follows the paper's design:
+//
+//   - the loss function is the clamped quadratic
+//     l(e) = min((ρr(D,e) − ρt)², γ)   (§V-B2);
+//   - each region of the error-bound range is searched with the Dlib-style
+//     global minimiser (MaxLIPO + trust region) with an early-termination
+//     cutoff of ε²ρt² (§V-B3, Algorithm 1);
+//   - the range is split into K slightly overlapping regions searched in
+//     parallel, and outstanding regions are cancelled as soon as one region
+//     finds an acceptable bound (Algorithm 2, Fig. 5);
+//   - multiple time-steps of a field reuse the previously found bound and
+//     retrain only when the reused bound falls outside the acceptance band,
+//     and different fields are tuned in parallel (Algorithm 3, §V-C).
+//
+// When no error bound in the admissible range reaches the target band, FRaZ
+// reports the closest ratio it observed and marks the result infeasible,
+// leaving the decision of relaxing ε or U (or switching compressors) to the
+// user, exactly as §V-B3 prescribes.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"fraz/internal/grid"
+	"fraz/internal/optim"
+	"fraz/internal/parallel"
+	"fraz/internal/pressio"
+)
+
+// DefaultTolerance is the default fractional acceptance tolerance ε.
+const DefaultTolerance = 0.1
+
+// DefaultMaxIterationsPerRegion caps the optimizer iterations within one
+// error-bound region. The paper limits iterations rather than wall time
+// because compression time varies too much across datasets (§V-C).
+const DefaultMaxIterationsPerRegion = 24
+
+// Gamma is the clamp applied to the quadratic loss: 80% of the largest
+// representable double, as in §V-B2.
+var Gamma = 0.8 * math.MaxFloat64
+
+// Config controls a Tuner.
+type Config struct {
+	// TargetRatio is ρt, the requested compression ratio. Required > 1.
+	TargetRatio float64
+	// Tolerance is ε, the fractional half-width of the acceptance band
+	// [ρt(1−ε), ρt(1+ε)]. Zero selects DefaultTolerance.
+	Tolerance float64
+	// MaxError is U, the maximum allowed compression error. When zero, the
+	// default upper bound is used: the value range of the data, which is the
+	// largest error bound any of the compressors accepts meaningfully.
+	MaxError float64
+	// LowerBound overrides the smallest error bound searched. When zero, a
+	// small fraction (1e-9) of the data's value range is used.
+	LowerBound float64
+	// Regions is K, the number of overlapping error-bound regions searched
+	// in parallel. Zero selects parallel.DefaultRegions (12).
+	Regions int
+	// Overlap is the fractional overlap between adjacent regions. Zero
+	// selects parallel.DefaultOverlap (10%).
+	Overlap float64
+	// MaxIterationsPerRegion caps optimizer iterations per region. Zero
+	// selects DefaultMaxIterationsPerRegion.
+	MaxIterationsPerRegion int
+	// Workers bounds the number of concurrently searched regions (and, in
+	// TuneFields, concurrently tuned fields). Zero uses GOMAXPROCS.
+	Workers int
+	// Seed makes the search deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tolerance <= 0 {
+		c.Tolerance = DefaultTolerance
+	}
+	if c.Regions <= 0 {
+		c.Regions = parallel.DefaultRegions
+	}
+	if c.Overlap <= 0 {
+		c.Overlap = parallel.DefaultOverlap
+	}
+	if c.MaxIterationsPerRegion <= 0 {
+		c.MaxIterationsPerRegion = DefaultMaxIterationsPerRegion
+	}
+	return c
+}
+
+// ErrBadConfig is returned for invalid tuner configuration.
+var ErrBadConfig = errors.New("fraz: invalid configuration")
+
+// Evaluation records one compressor invocation during the search.
+type Evaluation struct {
+	// ErrorBound is the bound handed to the compressor.
+	ErrorBound float64
+	// Ratio is the achieved compression ratio.
+	Ratio float64
+	// CompressedSize is the compressed size in bytes.
+	CompressedSize int
+}
+
+// RegionResult summarises the search within one error-bound region.
+type RegionResult struct {
+	Region      parallel.Region
+	Iterations  int
+	Best        Evaluation
+	Acceptable  bool
+	Started     bool
+	Err         error
+	Evaluations []Evaluation
+}
+
+// Result is the outcome of tuning one field/time-step.
+type Result struct {
+	// Compressor is the name of the tuned compressor.
+	Compressor string
+	// TargetRatio and Tolerance echo the request.
+	TargetRatio float64
+	Tolerance   float64
+	// ErrorBound is the recommended error bound setting.
+	ErrorBound float64
+	// AchievedRatio is ρr at the recommended bound.
+	AchievedRatio float64
+	// CompressedSize is the compressed size at the recommended bound.
+	CompressedSize int
+	// Feasible is true when the achieved ratio lies in the acceptance band.
+	Feasible bool
+	// Iterations is the total number of compressor invocations performed.
+	Iterations int
+	// UsedPrediction is true when a reused bound from a previous time-step
+	// satisfied the target without retraining.
+	UsedPrediction bool
+	// Regions reports the per-region search results (empty when the
+	// prediction was reused).
+	Regions []RegionResult
+	// Elapsed is the wall-clock tuning time.
+	Elapsed time.Duration
+}
+
+// InBand reports whether a ratio lies within the acceptance band around the
+// target, i.e. ρt(1−ε) ≤ ratio ≤ ρt(1+ε) (Eq. 1).
+func InBand(ratio, target, tolerance float64) bool {
+	return ratio >= target*(1-tolerance) && ratio <= target*(1+tolerance)
+}
+
+// Loss is the paper's clamped-quadratic loss l(e) = min((ρr − ρt)², γ).
+func Loss(achieved, target, gamma float64) float64 {
+	d := achieved - target
+	v := d * d
+	if v > gamma || math.IsNaN(v) {
+		return gamma
+	}
+	return v
+}
+
+// Cutoff returns the early-termination threshold ε²ρt² used by the modified
+// global minimiser (§V-B3).
+func Cutoff(target, tolerance float64) float64 {
+	return tolerance * tolerance * target * target
+}
+
+// Tuner searches error bounds for one compressor.
+type Tuner struct {
+	compressor pressio.Compressor
+	cfg        Config
+}
+
+// NewTuner validates the configuration and returns a Tuner.
+func NewTuner(c pressio.Compressor, cfg Config) (*Tuner, error) {
+	if c == nil {
+		return nil, fmt.Errorf("%w: nil compressor", ErrBadConfig)
+	}
+	if !(cfg.TargetRatio > 1) || math.IsNaN(cfg.TargetRatio) || math.IsInf(cfg.TargetRatio, 0) {
+		return nil, fmt.Errorf("%w: target ratio must be > 1, got %v", ErrBadConfig, cfg.TargetRatio)
+	}
+	if cfg.Tolerance < 0 || cfg.Tolerance >= 1 {
+		return nil, fmt.Errorf("%w: tolerance must be in [0,1), got %v", ErrBadConfig, cfg.Tolerance)
+	}
+	if cfg.MaxError < 0 {
+		return nil, fmt.Errorf("%w: max error must be >= 0, got %v", ErrBadConfig, cfg.MaxError)
+	}
+	return &Tuner{compressor: c, cfg: cfg.withDefaults()}, nil
+}
+
+// Compressor returns the compressor being tuned.
+func (t *Tuner) Compressor() pressio.Compressor { return t.compressor }
+
+// Config returns the effective (defaulted) configuration.
+func (t *Tuner) Config() Config { return t.cfg }
+
+// searchRange determines the error-bound interval [lo, hi] for a buffer:
+// the user's U (or the data's value range) capped by the compressor's own
+// admissible parameter range.
+func (t *Tuner) searchRange(buf pressio.Buffer) (float64, float64, error) {
+	cLo, cHi := t.compressor.BoundRange()
+	vr := grid.ValueRange(buf.Data)
+	if vr <= 0 {
+		vr = 1
+	}
+	lo := t.cfg.LowerBound
+	if lo <= 0 {
+		lo = vr * 1e-9
+	}
+	if lo < cLo {
+		lo = cLo
+	}
+	hi := t.cfg.MaxError
+	if hi <= 0 {
+		hi = vr
+	}
+	if hi > cHi {
+		hi = cHi
+	}
+	if !(lo < hi) {
+		return 0, 0, fmt.Errorf("%w: empty error-bound range [%v, %v]", ErrBadConfig, lo, hi)
+	}
+	return lo, hi, nil
+}
+
+// TuneBuffer runs the full region-parallel search for a single
+// field/time-step buffer (Algorithms 1 and 2 with no prediction).
+func (t *Tuner) TuneBuffer(ctx context.Context, buf pressio.Buffer) (Result, error) {
+	return t.TuneWithPrediction(ctx, buf, 0)
+}
+
+// TuneWithPrediction implements the worker-task algorithm (Algorithm 1): if
+// a prediction (a previously successful error bound) is provided it is tried
+// first, and only if it misses the acceptance band does the region-parallel
+// training run.
+func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, prediction float64) (Result, error) {
+	start := time.Now()
+	if !t.compressor.SupportsShape(buf.Shape) {
+		return Result{}, fmt.Errorf("fraz: compressor %s does not support shape %v", t.compressor.Name(), buf.Shape)
+	}
+	res := Result{
+		Compressor:  t.compressor.Name(),
+		TargetRatio: t.cfg.TargetRatio,
+		Tolerance:   t.cfg.Tolerance,
+	}
+
+	if prediction > 0 {
+		ratio, size, err := pressio.Ratio(t.compressor, buf, prediction)
+		res.Iterations++
+		if err == nil && InBand(ratio, t.cfg.TargetRatio, t.cfg.Tolerance) {
+			res.ErrorBound = prediction
+			res.AchievedRatio = ratio
+			res.CompressedSize = size
+			res.Feasible = true
+			res.UsedPrediction = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+
+	lo, hi, err := t.searchRange(buf)
+	if err != nil {
+		return Result{}, err
+	}
+	regions, err := parallel.SplitRegions(lo, hi, t.cfg.Regions, t.cfg.Overlap)
+	if err != nil {
+		return Result{}, err
+	}
+
+	cutoff := Cutoff(t.cfg.TargetRatio, t.cfg.Tolerance)
+	tasks := make([]parallel.Task[RegionResult], len(regions))
+	for i, region := range regions {
+		i, region := i, region
+		tasks[i] = func(taskCtx context.Context) (RegionResult, bool, error) {
+			rr := t.searchRegion(taskCtx, buf, region, cutoff, t.cfg.Seed+int64(i))
+			return rr, rr.Acceptable, rr.Err
+		}
+	}
+	outcomes := parallel.RunUntilAcceptable(ctx, t.cfg.Workers, tasks)
+
+	// Collect region results and pick the recommendation: the first
+	// acceptable region if any, otherwise the evaluation whose ratio is
+	// closest to the target (Algorithm 2, lines 17–26).
+	var best *Evaluation
+	bestDist := math.Inf(1)
+	feasible := false
+	for _, o := range outcomes {
+		rr := o.Value
+		rr.Started = o.Started
+		res.Regions = append(res.Regions, rr)
+		res.Iterations += rr.Iterations
+		if !o.Started || rr.Err != nil {
+			continue
+		}
+		for i := range rr.Evaluations {
+			ev := rr.Evaluations[i]
+			d := math.Abs(ev.Ratio - t.cfg.TargetRatio)
+			better := d < bestDist
+			// Prefer feasible evaluations over infeasible ones.
+			if feasible && !InBand(ev.Ratio, t.cfg.TargetRatio, t.cfg.Tolerance) {
+				better = false
+			}
+			if !feasible && InBand(ev.Ratio, t.cfg.TargetRatio, t.cfg.Tolerance) {
+				better = true
+				feasible = true
+			}
+			if better {
+				bestDist = d
+				best = &rr.Evaluations[i]
+			}
+		}
+	}
+	if best == nil {
+		res.Elapsed = time.Since(start)
+		return res, fmt.Errorf("fraz: no successful compressor evaluation (compressor %s)", t.compressor.Name())
+	}
+	res.ErrorBound = best.ErrorBound
+	res.AchievedRatio = best.Ratio
+	res.CompressedSize = best.CompressedSize
+	res.Feasible = InBand(best.Ratio, t.cfg.TargetRatio, t.cfg.Tolerance)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// searchRegion runs the cutoff-modified global minimiser within one region.
+func (t *Tuner) searchRegion(ctx context.Context, buf pressio.Buffer, region parallel.Region, cutoff float64, seed int64) RegionResult {
+	rr := RegionResult{Region: region, Started: true}
+	// rr.Iterations counts actual compressor invocations, not optimizer
+	// steps: once the region is cancelled the objective short-circuits
+	// without compressing, and those steps must not be billed.
+	objective := func(e float64) float64 {
+		if ctx.Err() != nil {
+			// Cancelled: report the clamp so the optimizer loses interest.
+			return Gamma
+		}
+		rr.Iterations++
+		ratio, size, err := pressio.Ratio(t.compressor, buf, e)
+		if err != nil {
+			return Gamma
+		}
+		rr.Evaluations = append(rr.Evaluations, Evaluation{ErrorBound: e, Ratio: ratio, CompressedSize: size})
+		return Loss(ratio, t.cfg.TargetRatio, Gamma)
+	}
+	optRes, err := optim.FindGlobalMin(objective, optim.Options{
+		Lower:         region.Lower,
+		Upper:         region.Upper,
+		MaxIterations: t.cfg.MaxIterationsPerRegion,
+		Cutoff:        cutoff,
+		Seed:          seed,
+	})
+	if err != nil {
+		rr.Err = err
+		return rr
+	}
+	rr.Acceptable = optRes.Converged && ctx.Err() == nil
+	// Record the best evaluation observed in this region.
+	bestDist := math.Inf(1)
+	for _, ev := range rr.Evaluations {
+		if d := math.Abs(ev.Ratio - t.cfg.TargetRatio); d < bestDist {
+			bestDist = d
+			rr.Best = ev
+		}
+	}
+	return rr
+}
+
+// SeriesStep is the tuning outcome for one time-step of a field series.
+type SeriesStep struct {
+	TimeStep int
+	Result   Result
+	// Retrained is true when the previous step's bound missed the band and a
+	// full search was required.
+	Retrained bool
+}
+
+// SeriesResult aggregates the tuning of a whole field across time-steps.
+type SeriesResult struct {
+	// Field names the series (e.g. "Hurricane/CLOUDf").
+	Field string
+	Steps []SeriesStep
+	// Retrains counts how many steps required a full search (the first step
+	// always does).
+	Retrains int
+	// ConvergedSteps counts steps whose final ratio is inside the band.
+	ConvergedSteps int
+	// TotalIterations is the total number of compressor invocations.
+	TotalIterations int
+	// Elapsed is the total wall-clock time.
+	Elapsed time.Duration
+}
+
+// Series describes a field's time series through a lazy provider, so whole
+// datasets never need to be resident in memory at once (the paper notes
+// users decompress/tune per time-step for the same reason, §II-B).
+type Series struct {
+	// Field names the series for reporting.
+	Field string
+	// Steps is the number of time-steps.
+	Steps int
+	// At returns the buffer for time-step i.
+	At func(i int) (pressio.Buffer, error)
+}
+
+// TuneSeries tunes every time-step of a field, reusing the previous step's
+// error bound as the prediction for the next (Algorithm 3's inner loop).
+func (t *Tuner) TuneSeries(ctx context.Context, s Series) (SeriesResult, error) {
+	start := time.Now()
+	if s.Steps <= 0 || s.At == nil {
+		return SeriesResult{}, fmt.Errorf("%w: series needs a positive step count and a provider", ErrBadConfig)
+	}
+	out := SeriesResult{Field: s.Field}
+	prediction := 0.0
+	for step := 0; step < s.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		buf, err := s.At(step)
+		if err != nil {
+			return out, fmt.Errorf("fraz: series %s step %d: %w", s.Field, step, err)
+		}
+		res, err := t.TuneWithPrediction(ctx, buf, prediction)
+		if err != nil {
+			return out, fmt.Errorf("fraz: series %s step %d: %w", s.Field, step, err)
+		}
+		stepOut := SeriesStep{TimeStep: step, Result: res, Retrained: !res.UsedPrediction}
+		out.Steps = append(out.Steps, stepOut)
+		out.TotalIterations += res.Iterations
+		if stepOut.Retrained {
+			out.Retrains++
+		}
+		if res.Feasible {
+			out.ConvergedSteps++
+			prediction = res.ErrorBound
+		}
+		// An infeasible step keeps the previous prediction, as Algorithm 3
+		// only updates p when the ratio landed inside the band.
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// TuneFields tunes several field series in parallel (Algorithm 3's outer
+// loop), bounded by Config.Workers.
+func (t *Tuner) TuneFields(ctx context.Context, series []Series) ([]SeriesResult, error) {
+	results := make([]SeriesResult, len(series))
+	var mu sync.Mutex
+	var firstErr error
+	err := parallel.ForEach(ctx, len(series), t.cfg.Workers, func(ctx context.Context, idx int) error {
+		r, err := t.TuneSeries(ctx, series[idx])
+		mu.Lock()
+		defer mu.Unlock()
+		results[idx] = r
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return err
+	})
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, err
+}
+
+// ClosestObserved returns, among all evaluations of a result's regions, the
+// ones sorted by distance to the target ratio. It is a reporting helper used
+// by the CLI to explain infeasible requests.
+func ClosestObserved(res Result) []Evaluation {
+	var all []Evaluation
+	for _, rr := range res.Regions {
+		all = append(all, rr.Evaluations...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return math.Abs(all[i].Ratio-res.TargetRatio) < math.Abs(all[j].Ratio-res.TargetRatio)
+	})
+	return all
+}

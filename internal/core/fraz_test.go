@@ -1,0 +1,467 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"fraz/internal/dataset"
+	"fraz/internal/grid"
+	"fraz/internal/pressio"
+)
+
+// fakeCompressor is a deterministic stand-in whose ratio-versus-bound curve
+// is controllable, so the tuner's search logic can be tested in isolation
+// from the real codecs.
+type fakeCompressor struct {
+	name    string
+	ratioFn func(bound float64) float64
+	// calls counts Compress invocations; it is updated atomically because
+	// the tuner runs region searches on concurrent goroutines.
+	calls *int64
+}
+
+func (f fakeCompressor) Name() string                   { return f.name }
+func (f fakeCompressor) BoundName() string              { return "fake bound" }
+func (f fakeCompressor) ErrorBounded() bool             { return true }
+func (f fakeCompressor) SupportsShape(s grid.Dims) bool { return s.Validate() == nil }
+func (f fakeCompressor) BoundRange() (float64, float64) { return 1e-12, 1e12 }
+func (f fakeCompressor) Decompress(c []byte, s grid.Dims) ([]float32, error) {
+	return make([]float32, s.Len()), nil
+}
+func (f fakeCompressor) Compress(buf pressio.Buffer, bound float64) ([]byte, error) {
+	if f.calls != nil {
+		atomic.AddInt64(f.calls, 1)
+	}
+	ratio := f.ratioFn(bound)
+	if ratio < 1 {
+		ratio = 1
+	}
+	size := int(float64(buf.Bytes()) / ratio)
+	if size < 1 {
+		size = 1
+	}
+	return make([]byte, size), nil
+}
+
+func smallBuffer(n int) pressio.Buffer {
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 10))
+	}
+	buf, err := pressio.NewBuffer(data, grid.MustDims(n))
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+// smoothRatio is a monotone, smooth ratio curve reaching ~64 at bound 2.
+func smoothRatio(bound float64) float64 {
+	return 1 + 63*bound/(bound+0.05)/(2/(2+0.05))
+}
+
+func TestNewTunerValidation(t *testing.T) {
+	fake := fakeCompressor{name: "fake", ratioFn: smoothRatio}
+	cases := []Config{
+		{TargetRatio: 0.5},
+		{TargetRatio: 1},
+		{TargetRatio: math.NaN()},
+		{TargetRatio: 10, Tolerance: 1.5},
+		{TargetRatio: 10, Tolerance: -0.1},
+		{TargetRatio: 10, MaxError: -1},
+	}
+	for _, cfg := range cases {
+		if _, err := NewTuner(fake, cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+	if _, err := NewTuner(nil, Config{TargetRatio: 10}); err == nil {
+		t.Errorf("nil compressor should be rejected")
+	}
+	tu, err := NewTuner(fake, Config{TargetRatio: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tu.Config()
+	if cfg.Tolerance != DefaultTolerance || cfg.Regions == 0 || cfg.MaxIterationsPerRegion == 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if tu.Compressor().Name() != "fake" {
+		t.Errorf("Compressor accessor wrong")
+	}
+}
+
+func TestLossAndCutoff(t *testing.T) {
+	if Loss(10, 10, Gamma) != 0 {
+		t.Errorf("exact match should have zero loss")
+	}
+	if got := Loss(12, 10, Gamma); got != 4 {
+		t.Errorf("Loss(12,10) = %v, want 4", got)
+	}
+	if got := Loss(math.Inf(1), 10, Gamma); got != Gamma {
+		t.Errorf("infinite ratio should clamp to gamma")
+	}
+	if got := Loss(math.NaN(), 10, Gamma); got != Gamma {
+		t.Errorf("NaN should clamp to gamma")
+	}
+	if got := Cutoff(10, 0.1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cutoff(10, 0.1) = %v, want 1", got)
+	}
+}
+
+func TestInBand(t *testing.T) {
+	if !InBand(10, 10, 0.1) || !InBand(9, 10, 0.1) || !InBand(11, 10, 0.1) {
+		t.Errorf("values inside the band misclassified")
+	}
+	if InBand(8.9, 10, 0.1) || InBand(11.1, 10, 0.1) {
+		t.Errorf("values outside the band misclassified")
+	}
+}
+
+func TestPropertyLossBounded(t *testing.T) {
+	f := func(achieved, target float64) bool {
+		l := Loss(achieved, target, Gamma)
+		return l >= 0 && l <= Gamma
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTuneBufferFeasibleTarget(t *testing.T) {
+	var calls int64
+	fake := fakeCompressor{name: "fake", ratioFn: smoothRatio, calls: &calls}
+	tu, err := NewTuner(fake, Config{TargetRatio: 20, Tolerance: 0.1, MaxError: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tu.TuneBuffer(context.Background(), smallBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("target 20 should be feasible, got %+v", res)
+	}
+	if !InBand(res.AchievedRatio, 20, 0.1) {
+		t.Errorf("achieved ratio %v outside band", res.AchievedRatio)
+	}
+	if res.ErrorBound <= 0 || res.ErrorBound > 2 {
+		t.Errorf("recommended bound %v outside the search range", res.ErrorBound)
+	}
+	if res.Iterations <= 0 || int64(res.Iterations) != atomic.LoadInt64(&calls) {
+		t.Errorf("iterations %d should equal compressor calls %d", res.Iterations, atomic.LoadInt64(&calls))
+	}
+	if res.Compressor != "fake" || res.TargetRatio != 20 {
+		t.Errorf("result metadata wrong: %+v", res)
+	}
+}
+
+func TestTuneBufferInfeasibleTargetReportsClosest(t *testing.T) {
+	// The ratio curve saturates at 12, so a target of 50 is infeasible.
+	fake := fakeCompressor{name: "fake", ratioFn: func(bound float64) float64 {
+		return 1 + 11*bound/(bound+0.01)
+	}}
+	tu, err := NewTuner(fake, Config{TargetRatio: 50, Tolerance: 0.05, MaxError: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tu.TuneBuffer(context.Background(), smallBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatalf("target 50 should be infeasible, got %+v", res)
+	}
+	if res.AchievedRatio < 10 || res.AchievedRatio > 12.5 {
+		t.Errorf("closest observed ratio should approach the saturation value, got %v", res.AchievedRatio)
+	}
+	closest := ClosestObserved(res)
+	if len(closest) == 0 {
+		t.Fatalf("expected observed evaluations")
+	}
+	for i := 1; i < len(closest); i++ {
+		if math.Abs(closest[i-1].Ratio-50) > math.Abs(closest[i].Ratio-50) {
+			t.Errorf("ClosestObserved not sorted by distance to target")
+		}
+	}
+}
+
+func TestTuneBufferStepFunctionRatio(t *testing.T) {
+	// Step-like curve imitating ZFP accuracy mode: only a few ratios are
+	// reachable; the target of 16 sits on a plateau.
+	fake := fakeCompressor{name: "fake-step", ratioFn: func(bound float64) float64 {
+		return math.Pow(2, math.Floor(math.Log2(bound*1e4+1)))
+	}}
+	tu, err := NewTuner(fake, Config{TargetRatio: 16, Tolerance: 0.1, MaxError: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tu.TuneBuffer(context.Background(), smallBuffer(8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Errorf("plateau target should be found, got ratio %v", res.AchievedRatio)
+	}
+}
+
+func TestTuneBufferNonMonotoneRatio(t *testing.T) {
+	// Non-monotonic curve like SZ's (Fig. 3): a dip in the middle.
+	fake := fakeCompressor{name: "fake-dip", ratioFn: func(bound float64) float64 {
+		return 60 + 40*bound - 25*math.Exp(-(bound-0.25)*(bound-0.25)*200)
+	}}
+	tu, err := NewTuner(fake, Config{TargetRatio: 45, Tolerance: 0.05, MaxError: 0.5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tu.TuneBuffer(context.Background(), smallBuffer(8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Errorf("target inside the dip should be reachable, got %v", res.AchievedRatio)
+	}
+}
+
+func TestTuneWithPredictionReuse(t *testing.T) {
+	var calls int64
+	fake := fakeCompressor{name: "fake", ratioFn: smoothRatio, calls: &calls}
+	tu, err := NewTuner(fake, Config{TargetRatio: 20, Tolerance: 0.1, MaxError: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := smallBuffer(4096)
+	first, err := tu.TuneBuffer(context.Background(), buf)
+	if err != nil || !first.Feasible {
+		t.Fatalf("initial tuning failed: %+v err=%v", first, err)
+	}
+	atomic.StoreInt64(&calls, 0)
+	second, err := tu.TuneWithPrediction(context.Background(), buf, first.ErrorBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.UsedPrediction || !second.Feasible {
+		t.Errorf("prediction should be reused: %+v", second)
+	}
+	if atomic.LoadInt64(&calls) != 1 || second.Iterations != 1 {
+		t.Errorf("prediction reuse should cost exactly one compression, got %d", atomic.LoadInt64(&calls))
+	}
+}
+
+func TestTuneWithBadPredictionRetrains(t *testing.T) {
+	fake := fakeCompressor{name: "fake", ratioFn: smoothRatio}
+	tu, err := NewTuner(fake, Config{TargetRatio: 20, Tolerance: 0.05, MaxError: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tu.TuneWithPrediction(context.Background(), smallBuffer(4096), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsedPrediction {
+		t.Errorf("a hopeless prediction should trigger retraining")
+	}
+	if !res.Feasible {
+		t.Errorf("retraining should still find the target")
+	}
+	if len(res.Regions) == 0 {
+		t.Errorf("retraining should report region results")
+	}
+}
+
+func TestTuneBufferUnsupportedShape(t *testing.T) {
+	c, err := pressio.New("mgard:abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := NewTuner(c, Config{TargetRatio: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tu.TuneBuffer(context.Background(), smallBuffer(100)); err == nil {
+		t.Errorf("1-D buffer should be rejected for mgard")
+	}
+}
+
+func TestTuneSeriesRetrainsOnRegimeChange(t *testing.T) {
+	// The ratio curve shifts abruptly at step 5, so the reused bound misses
+	// the band there and the tuner must retrain.
+	makeFake := func(step int) fakeCompressor {
+		shift := 1.0
+		if step >= 5 {
+			shift = 3.0
+		}
+		return fakeCompressor{name: "fake", ratioFn: func(bound float64) float64 {
+			return 1 + 63*bound/(bound+0.05*shift)/(2/(2+0.05*shift))
+		}}
+	}
+	// The Series provider supplies the same buffer; the compressor changes
+	// per step via a closure over the step index.
+	var stepIndex int
+	fake := fakeCompressor{name: "fake", ratioFn: func(bound float64) float64 {
+		return makeFake(stepIndex).ratioFn(bound)
+	}}
+	tu, err := NewTuner(fake, Config{TargetRatio: 20, Tolerance: 0.1, MaxError: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := smallBuffer(4096)
+	series := Series{
+		Field: "synthetic",
+		Steps: 10,
+		At: func(i int) (pressio.Buffer, error) {
+			stepIndex = i
+			return buf, nil
+		},
+	}
+	res, err := tu.TuneSeries(context.Background(), series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 10 {
+		t.Fatalf("expected 10 steps, got %d", len(res.Steps))
+	}
+	if res.Retrains < 2 {
+		t.Errorf("expected at least the initial training plus the regime change, got %d retrains", res.Retrains)
+	}
+	if res.Retrains > 5 {
+		t.Errorf("bound reuse should avoid retraining most steps, got %d retrains", res.Retrains)
+	}
+	if res.ConvergedSteps < 8 {
+		t.Errorf("most steps should converge, got %d/10", res.ConvergedSteps)
+	}
+	if res.TotalIterations <= 0 {
+		t.Errorf("total iterations not accumulated")
+	}
+}
+
+func TestTuneSeriesValidation(t *testing.T) {
+	fake := fakeCompressor{name: "fake", ratioFn: smoothRatio}
+	tu, _ := NewTuner(fake, Config{TargetRatio: 10})
+	if _, err := tu.TuneSeries(context.Background(), Series{Field: "x", Steps: 0}); err == nil {
+		t.Errorf("zero steps should fail")
+	}
+	if _, err := tu.TuneSeries(context.Background(), Series{Field: "x", Steps: 3, At: nil}); err == nil {
+		t.Errorf("nil provider should fail")
+	}
+}
+
+func TestTuneSeriesCancelled(t *testing.T) {
+	fake := fakeCompressor{name: "fake", ratioFn: smoothRatio}
+	tu, _ := NewTuner(fake, Config{TargetRatio: 10, MaxError: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := tu.TuneSeries(ctx, Series{Field: "x", Steps: 3, At: func(i int) (pressio.Buffer, error) {
+		return smallBuffer(256), nil
+	}})
+	if err == nil {
+		t.Errorf("cancelled context should abort the series")
+	}
+}
+
+func TestTuneFieldsParallel(t *testing.T) {
+	fake := fakeCompressor{name: "fake", ratioFn: smoothRatio}
+	tu, err := NewTuner(fake, Config{TargetRatio: 20, Tolerance: 0.1, MaxError: 2, Seed: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := smallBuffer(2048)
+	mk := func(name string) Series {
+		return Series{Field: name, Steps: 3, At: func(i int) (pressio.Buffer, error) { return buf, nil }}
+	}
+	results, err := tu.TuneFields(context.Background(), []Series{mk("a"), mk("b"), mk("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("expected 3 series results")
+	}
+	for _, r := range results {
+		if r.ConvergedSteps != 3 {
+			t.Errorf("series %s: %d/3 converged", r.Field, r.ConvergedSteps)
+		}
+	}
+}
+
+func TestTuneRealSZOnSyntheticHurricane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-compressor tuning is slow")
+	}
+	d, err := dataset.New("Hurricane", dataset.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, shape, err := d.Generate("TCf", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := pressio.NewBuffer(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := NewTuner(c, Config{TargetRatio: 10, Tolerance: 0.1, Seed: 9, Regions: 6, MaxIterationsPerRegion: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tu.TuneBuffer(context.Background(), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("10:1 should be feasible for SZ on the hurricane field, got ratio %.2f", res.AchievedRatio)
+	}
+	// Verify independently that the recommended bound reproduces the ratio.
+	ratio, _, err := pressio.Ratio(c, buf, res.ErrorBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !InBand(ratio, 10, 0.1) {
+		t.Errorf("recommended bound %v re-evaluates to ratio %.2f outside the band", res.ErrorBound, ratio)
+	}
+}
+
+func TestTuneRealZFPAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-compressor tuning is slow")
+	}
+	d, err := dataset.New("NYX", dataset.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, shape, err := d.Generate("temperature", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := pressio.NewBuffer(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pressio.New("zfp:accuracy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := NewTuner(c, Config{TargetRatio: 8, Tolerance: 0.2, Seed: 10, Regions: 6, MaxIterationsPerRegion: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tu.TuneBuffer(context.Background(), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ZFP accuracy mode expresses few ratios; with a 20% tolerance the
+	// request should still generally be satisfiable. If not feasible, the
+	// reported closest ratio must at least be positive and finite.
+	if res.AchievedRatio <= 0 || math.IsInf(res.AchievedRatio, 0) {
+		t.Errorf("nonsensical achieved ratio %v", res.AchievedRatio)
+	}
+	if res.Feasible && !InBand(res.AchievedRatio, 8, 0.2) {
+		t.Errorf("feasible flag inconsistent with achieved ratio %v", res.AchievedRatio)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fraz/internal/pressio"
+)
+
+// This file implements the second item of the paper's future-work list
+// (§VII): an online variant of FRaZ for in-situ use, where data arrives one
+// acquisition (or simulation snapshot) at a time and each acquisition must
+// be compressed to the target ratio before the next one arrives. The online
+// tuner owns the prediction state that Algorithm 3 threads through a time
+// series, adds exponential smoothing of the bound across retrains to damp
+// oscillation on drifting data, and keeps running statistics so an
+// instrument pipeline can monitor its own behaviour.
+
+// OnlineConfig configures an OnlineTuner.
+type OnlineConfig struct {
+	// Smoothing is the exponential-smoothing factor applied to the error
+	// bound across retrains: the working bound moves by Smoothing of the way
+	// toward each newly trained bound. 1 (or 0, which selects the default of
+	// 1) adopts new bounds immediately; smaller values damp oscillations for
+	// noisy streams.
+	Smoothing float64
+	// RetrainAfterMisses forces a full retrain after this many consecutive
+	// acquisitions whose reused bound fell outside the acceptance band but
+	// were still shipped (non-strict mode). Zero retrains immediately on the
+	// first miss, which is Algorithm 3's behaviour.
+	RetrainAfterMisses int
+}
+
+// OnlineStats summarises the stream processed so far.
+type OnlineStats struct {
+	// Acquisitions is the number of buffers processed.
+	Acquisitions int
+	// Reused counts acquisitions served by the reused bound; Retrained
+	// counts full searches (the first acquisition always retrains).
+	Reused    int
+	Retrained int
+	// Converged counts acquisitions whose final ratio was inside the band.
+	Converged int
+	// TotalIterations is the cumulative number of compressor invocations.
+	TotalIterations int
+	// RawBytes and CompressedBytes accumulate the stream volume.
+	RawBytes        int
+	CompressedBytes int
+	// Elapsed is the cumulative tuning + compression wall-clock time.
+	Elapsed time.Duration
+}
+
+// AggregateRatio returns the overall reduction of the stream so far.
+func (s OnlineStats) AggregateRatio() float64 {
+	if s.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(s.CompressedBytes)
+}
+
+// OnlineResult is the outcome for one acquisition.
+type OnlineResult struct {
+	// Result is the underlying tuning result for this acquisition.
+	Result Result
+	// Compressed is the compressed stream for this acquisition, produced
+	// with the recommended bound.
+	Compressed []byte
+	// Reused is true when the previous bound was used without retraining.
+	Reused bool
+}
+
+// OnlineTuner tunes a stream of acquisitions one at a time.
+// It is safe for use from a single goroutine; the embedded statistics are
+// protected so they may be read concurrently by a monitoring goroutine.
+type OnlineTuner struct {
+	tuner *Tuner
+	cfg   OnlineConfig
+
+	mu         sync.Mutex
+	prediction float64
+	misses     int
+	stats      OnlineStats
+}
+
+// NewOnlineTuner wraps a Tuner for streaming use.
+func NewOnlineTuner(t *Tuner, cfg OnlineConfig) (*OnlineTuner, error) {
+	if t == nil {
+		return nil, fmt.Errorf("%w: nil tuner", ErrBadConfig)
+	}
+	if cfg.Smoothing < 0 || cfg.Smoothing > 1 {
+		return nil, fmt.Errorf("%w: smoothing must be in [0,1], got %v", ErrBadConfig, cfg.Smoothing)
+	}
+	if cfg.Smoothing == 0 {
+		cfg.Smoothing = 1
+	}
+	if cfg.RetrainAfterMisses < 0 {
+		return nil, fmt.Errorf("%w: retrain-after-misses must be >= 0", ErrBadConfig)
+	}
+	return &OnlineTuner{tuner: t, cfg: cfg}, nil
+}
+
+// Process tunes and compresses one acquisition, updating the reusable bound
+// and the running statistics.
+func (o *OnlineTuner) Process(ctx context.Context, buf pressio.Buffer) (OnlineResult, error) {
+	start := time.Now()
+	o.mu.Lock()
+	prediction := o.prediction
+	misses := o.misses
+	o.mu.Unlock()
+
+	forceRetrain := o.cfg.RetrainAfterMisses > 0 && misses >= o.cfg.RetrainAfterMisses
+	if forceRetrain {
+		prediction = 0
+	}
+
+	res, err := o.tuner.TuneWithPrediction(ctx, buf, prediction)
+	if err != nil {
+		return OnlineResult{}, err
+	}
+	comp, err := o.tuner.Compressor().Compress(buf, res.ErrorBound)
+	if err != nil {
+		return OnlineResult{}, fmt.Errorf("fraz: online compression at bound %v: %w", res.ErrorBound, err)
+	}
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.stats.Acquisitions++
+	o.stats.TotalIterations += res.Iterations
+	o.stats.RawBytes += buf.Bytes()
+	o.stats.CompressedBytes += len(comp)
+	o.stats.Elapsed += time.Since(start)
+	if res.UsedPrediction {
+		o.stats.Reused++
+	} else {
+		o.stats.Retrained++
+	}
+	if res.Feasible {
+		o.stats.Converged++
+		o.misses = 0
+		if res.UsedPrediction || o.prediction == 0 {
+			o.prediction = res.ErrorBound
+		} else {
+			// Smooth toward the newly trained bound.
+			o.prediction += o.cfg.Smoothing * (res.ErrorBound - o.prediction)
+		}
+	} else {
+		o.misses++
+	}
+	return OnlineResult{Result: res, Compressed: comp, Reused: res.UsedPrediction}, nil
+}
+
+// Stats returns a copy of the running statistics.
+func (o *OnlineTuner) Stats() OnlineStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
+
+// CurrentBound returns the bound that will be tried first for the next
+// acquisition (zero before the first feasible acquisition).
+func (o *OnlineTuner) CurrentBound() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.prediction
+}
+
+// Reset clears the reusable bound and statistics, e.g. when the instrument
+// reconfigures and past acquisitions stop being representative.
+func (o *OnlineTuner) Reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.prediction = 0
+	o.misses = 0
+	o.stats = OnlineStats{}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"fraz/internal/grid"
+	"fraz/internal/metrics"
+	"fraz/internal/optim"
+	"fraz/internal/parallel"
+	"fraz/internal/pressio"
+)
+
+// This file implements the first item of the paper's future-work list
+// (§VII): tuning to an *arbitrary user quality target* — "error bounds that
+// correspond with the quality of a scientist's analysis result", such as a
+// required SSIM or PSNR — instead of a target compression ratio. The search
+// machinery is the same (clamped quadratic loss, region-parallel global
+// minimisation with an early-termination cutoff); only the objective changes
+// from the compression ratio to a decompressed-quality metric, which makes
+// each evaluation a compress+decompress round trip rather than a compress.
+
+// QualityMetric evaluates the reconstruction quality of decompressed data.
+// Larger values must mean better quality (true for PSNR and SSIM).
+type QualityMetric struct {
+	// Name labels the metric in results ("psnr", "ssim", ...).
+	Name string
+	// Evaluate returns the metric value for a reconstruction.
+	Evaluate func(original, reconstructed []float32, shape grid.Dims) (float64, error)
+}
+
+// PSNRMetric targets the peak signal-to-noise ratio in decibels.
+func PSNRMetric() QualityMetric {
+	return QualityMetric{
+		Name: "psnr",
+		Evaluate: func(original, reconstructed []float32, shape grid.Dims) (float64, error) {
+			return metrics.PSNR(original, reconstructed), nil
+		},
+	}
+}
+
+// SSIMMetric targets the mean structural similarity of the central 2-D
+// slice, the quality criterion cited by the paper's future-work discussion
+// (Baker et al.'s SSIM threshold for valid climate analyses).
+func SSIMMetric() QualityMetric {
+	return QualityMetric{
+		Name: "ssim",
+		Evaluate: func(original, reconstructed []float32, shape grid.Dims) (float64, error) {
+			plane := 0
+			if shape.NDims() == 3 {
+				plane = shape[0] / 2
+			}
+			origSlice, sliceShape, err := grid.Slice2D(original, shape, plane)
+			if err != nil {
+				return 0, err
+			}
+			recSlice, _, err := grid.Slice2D(reconstructed, shape, plane)
+			if err != nil {
+				return 0, err
+			}
+			return metrics.SSIM(origSlice, recSlice, sliceShape)
+		},
+	}
+}
+
+// QualityConfig controls a quality-target search.
+type QualityConfig struct {
+	// Target is the desired metric value (e.g. PSNR of 60 dB, SSIM of 0.95).
+	Target float64
+	// Tolerance is the acceptable absolute deviation from the target.
+	// Zero selects 2% of the target's magnitude.
+	Tolerance float64
+	// MaxError caps the error bounds searched (0 = value range of the data).
+	MaxError float64
+	// Regions, Workers, MaxIterationsPerRegion and Seed have the same
+	// meaning as in Config.
+	Regions                int
+	Workers                int
+	MaxIterationsPerRegion int
+	Seed                   int64
+}
+
+func (c QualityConfig) withDefaults() QualityConfig {
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.02 * math.Abs(c.Target)
+	}
+	if c.Regions <= 0 {
+		c.Regions = parallel.DefaultRegions
+	}
+	if c.MaxIterationsPerRegion <= 0 {
+		c.MaxIterationsPerRegion = DefaultMaxIterationsPerRegion
+	}
+	return c
+}
+
+// QualityResult is the outcome of a quality-target search.
+type QualityResult struct {
+	Compressor string
+	Metric     string
+	Target     float64
+	Tolerance  float64
+	// ErrorBound is the recommended error bound and AchievedQuality the
+	// metric value it produces.
+	ErrorBound      float64
+	AchievedQuality float64
+	// AchievedRatio and CompressedSize describe the size at that bound.
+	AchievedRatio  float64
+	CompressedSize int
+	// Feasible is true when the achieved quality is within the tolerance of
+	// the target.
+	Feasible bool
+	// Iterations counts compress+decompress round trips.
+	Iterations int
+	Elapsed    time.Duration
+}
+
+// ErrBadQualityConfig is returned for invalid quality-target configuration.
+var ErrBadQualityConfig = errors.New("fraz: invalid quality-target configuration")
+
+// TuneForQuality searches the compressor's error bound for the setting whose
+// decompressed quality is closest to the target metric value, preferring
+// (among acceptable settings) the one with the highest compression ratio:
+// the largest error bound that still delivers the requested quality.
+func (t *Tuner) TuneForQuality(ctx context.Context, buf pressio.Buffer, metric QualityMetric, cfg QualityConfig) (QualityResult, error) {
+	start := time.Now()
+	if metric.Evaluate == nil {
+		return QualityResult{}, fmt.Errorf("%w: metric has no evaluator", ErrBadQualityConfig)
+	}
+	if math.IsNaN(cfg.Target) || math.IsInf(cfg.Target, 0) {
+		return QualityResult{}, fmt.Errorf("%w: target %v", ErrBadQualityConfig, cfg.Target)
+	}
+	cfg = cfg.withDefaults()
+	if !t.compressor.SupportsShape(buf.Shape) {
+		return QualityResult{}, fmt.Errorf("fraz: compressor %s does not support shape %v", t.compressor.Name(), buf.Shape)
+	}
+
+	// Search range: same policy as ratio tuning.
+	vr := grid.ValueRange(buf.Data)
+	if vr <= 0 {
+		vr = 1
+	}
+	cLo, cHi := t.compressor.BoundRange()
+	lo := vr * 1e-9
+	if lo < cLo {
+		lo = cLo
+	}
+	hi := cfg.MaxError
+	if hi <= 0 {
+		hi = vr
+	}
+	if hi > cHi {
+		hi = cHi
+	}
+	if !(lo < hi) {
+		return QualityResult{}, fmt.Errorf("%w: empty error-bound range [%v, %v]", ErrBadQualityConfig, lo, hi)
+	}
+	// Quality metrics vary with the order of magnitude of the error bound
+	// rather than its absolute value, so the search runs in log space: the
+	// regions partition [ln lo, ln hi] and every candidate is exponentiated
+	// before being handed to the compressor.
+	regions, err := parallel.SplitRegions(math.Log(lo), math.Log(hi), cfg.Regions, parallel.DefaultOverlap)
+	if err != nil {
+		return QualityResult{}, err
+	}
+
+	type qualEval struct {
+		bound   float64
+		quality float64
+		ratio   float64
+		size    int
+	}
+	cutoff := cfg.Tolerance * cfg.Tolerance
+
+	evaluate := func(bound float64) (qualEval, error) {
+		comp, err := t.compressor.Compress(buf, bound)
+		if err != nil {
+			return qualEval{}, err
+		}
+		dec, err := t.compressor.Decompress(comp, buf.Shape)
+		if err != nil {
+			return qualEval{}, err
+		}
+		q, err := metric.Evaluate(buf.Data, dec, buf.Shape)
+		if err != nil {
+			return qualEval{}, err
+		}
+		return qualEval{
+			bound:   bound,
+			quality: q,
+			ratio:   metrics.CompressionRatio(buf.Bytes(), len(comp)),
+			size:    len(comp),
+		}, nil
+	}
+
+	tasks := make([]parallel.Task[[]qualEval], len(regions))
+	for i, region := range regions {
+		i, region := i, region
+		tasks[i] = func(taskCtx context.Context) ([]qualEval, bool, error) {
+			var evals []qualEval
+			objective := func(logBound float64) float64 {
+				if taskCtx.Err() != nil {
+					return Gamma
+				}
+				ev, err := evaluate(math.Exp(logBound))
+				if err != nil || math.IsNaN(ev.quality) {
+					return Gamma
+				}
+				evals = append(evals, ev)
+				d := ev.quality - cfg.Target
+				v := d * d
+				if v > Gamma {
+					return Gamma
+				}
+				return v
+			}
+			optRes, err := optim.FindGlobalMin(objective, optim.Options{
+				Lower:         region.Lower,
+				Upper:         region.Upper,
+				MaxIterations: cfg.MaxIterationsPerRegion,
+				Cutoff:        cutoff,
+				Seed:          cfg.Seed + int64(i),
+			})
+			if err != nil {
+				return evals, false, err
+			}
+			return evals, optRes.Converged && taskCtx.Err() == nil, nil
+		}
+	}
+	outcomes := parallel.RunUntilAcceptable(ctx, cfg.Workers, tasks)
+
+	res := QualityResult{
+		Compressor: t.compressor.Name(),
+		Metric:     metric.Name,
+		Target:     cfg.Target,
+		Tolerance:  cfg.Tolerance,
+	}
+	bestDist := math.Inf(1)
+	found := false
+	for _, o := range outcomes {
+		if !o.Started || o.Err != nil {
+			continue
+		}
+		for _, ev := range o.Value {
+			res.Iterations++
+			d := math.Abs(ev.quality - cfg.Target)
+			acceptable := d <= cfg.Tolerance
+			better := false
+			switch {
+			case !found:
+				better = true
+			case acceptable && !res.Feasible:
+				better = true
+			case acceptable == res.Feasible && acceptable:
+				// Among acceptable settings prefer the higher ratio (larger
+				// bound): quality is already good enough, so take the size win.
+				better = ev.ratio > res.AchievedRatio
+			case acceptable == res.Feasible && !acceptable:
+				better = d < bestDist
+			}
+			if better {
+				found = true
+				bestDist = d
+				res.ErrorBound = ev.bound
+				res.AchievedQuality = ev.quality
+				res.AchievedRatio = ev.ratio
+				res.CompressedSize = ev.size
+				res.Feasible = acceptable
+			}
+		}
+	}
+	if !found {
+		res.Elapsed = time.Since(start)
+		return res, fmt.Errorf("fraz: no successful quality evaluation (compressor %s)", t.compressor.Name())
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"fraz/internal/dataset"
+	"fraz/internal/metrics"
+	"fraz/internal/pressio"
+)
+
+func nyxBuffer(t *testing.T) pressio.Buffer {
+	t.Helper()
+	d, err := dataset.New("NYX", dataset.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, shape, err := d.Generate("velocity_x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := pressio.NewBuffer(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestQualityMetricConstructors(t *testing.T) {
+	psnr := PSNRMetric()
+	if psnr.Name != "psnr" || psnr.Evaluate == nil {
+		t.Errorf("PSNRMetric malformed: %+v", psnr)
+	}
+	ssim := SSIMMetric()
+	if ssim.Name != "ssim" || ssim.Evaluate == nil {
+		t.Errorf("SSIMMetric malformed: %+v", ssim)
+	}
+	buf := nyxBuffer(t)
+	v, err := psnr.Evaluate(buf.Data, buf.Data, buf.Shape)
+	if err != nil || !math.IsInf(v, 1) {
+		t.Errorf("PSNR of identical data should be +Inf, got %v (%v)", v, err)
+	}
+	s, err := ssim.Evaluate(buf.Data, buf.Data, buf.Shape)
+	if err != nil || math.Abs(s-1) > 1e-9 {
+		t.Errorf("SSIM of identical data should be 1, got %v (%v)", s, err)
+	}
+}
+
+func TestTuneForQualityPSNRTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality tuning compresses and decompresses repeatedly")
+	}
+	buf := nyxBuffer(t)
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := NewTuner(c, Config{TargetRatio: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 60.0
+	res, err := tu.TuneForQuality(context.Background(), buf, PSNRMetric(), QualityConfig{
+		Target:                 target,
+		Tolerance:              2,
+		Regions:                6,
+		MaxIterationsPerRegion: 16,
+		Seed:                   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("a 60 dB PSNR target should be reachable, got %+v", res)
+	}
+	if math.Abs(res.AchievedQuality-target) > 2 {
+		t.Errorf("achieved PSNR %v not within tolerance of %v", res.AchievedQuality, target)
+	}
+	// Verify independently: compressing at the recommended bound reproduces
+	// a PSNR near the reported one.
+	full, err := pressio.Run(c, buf, res.ErrorBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.Report.PSNR-res.AchievedQuality) > 1e-6 {
+		t.Errorf("re-evaluated PSNR %v differs from reported %v", full.Report.PSNR, res.AchievedQuality)
+	}
+	if res.AchievedRatio <= 1 {
+		t.Errorf("achieved ratio should show real compression, got %v", res.AchievedRatio)
+	}
+	if res.Metric != "psnr" || res.Compressor != "sz:abs" || res.Iterations <= 0 {
+		t.Errorf("result metadata wrong: %+v", res)
+	}
+}
+
+func TestTuneForQualitySSIMTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality tuning compresses and decompresses repeatedly")
+	}
+	buf := nyxBuffer(t)
+	c, err := pressio.New("zfp:accuracy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := NewTuner(c, Config{TargetRatio: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tu.TuneForQuality(context.Background(), buf, SSIMMetric(), QualityConfig{
+		Target:                 0.95,
+		Tolerance:              0.03,
+		Regions:                4,
+		MaxIterationsPerRegion: 16,
+		Seed:                   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AchievedQuality <= 0 || res.AchievedQuality > 1 {
+		t.Errorf("SSIM out of range: %v", res.AchievedQuality)
+	}
+	if res.Feasible && math.Abs(res.AchievedQuality-0.95) > 0.03 {
+		t.Errorf("feasible flag inconsistent with achieved SSIM %v", res.AchievedQuality)
+	}
+}
+
+func TestTuneForQualityValidation(t *testing.T) {
+	buf := nyxBuffer(t)
+	c, _ := pressio.New("sz:abs")
+	tu, _ := NewTuner(c, Config{TargetRatio: 10})
+	if _, err := tu.TuneForQuality(context.Background(), buf, QualityMetric{Name: "broken"}, QualityConfig{Target: 1}); err == nil {
+		t.Errorf("metric without evaluator should fail")
+	}
+	if _, err := tu.TuneForQuality(context.Background(), buf, PSNRMetric(), QualityConfig{Target: math.NaN()}); err == nil {
+		t.Errorf("NaN target should fail")
+	}
+	mg, _ := pressio.New("mgard:abs")
+	tuMg, _ := NewTuner(mg, Config{TargetRatio: 10})
+	oneD := smallBuffer(64)
+	if _, err := tuMg.TuneForQuality(context.Background(), oneD, PSNRMetric(), QualityConfig{Target: 50}); err == nil {
+		t.Errorf("unsupported shape should fail")
+	}
+}
+
+func TestTuneForQualityPrefersHigherRatioAmongAcceptable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality tuning compresses and decompresses repeatedly")
+	}
+	// With a very loose tolerance many bounds are acceptable; the tuner must
+	// pick one with a higher ratio than the tightest acceptable bound would
+	// give.
+	buf := nyxBuffer(t)
+	c, _ := pressio.New("sz:abs")
+	tu, _ := NewTuner(c, Config{TargetRatio: 10, Seed: 7})
+	res, err := tu.TuneForQuality(context.Background(), buf, PSNRMetric(), QualityConfig{
+		Target:                 70,
+		Tolerance:              25, // anything from 45 to 95 dB is acceptable
+		Regions:                4,
+		MaxIterationsPerRegion: 12,
+		Seed:                   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("wide acceptance band should be feasible: %+v", res)
+	}
+	// A tiny bound trivially satisfies the quality target but compresses
+	// poorly; the selected bound should do noticeably better than that.
+	tinyRatio, _, err := pressio.Ratio(c, buf, res.ErrorBound/100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AchievedRatio < tinyRatio {
+		t.Errorf("selected ratio %.2f should beat the ratio of a needlessly tight bound %.2f", res.AchievedRatio, tinyRatio)
+	}
+	_ = metrics.Report{}
+}

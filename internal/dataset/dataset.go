@@ -1,0 +1,546 @@
+// Package dataset provides deterministic synthetic stand-ins for the five
+// SDRBench applications the paper evaluates (Table III): Hurricane (3-D
+// meteorology), HACC (1-D cosmology particles), CESM-ATM (2-D climate),
+// EXAALT (1-D molecular dynamics), and NYX (3-D cosmology fields).
+//
+// The real SDRBench archives are tens of gigabytes and cannot ship with this
+// repository, so each application is replaced by a generator that produces
+// fields with the same dimensionality, field count, number of time-steps,
+// and — most importantly for FRaZ — qualitatively similar compressibility
+// structure: smooth advected vortices, sparse log-scaled cloud water,
+// clustered particle coordinates, banded climate fields, and log-normal
+// cosmology fields, all evolving coherently over time with occasional
+// regime changes so that FRaZ's time-step bound reuse sometimes has to
+// retrain (paper §V-C, Fig. 6).
+//
+// Generation is fully deterministic: the same application, field, time-step,
+// and scale always produce the same bytes.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"fraz/internal/grid"
+)
+
+// Scale selects the grid resolution of the generated fields. The paper's
+// datasets are hundreds of gigabytes; these scales keep experiments
+// laptop-sized while preserving the fields' structure.
+type Scale int
+
+const (
+	// ScaleTiny is intended for unit tests (a few thousand points per field).
+	ScaleTiny Scale = iota
+	// ScaleSmall is the default for examples and benchmarks.
+	ScaleSmall
+	// ScaleMedium approaches the smallest SDRBench fields.
+	ScaleMedium
+)
+
+// String names the scale for reports.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+// Field describes one named field of an application dataset.
+type Field struct {
+	// Name is the field name, following the SDRBench naming where practical
+	// (e.g. "CLOUDf", "QCLOUDf.log10", "temperature", "x").
+	Name string
+	// Shape is the per-time-step grid shape of the field.
+	Shape grid.Dims
+	// generator fills a time-step of the field.
+	generate func(dst []float32, shape grid.Dims, t int, rng *rand.Rand)
+}
+
+// Dataset describes a synthetic application dataset.
+type Dataset struct {
+	// Name is the application name (Hurricane, HACC, CESM, EXAALT, NYX).
+	Name string
+	// Domain is the science domain, as listed in the paper's Table III.
+	Domain string
+	// TimeSteps is the number of time-steps available.
+	TimeSteps int
+	// Fields lists the available fields.
+	Fields []Field
+	// Scale records the resolution the dataset was instantiated at.
+	Scale Scale
+}
+
+// ErrUnknown is returned when an application or field name is not recognised.
+var ErrUnknown = errors.New("dataset: unknown dataset or field")
+
+// ErrBadTimeStep is returned for out-of-range time-step indices.
+var ErrBadTimeStep = errors.New("dataset: time-step out of range")
+
+// Names lists the available application names in the paper's order.
+func Names() []string {
+	return []string{"Hurricane", "HACC", "CESM", "EXAALT", "NYX"}
+}
+
+// New returns the synthetic dataset for the given application name at the
+// given scale.
+func New(name string, scale Scale) (Dataset, error) {
+	switch name {
+	case "Hurricane":
+		return hurricane(scale), nil
+	case "HACC":
+		return hacc(scale), nil
+	case "CESM":
+		return cesm(scale), nil
+	case "EXAALT":
+		return exaalt(scale), nil
+	case "NYX":
+		return nyx(scale), nil
+	default:
+		return Dataset{}, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+}
+
+// All returns every application dataset at the given scale.
+func All(scale Scale) []Dataset {
+	out := make([]Dataset, 0, len(Names()))
+	for _, n := range Names() {
+		d, err := New(n, scale)
+		if err != nil {
+			panic(err) // unreachable: Names and New are consistent
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Field returns the named field descriptor.
+func (d Dataset) Field(name string) (Field, error) {
+	for _, f := range d.Fields {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Field{}, fmt.Errorf("%w: field %q of %s", ErrUnknown, name, d.Name)
+}
+
+// FieldNames lists the dataset's field names in order.
+func (d Dataset) FieldNames() []string {
+	names := make([]string, len(d.Fields))
+	for i, f := range d.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Generate produces the named field at the given time-step.
+func (d Dataset) Generate(field string, timestep int) ([]float32, grid.Dims, error) {
+	f, err := d.Field(field)
+	if err != nil {
+		return nil, nil, err
+	}
+	if timestep < 0 || timestep >= d.TimeSteps {
+		return nil, nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadTimeStep, timestep, d.TimeSteps)
+	}
+	data := make([]float32, f.Shape.Len())
+	rng := rand.New(rand.NewSource(seedFor(d.Name, field, timestep)))
+	f.generate(data, f.Shape, timestep, rng)
+	return data, f.Shape.Clone(), nil
+}
+
+// TotalValues returns the total number of scalar values across all fields
+// and time-steps, used by the dataset-description table (Table III).
+func (d Dataset) TotalValues() int {
+	total := 0
+	for _, f := range d.Fields {
+		total += f.Shape.Len() * d.TimeSteps
+	}
+	return total
+}
+
+// TotalBytes returns the raw (float32) size of the dataset in bytes.
+func (d Dataset) TotalBytes() int { return d.TotalValues() * 4 }
+
+func seedFor(parts ...interface{}) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%v|", p)
+	}
+	return int64(h.Sum64())
+}
+
+// fieldSeed derives a stable per-field seed independent of the time-step so
+// that a field's large-scale structure persists while evolving.
+func fieldSeed(app, field string) int64 { return seedFor(app, field, "structure") }
+
+// --- Hurricane (3-D meteorology, 13 fields, 48 time-steps) -------------------
+
+func hurricaneShape(scale Scale) grid.Dims {
+	switch scale {
+	case ScaleTiny:
+		return grid.MustDims(8, 16, 16)
+	case ScaleMedium:
+		return grid.MustDims(32, 64, 64)
+	default:
+		return grid.MustDims(16, 32, 32)
+	}
+}
+
+func hurricane(scale Scale) Dataset {
+	shape := hurricaneShape(scale)
+	fieldNames := []string{
+		"CLOUDf", "QCLOUDf", "QCLOUDf.log10", "QGRAUPf", "QICEf", "QRAINf",
+		"QSNOWf", "QVAPORf", "PRECIPf", "Pf", "TCf", "Uf", "Vf",
+	}
+	fields := make([]Field, 0, len(fieldNames))
+	for _, name := range fieldNames {
+		fields = append(fields, Field{Name: name, Shape: shape, generate: hurricaneField(name)})
+	}
+	return Dataset{Name: "Hurricane", Domain: "Meteorology", TimeSteps: 48, Fields: fields, Scale: scale}
+}
+
+// hurricaneField returns a generator producing a rotating vortex field with
+// per-field character: temperature/pressure fields are smooth, moisture
+// fields are sparse with sharp plumes, the log10 cloud field has the flat
+// background plus plume structure that produces SZ's spiky ratio behaviour.
+func hurricaneField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
+	return func(dst []float32, shape grid.Dims, t int, rng *rand.Rand) {
+		structRng := rand.New(rand.NewSource(fieldSeed("Hurricane", name)))
+		nz, ny, nx := shape[0], shape[1], shape[2]
+		// Vortex centre drifts over time; intensity pulses with a regime
+		// change around one third of the simulation.
+		cx := 0.5 + 0.25*math.Sin(2*math.Pi*float64(t)/48)
+		cy := 0.5 + 0.25*math.Cos(2*math.Pi*float64(t)/48)
+		intensity := 1.0 + 0.5*math.Sin(float64(t)/6)
+		if t >= 16 && t < 32 {
+			intensity *= 1.8 // intensification phase: changes compressibility
+		}
+		phase := structRng.Float64() * 2 * math.Pi
+		roughness := 0.02 + 0.08*structRng.Float64()
+
+		i := 0
+		for z := 0; z < nz; z++ {
+			zf := float64(z) / float64(nz)
+			for y := 0; y < ny; y++ {
+				yf := float64(y) / float64(ny)
+				for x := 0; x < nx; x++ {
+					xf := float64(x) / float64(nx)
+					dx, dy := xf-cx, yf-cy
+					r := math.Sqrt(dx*dx + dy*dy)
+					theta := math.Atan2(dy, dx)
+					swirl := intensity * math.Exp(-r*r*18) * math.Cos(6*theta+phase+4*zf)
+					base := math.Sin(3*math.Pi*xf+phase) * math.Cos(2*math.Pi*yf) * (1 - zf*0.6)
+					noise := roughness * rng.NormFloat64()
+					var v float64
+					switch name {
+					case "TCf":
+						v = 25 - 60*zf + 8*swirl + 2*base + noise
+					case "Pf":
+						v = 1000 - 900*zf - 40*intensity*math.Exp(-r*r*25) + noise
+					case "Uf":
+						v = 30*swirl*math.Sin(theta) + 5*base + noise*10
+					case "Vf":
+						v = -30*swirl*math.Cos(theta) + 5*base + noise*10
+					case "PRECIPf":
+						p := math.Max(0, swirl*2+base*0.3-0.5)
+						v = p*p*10 + math.Abs(noise)
+					case "QVAPORf":
+						v = 0.02*math.Exp(-3*zf)*(1+0.5*swirl) + 0.001*math.Abs(noise)
+					case "QCLOUDf", "QGRAUPf", "QICEf", "QRAINf", "QSNOWf", "CLOUDf":
+						// Sparse: zero background with localised plumes.
+						p := swirl + 0.4*base - 0.55
+						if p > 0 {
+							v = p * 1e-3 * (1 + math.Abs(noise))
+						} else {
+							v = 0
+						}
+					case "QCLOUDf.log10":
+						p := swirl + 0.4*base - 0.55
+						if p > 0 {
+							v = math.Log10(p*1e-3*(1+math.Abs(noise)) + 1e-30)
+						} else {
+							v = -30 // the flat log-floor seen in the real field
+						}
+					default:
+						v = base + swirl + noise
+					}
+					dst[i] = float32(v)
+					i++
+				}
+			}
+		}
+	}
+}
+
+// --- HACC (1-D cosmology particles, 6 fields, 101 time-steps) ----------------
+
+func haccLen(scale Scale) int {
+	switch scale {
+	case ScaleTiny:
+		return 1 << 12
+	case ScaleMedium:
+		return 1 << 20
+	default:
+		return 1 << 16
+	}
+}
+
+func hacc(scale Scale) Dataset {
+	n := haccLen(scale)
+	shape := grid.MustDims(n)
+	fieldNames := []string{"x", "y", "z", "vx", "vy", "vz"}
+	fields := make([]Field, 0, len(fieldNames))
+	for _, name := range fieldNames {
+		fields = append(fields, Field{Name: name, Shape: shape, generate: haccField(name)})
+	}
+	return Dataset{Name: "HACC", Domain: "Cosmology", TimeSteps: 101, Fields: fields, Scale: scale}
+}
+
+// haccField generates particle coordinates/velocities: particles start in a
+// quasi-uniform lattice perturbed by growing large-scale modes (structure
+// formation), so positions are locally correlated but globally span the
+// whole box — hard for prediction-based compressors, exactly like real HACC
+// data.
+func haccField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
+	isVelocity := name == "vx" || name == "vy" || name == "vz"
+	axisPhase := map[string]float64{"x": 0, "y": 2.1, "z": 4.2, "vx": 0, "vy": 2.1, "vz": 4.2}[name]
+	return func(dst []float32, shape grid.Dims, t int, rng *rand.Rand) {
+		structRng := rand.New(rand.NewSource(fieldSeed("HACC", name)))
+		n := shape[0]
+		box := 256.0
+		growth := 0.2 + 0.8*float64(t)/100 // structure grows over time
+		// A few large-scale modes shared by all particles.
+		const modes = 6
+		amps := make([]float64, modes)
+		freqs := make([]float64, modes)
+		phases := make([]float64, modes)
+		for m := 0; m < modes; m++ {
+			amps[m] = box * 0.02 / float64(m+1)
+			freqs[m] = float64(m+1) * 2 * math.Pi
+			phases[m] = structRng.Float64()*2*math.Pi + axisPhase
+		}
+		for i := 0; i < n; i++ {
+			u := float64(i) / float64(n)
+			displacement := 0.0
+			velocity := 0.0
+			for m := 0; m < modes; m++ {
+				displacement += growth * amps[m] * math.Sin(freqs[m]*u+phases[m])
+				velocity += amps[m] * freqs[m] * math.Cos(freqs[m]*u+phases[m]) * 0.3
+			}
+			if isVelocity {
+				dst[i] = float32(velocity + 20*rng.NormFloat64())
+			} else {
+				pos := math.Mod(u*box+displacement+0.05*rng.NormFloat64()+box, box)
+				dst[i] = float32(pos)
+			}
+		}
+	}
+}
+
+// --- CESM-ATM (2-D climate, 6 fields, 62 time-steps) -------------------------
+
+func cesmShape(scale Scale) grid.Dims {
+	switch scale {
+	case ScaleTiny:
+		return grid.MustDims(24, 48)
+	case ScaleMedium:
+		return grid.MustDims(192, 288)
+	default:
+		return grid.MustDims(96, 144)
+	}
+}
+
+func cesm(scale Scale) Dataset {
+	shape := cesmShape(scale)
+	fieldNames := []string{"CLDHGH", "CLDLOW", "CLOUD", "FLDSC", "FREQSH", "PHIS"}
+	fields := make([]Field, 0, len(fieldNames))
+	for _, name := range fieldNames {
+		fields = append(fields, Field{Name: name, Shape: shape, generate: cesmField(name)})
+	}
+	return Dataset{Name: "CESM", Domain: "Climate", TimeSteps: 62, Fields: fields, Scale: scale}
+}
+
+// cesmField generates lat-lon climate fields: zonal bands plus weather
+// systems that advect eastward over time; cloud-fraction fields are bounded
+// in [0,1] with plateaus, PHIS (surface geopotential) is static topography.
+func cesmField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
+	return func(dst []float32, shape grid.Dims, t int, rng *rand.Rand) {
+		structRng := rand.New(rand.NewSource(fieldSeed("CESM", name)))
+		ny, nx := shape[0], shape[1]
+		drift := float64(t) * 0.03
+		p1 := structRng.Float64() * 2 * math.Pi
+		p2 := structRng.Float64() * 2 * math.Pi
+		for y := 0; y < ny; y++ {
+			lat := (float64(y)/float64(ny-1+minOne(ny)) - 0.5) * math.Pi
+			band := math.Cos(3*lat + p1)
+			for x := 0; x < nx; x++ {
+				lon := float64(x) / float64(nx) * 2 * math.Pi
+				wave := math.Sin(4*(lon+drift)+p2)*math.Cos(2*lat) +
+					0.5*math.Sin(9*(lon+1.7*drift))*math.Sin(3*lat+p1)
+				noise := 0.01 * rng.NormFloat64()
+				var v float64
+				switch name {
+				case "PHIS":
+					// Static topography: rough, time-invariant.
+					v = 3000*math.Max(0, math.Sin(5*lon+p1)*math.Cos(3*lat+p2)) +
+						500*math.Abs(math.Sin(13*lon)*math.Sin(11*lat))
+				case "FLDSC":
+					v = 250 + 80*math.Cos(lat) + 20*wave + noise*100
+				case "FREQSH":
+					v = clamp01(0.3 + 0.3*band + 0.2*wave + noise)
+				default: // CLDHGH, CLDLOW, CLOUD
+					v = clamp01(0.45 + 0.35*band*wave + 0.15*wave + noise)
+				}
+				dst[y*nx+x] = float32(v)
+			}
+		}
+	}
+}
+
+func minOne(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 0
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// --- EXAALT (1-D molecular dynamics, 3 fields, 82 time-steps) ----------------
+
+func exaaltLen(scale Scale) int {
+	switch scale {
+	case ScaleTiny:
+		return 4096
+	case ScaleMedium:
+		return 1 << 19
+	default:
+		return 1 << 15
+	}
+}
+
+func exaalt(scale Scale) Dataset {
+	n := exaaltLen(scale)
+	shape := grid.MustDims(n)
+	fieldNames := []string{"x", "y", "z"}
+	fields := make([]Field, 0, len(fieldNames))
+	for _, name := range fieldNames {
+		fields = append(fields, Field{Name: name, Shape: shape, generate: exaaltField(name)})
+	}
+	return Dataset{Name: "EXAALT", Domain: "Molecular Dyn.", TimeSteps: 82, Fields: fields, Scale: scale}
+}
+
+// exaaltField generates molecular-dynamics coordinates: atoms vibrate
+// thermally around lattice sites; occasionally a defect migrates, shifting a
+// contiguous run of atoms.
+func exaaltField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
+	axis := map[string]float64{"x": 0, "y": 1, "z": 2}[name]
+	return func(dst []float32, shape grid.Dims, t int, rng *rand.Rand) {
+		structRng := rand.New(rand.NewSource(fieldSeed("EXAALT", name)))
+		n := shape[0]
+		lattice := 3.52 // fcc nickel lattice constant, used by EXAALT studies
+		defectStart := structRng.Intn(n)
+		defectLen := n / 20
+		migration := float64(t) * 0.002 * lattice
+		thermal := 0.03 * lattice
+		for i := 0; i < n; i++ {
+			site := float64(i%32)*lattice + axis*lattice/3 + float64(i/32)*0.001
+			v := site + thermal*rng.NormFloat64()
+			if i >= defectStart && i < defectStart+defectLen {
+				v += migration
+			}
+			dst[i] = float32(v)
+		}
+	}
+}
+
+// --- NYX (3-D cosmology fields, 5 fields, 8 time-steps) ----------------------
+
+func nyxShape(scale Scale) grid.Dims {
+	switch scale {
+	case ScaleTiny:
+		return grid.MustDims(16, 16, 16)
+	case ScaleMedium:
+		return grid.MustDims(64, 64, 64)
+	default:
+		return grid.MustDims(32, 32, 32)
+	}
+}
+
+func nyx(scale Scale) Dataset {
+	shape := nyxShape(scale)
+	fieldNames := []string{"temperature", "baryon_density", "dark_matter_density", "velocity_x", "velocity_y"}
+	fields := make([]Field, 0, len(fieldNames))
+	for _, name := range fieldNames {
+		fields = append(fields, Field{Name: name, Shape: shape, generate: nyxField(name)})
+	}
+	return Dataset{Name: "NYX", Domain: "Cosmology", TimeSteps: 8, Fields: fields, Scale: scale}
+}
+
+// nyxField generates cosmological grid fields: density fields are
+// log-normal with filamentary structure that sharpens over the (few)
+// time-steps; temperature follows density adiabatically; velocities are
+// smooth large-scale flows.
+func nyxField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
+	return func(dst []float32, shape grid.Dims, t int, rng *rand.Rand) {
+		structRng := rand.New(rand.NewSource(fieldSeed("NYX", name)))
+		nz, ny, nx := shape[0], shape[1], shape[2]
+		sharpness := 1.0 + float64(t)*0.4
+		const modes = 5
+		type mode struct{ kx, ky, kz, phase, amp float64 }
+		ms := make([]mode, modes)
+		for m := range ms {
+			ms[m] = mode{
+				kx:    float64(structRng.Intn(4)+1) * 2 * math.Pi,
+				ky:    float64(structRng.Intn(4)+1) * 2 * math.Pi,
+				kz:    float64(structRng.Intn(4)+1) * 2 * math.Pi,
+				phase: structRng.Float64() * 2 * math.Pi,
+				amp:   1.0 / float64(m+1),
+			}
+		}
+		i := 0
+		for z := 0; z < nz; z++ {
+			zf := float64(z) / float64(nz)
+			for y := 0; y < ny; y++ {
+				yf := float64(y) / float64(ny)
+				for x := 0; x < nx; x++ {
+					xf := float64(x) / float64(nx)
+					var delta float64
+					for _, m := range ms {
+						delta += m.amp * math.Sin(m.kx*xf+m.ky*yf+m.kz*zf+m.phase)
+					}
+					delta *= sharpness
+					noise := 0.05 * rng.NormFloat64()
+					var v float64
+					switch name {
+					case "temperature":
+						v = 1e4 * math.Exp(0.6*delta+noise*0.2)
+					case "baryon_density", "dark_matter_density":
+						v = math.Exp(delta + noise)
+					default: // velocity_x, velocity_y
+						v = 300*delta/sharpness + 30*noise
+					}
+					dst[i] = float32(v)
+					i++
+				}
+			}
+		}
+	}
+}

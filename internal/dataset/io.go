@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"fraz/internal/grid"
+)
+
+// WriteRaw writes a field as little-endian float32 binary, the layout used
+// by the SDRBench archives (one bare .f32/.dat file per field and
+// time-step).
+func WriteRaw(path string, data []float32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	var tmp [4]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(v))
+		if _, err := w.Write(tmp[:]); err != nil {
+			return fmt.Errorf("dataset: write %s: %w", path, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("dataset: flush %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadRaw reads a little-endian float32 binary file and validates its length
+// against the expected shape.
+func ReadRaw(path string, shape grid.Dims) ([]float32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	want := shape.Len()
+	data := make([]float32, 0, want)
+	r := bufio.NewReader(f)
+	var tmp [4]byte
+	for {
+		if _, err := io.ReadFull(r, tmp[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("dataset: read %s: %w", path, err)
+		}
+		data = append(data, math.Float32frombits(binary.LittleEndian.Uint32(tmp[:])))
+	}
+	if len(data) != want {
+		return nil, fmt.Errorf("dataset: %s holds %d values, shape %v expects %d", path, len(data), shape, want)
+	}
+	return data, nil
+}
+
+// Export writes every field and time-step of the dataset under dir using the
+// SDRBench-style layout dir/<app>/<field>_t<step>.f32 and returns the number
+// of files written.
+func Export(d Dataset, dir string) (int, error) {
+	appDir := filepath.Join(dir, d.Name)
+	if err := os.MkdirAll(appDir, 0o755); err != nil {
+		return 0, fmt.Errorf("dataset: mkdir %s: %w", appDir, err)
+	}
+	count := 0
+	for _, f := range d.Fields {
+		for t := 0; t < d.TimeSteps; t++ {
+			data, _, err := d.Generate(f.Name, t)
+			if err != nil {
+				return count, err
+			}
+			path := filepath.Join(appDir, fmt.Sprintf("%s_t%03d.f32", f.Name, t))
+			if err := WriteRaw(path, data); err != nil {
+				return count, err
+			}
+			count++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,226 @@
+// Package experiments regenerates every evaluation table and figure of the
+// paper on the synthetic SDRBench stand-ins. Each exported function
+// corresponds to one figure or table (see DESIGN.md's per-experiment index)
+// and returns a report.Table whose rows are the same series the paper plots:
+// the absolute numbers differ — the substrate is a pure-Go reimplementation
+// on synthetic data rather than the authors' Bebop testbed — but the shapes
+// (who wins, where ratios saturate, where convergence fails) are the point.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fraz/internal/core"
+	"fraz/internal/dataset"
+	"fraz/internal/grid"
+	"fraz/internal/metrics"
+	"fraz/internal/pressio"
+	"fraz/internal/report"
+)
+
+// Config controls the scale and thoroughness of the experiment runs.
+type Config struct {
+	// Scale selects the synthetic dataset resolution.
+	Scale dataset.Scale
+	// Seed makes every run deterministic.
+	Seed int64
+	// Workers bounds concurrency inside FRaZ.
+	Workers int
+	// MaxTimeSteps caps the number of time-steps used by the series
+	// experiments (0 = the dataset's full count).
+	MaxTimeSteps int
+	// Quick trims parameter sweeps so the whole suite finishes in seconds;
+	// it is what the unit tests and the default bench configuration use.
+	Quick bool
+}
+
+// DefaultConfig returns the configuration used by the benchmarks: small
+// scale, trimmed sweeps, deterministic seed.
+func DefaultConfig() Config {
+	return Config{Scale: dataset.ScaleTiny, Seed: 42, Quick: true, MaxTimeSteps: 12}
+}
+
+func (c Config) timeSteps(datasetSteps int) int {
+	if c.MaxTimeSteps > 0 && c.MaxTimeSteps < datasetSteps {
+		return c.MaxTimeSteps
+	}
+	return datasetSteps
+}
+
+// fieldBuffer generates one field/time-step as a pressio.Buffer.
+func fieldBuffer(d dataset.Dataset, field string, step int) (pressio.Buffer, error) {
+	data, shape, err := d.Generate(field, step)
+	if err != nil {
+		return pressio.Buffer{}, err
+	}
+	return pressio.NewBuffer(data, shape)
+}
+
+// series builds a core.Series backed by the dataset generator.
+func series(d dataset.Dataset, field string, steps int) core.Series {
+	return core.Series{
+		Field: fmt.Sprintf("%s/%s", d.Name, field),
+		Steps: steps,
+		At: func(i int) (pressio.Buffer, error) {
+			return fieldBuffer(d, field, i)
+		},
+	}
+}
+
+// timedCompressor wraps a pressio.Compressor and accumulates the wall-clock
+// time spent inside Compress calls, which is how the harness separates
+// "compression time" from total tuning time for Fig. 7.
+type timedCompressor struct {
+	pressio.Compressor
+	mu      sync.Mutex
+	elapsed time.Duration
+	calls   int
+}
+
+func newTimedCompressor(c pressio.Compressor) *timedCompressor {
+	return &timedCompressor{Compressor: c}
+}
+
+func (t *timedCompressor) Compress(buf pressio.Buffer, bound float64) ([]byte, error) {
+	start := time.Now()
+	out, err := t.Compressor.Compress(buf, bound)
+	d := time.Since(start)
+	t.mu.Lock()
+	t.elapsed += d
+	t.calls++
+	t.mu.Unlock()
+	return out, err
+}
+
+// CompressionTime reports the cumulative time spent compressing.
+func (t *timedCompressor) CompressionTime() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.elapsed
+}
+
+// Calls reports the number of Compress invocations.
+func (t *timedCompressor) Calls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls
+}
+
+// mustCompressor resolves a registered compressor or panics; experiment code
+// only references the compressors registered by the pressio package itself.
+func mustCompressor(name string) pressio.Compressor {
+	c, err := pressio.New(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// tuneOnce runs FRaZ on a single buffer for one target ratio.
+func tuneOnce(c pressio.Compressor, buf pressio.Buffer, target, tolerance float64, seed int64, workers int) (core.Result, error) {
+	tu, err := core.NewTuner(c, core.Config{
+		TargetRatio: target,
+		Tolerance:   tolerance,
+		Seed:        seed,
+		Workers:     workers,
+		Regions:     6,
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	return tu.TuneBuffer(context.Background(), buf)
+}
+
+// qualityAt runs FRaZ to reach the target ratio with an error-bounded
+// compressor and then evaluates the decompressed quality at the recommended
+// bound, returning the full pressio result alongside the tuning result.
+func qualityAt(c pressio.Compressor, buf pressio.Buffer, target, tolerance float64, seed int64, workers int) (core.Result, pressio.Result, error) {
+	tuned, err := tuneOnce(c, buf, target, tolerance, seed, workers)
+	if err != nil {
+		return core.Result{}, pressio.Result{}, err
+	}
+	full, err := pressio.Run(c, buf, tuned.ErrorBound)
+	if err != nil {
+		return tuned, pressio.Result{}, err
+	}
+	return tuned, full, nil
+}
+
+// sliceSSIM computes the SSIM of the middle 2-D slice of original versus
+// reconstruction, matching the slice-based visual comparison in Fig. 10.
+func sliceSSIM(original, reconstructed []float32, shape grid.Dims) (float64, error) {
+	plane := 0
+	if shape.NDims() == 3 {
+		plane = shape[0] / 2
+	}
+	origSlice, sliceShape, err := grid.Slice2D(original, shape, plane)
+	if err != nil {
+		return 0, err
+	}
+	recSlice, _, err := grid.Slice2D(reconstructed, shape, plane)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.SSIM(origSlice, recSlice, sliceShape)
+}
+
+// Run executes the named experiment. It is the dispatcher used by the
+// frazbench command; names follow the paper's figure/table numbering.
+func Run(name string, cfg Config) ([]*report.Table, error) {
+	switch name {
+	case "fig1":
+		t, err := Figure1(cfg)
+		return wrap(t, err)
+	case "fig3":
+		t, err := Figure3(cfg)
+		return wrap(t, err)
+	case "fig4":
+		t, err := Figure4(cfg)
+		return wrap(t, err)
+	case "fig6":
+		t, err := Figure6(cfg)
+		return wrap(t, err)
+	case "fig7":
+		t, err := Figure7(cfg)
+		return wrap(t, err)
+	case "fig8":
+		t, err := Figure8(cfg)
+		return wrap(t, err)
+	case "fig9":
+		return Figure9(cfg)
+	case "fig10":
+		t, err := Figure10(cfg)
+		return wrap(t, err)
+	case "table3":
+		t, err := TableIII(cfg)
+		return wrap(t, err)
+	case "iters":
+		t, err := IterationComparison(cfg)
+		return wrap(t, err)
+	case "regions":
+		t, err := RegionAblation(cfg)
+		return wrap(t, err)
+	case "lossless":
+		t, err := LosslessMotivation(cfg)
+		return wrap(t, err)
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+}
+
+func wrap(t *report.Table, err error) ([]*report.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}
+
+// Names lists the available experiment identifiers. The fig*/table* entries
+// correspond to the paper's evaluation; "iters", "regions", and "lossless"
+// back specific claims made in its text (§V-B1, §V-C/Fig. 5, and §I).
+func Names() []string {
+	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "regions", "lossless"}
+}

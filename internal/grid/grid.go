@@ -1,0 +1,305 @@
+// Package grid provides descriptors and iteration helpers for dense
+// N-dimensional arrays of scalar data stored in row-major (C) order.
+//
+// All compressors in this repository operate on flat []float32 buffers
+// whose logical shape is described by a Dims value. The package provides
+// stride computation, bounds-checked indexing, block decomposition (used by
+// the blockwise SZ- and ZFP-like compressors) and plane/slice extraction
+// (used by the image-quality metrics).
+package grid
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Dims describes the logical shape of an N-dimensional array in row-major
+// order: Dims{nz, ny, nx} for 3-D data, Dims{ny, nx} for 2-D, Dims{n} for 1-D.
+// The slowest-varying dimension comes first, matching the layout used by the
+// SDRBench datasets the paper evaluates.
+type Dims []int
+
+// NewDims validates and returns a Dims value. Every extent must be positive
+// and the number of dimensions must be between 1 and 4.
+func NewDims(extents ...int) (Dims, error) {
+	if len(extents) == 0 || len(extents) > 4 {
+		return nil, fmt.Errorf("grid: unsupported number of dimensions %d (want 1..4)", len(extents))
+	}
+	for i, e := range extents {
+		if e <= 0 {
+			return nil, fmt.Errorf("grid: dimension %d has non-positive extent %d", i, e)
+		}
+	}
+	d := make(Dims, len(extents))
+	copy(d, extents)
+	return d, nil
+}
+
+// MustDims is like NewDims but panics on invalid input. It is intended for
+// tests, examples, and compile-time-constant shapes.
+func MustDims(extents ...int) Dims {
+	d, err := NewDims(extents...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NDims reports the number of dimensions.
+func (d Dims) NDims() int { return len(d) }
+
+// Len reports the total number of elements described by the shape.
+func (d Dims) Len() int {
+	if len(d) == 0 {
+		return 0
+	}
+	n := 1
+	for _, e := range d {
+		n *= e
+	}
+	return n
+}
+
+// Clone returns an independent copy of the shape.
+func (d Dims) Clone() Dims {
+	c := make(Dims, len(d))
+	copy(c, d)
+	return c
+}
+
+// Equal reports whether two shapes have identical rank and extents.
+func (d Dims) Equal(o Dims) bool {
+	if len(d) != len(o) {
+		return false
+	}
+	for i := range d {
+		if d[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Strides returns the row-major strides for the shape: the element distance
+// between consecutive indices along each dimension.
+func (d Dims) Strides() []int {
+	s := make([]int, len(d))
+	acc := 1
+	for i := len(d) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= d[i]
+	}
+	return s
+}
+
+// String renders the shape as, e.g., "100x500x500".
+func (d Dims) String() string {
+	out := ""
+	for i, e := range d {
+		if i > 0 {
+			out += "x"
+		}
+		out += fmt.Sprintf("%d", e)
+	}
+	return out
+}
+
+// Validate returns an error if the shape is empty or has a non-positive extent.
+func (d Dims) Validate() error {
+	if len(d) == 0 {
+		return errors.New("grid: empty shape")
+	}
+	if len(d) > 4 {
+		return fmt.Errorf("grid: unsupported rank %d", len(d))
+	}
+	for i, e := range d {
+		if e <= 0 {
+			return fmt.Errorf("grid: dimension %d has non-positive extent %d", i, e)
+		}
+	}
+	return nil
+}
+
+// Offset converts a multi-index into a flat row-major offset. The number of
+// index components must equal the rank and each component must be in range.
+func (d Dims) Offset(idx ...int) (int, error) {
+	if len(idx) != len(d) {
+		return 0, fmt.Errorf("grid: index rank %d does not match shape rank %d", len(idx), len(d))
+	}
+	off := 0
+	stride := 1
+	for i := len(d) - 1; i >= 0; i-- {
+		if idx[i] < 0 || idx[i] >= d[i] {
+			return 0, fmt.Errorf("grid: index %d out of range [0,%d) in dimension %d", idx[i], d[i], i)
+		}
+		off += idx[i] * stride
+		stride *= d[i]
+	}
+	return off, nil
+}
+
+// Coords converts a flat offset back into a multi-index.
+func (d Dims) Coords(offset int) ([]int, error) {
+	if offset < 0 || offset >= d.Len() {
+		return nil, fmt.Errorf("grid: offset %d out of range [0,%d)", offset, d.Len())
+	}
+	idx := make([]int, len(d))
+	for i := len(d) - 1; i >= 0; i-- {
+		idx[i] = offset % d[i]
+		offset /= d[i]
+	}
+	return idx, nil
+}
+
+// Block describes an axis-aligned sub-box of an N-dimensional array:
+// the starting coordinate and the extent along each dimension.
+type Block struct {
+	Start Dims
+	Size  Dims
+}
+
+// Len returns the number of elements covered by the block.
+func (b Block) Len() int { return b.Size.Len() }
+
+// Blocks decomposes the shape into consecutive non-overlapping blocks of the
+// requested edge length along every dimension (matching SZ's 6x6x6 and ZFP's
+// 4x4x4 decompositions). Boundary blocks are truncated to fit.
+func (d Dims) Blocks(edge int) []Block {
+	if edge <= 0 {
+		edge = 1
+	}
+	counts := make([]int, len(d))
+	total := 1
+	for i, e := range d {
+		counts[i] = (e + edge - 1) / edge
+		total *= counts[i]
+	}
+	blocks := make([]Block, 0, total)
+	idx := make([]int, len(d))
+	for {
+		start := make(Dims, len(d))
+		size := make(Dims, len(d))
+		for i := range d {
+			start[i] = idx[i] * edge
+			size[i] = edge
+			if start[i]+size[i] > d[i] {
+				size[i] = d[i] - start[i]
+			}
+		}
+		blocks = append(blocks, Block{Start: start, Size: size})
+		// Advance the odometer.
+		k := len(d) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < counts[k] {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return blocks
+}
+
+// GatherBlock copies the elements of a block from the flat array into dst,
+// which must have length block.Len(). It returns dst for convenience.
+func GatherBlock(data []float32, shape Dims, b Block, dst []float32) []float32 {
+	if dst == nil {
+		dst = make([]float32, b.Len())
+	}
+	strides := shape.Strides()
+	n := b.Len()
+	idx := make([]int, len(shape))
+	for i := 0; i < n; i++ {
+		off := 0
+		for k := range shape {
+			off += (b.Start[k] + idx[k]) * strides[k]
+		}
+		dst[i] = data[off]
+		// advance odometer over the block extents
+		k := len(shape) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < b.Size[k] {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+	}
+	return dst
+}
+
+// ScatterBlock writes the elements of src (length block.Len()) into the
+// corresponding positions of the flat array.
+func ScatterBlock(data []float32, shape Dims, b Block, src []float32) {
+	strides := shape.Strides()
+	n := b.Len()
+	idx := make([]int, len(shape))
+	for i := 0; i < n; i++ {
+		off := 0
+		for k := range shape {
+			off += (b.Start[k] + idx[k]) * strides[k]
+		}
+		data[off] = src[i]
+		k := len(shape) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < b.Size[k] {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+	}
+}
+
+// Slice2D extracts a 2-D plane from a 3-D array along the slowest axis
+// (plane index z), returning the plane data and its 2-D shape. For 2-D input
+// the whole array is returned. It is used by the SSIM and visualization
+// metrics which operate on image slices, as in Fig. 10 of the paper.
+func Slice2D(data []float32, shape Dims, plane int) ([]float32, Dims, error) {
+	switch len(shape) {
+	case 2:
+		out := make([]float32, len(data))
+		copy(out, data)
+		return out, shape.Clone(), nil
+	case 3:
+		if plane < 0 || plane >= shape[0] {
+			return nil, nil, fmt.Errorf("grid: plane %d out of range [0,%d)", plane, shape[0])
+		}
+		n := shape[1] * shape[2]
+		out := make([]float32, n)
+		copy(out, data[plane*n:(plane+1)*n])
+		return out, Dims{shape[1], shape[2]}, nil
+	default:
+		return nil, nil, fmt.Errorf("grid: Slice2D requires 2-D or 3-D data, got rank %d", len(shape))
+	}
+}
+
+// MinMax returns the minimum and maximum of the data. It returns (0, 0) for
+// empty input.
+func MinMax(data []float32) (min, max float32) {
+	if len(data) == 0 {
+		return 0, 0
+	}
+	min, max = data[0], data[0]
+	for _, v := range data[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// ValueRange returns max-min of the data as a float64.
+func ValueRange(data []float32) float64 {
+	min, max := MinMax(data)
+	return float64(max) - float64(min)
+}

@@ -1,0 +1,457 @@
+// Package mgard implements a pure-Go multilevel (multigrid-style) lossy
+// compressor modelled on MGARD (Ainsworth, Tugluk, Whitney, Klasky), the
+// third back end evaluated by the paper.
+//
+// The compressor performs a hierarchical-surplus decomposition on a tensor
+// grid: the grid nodes are partitioned into dyadic levels, and each "detail"
+// node stores the difference between its value and the multilinear
+// interpolation of its neighbouring coarser-level nodes. The multilevel
+// coefficients are then uniformly quantized with a level-aware step chosen
+// so that the requested norm bound is respected after reconstruction, and
+// entropy coded with Huffman + DEFLATE.
+//
+// Two error-control modes are provided, mirroring MGARD's norms discussed in
+// the paper (§II-A3): NormInfinity (equivalent to an absolute error bound)
+// and NormL2 (controls the mean squared error).
+//
+// Like the MGARD release used in the paper, only 2-D and 3-D data are
+// supported; the paper excludes the 1-D HACC and EXAALT datasets from its
+// MGARD runs for the same reason.
+package mgard
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"fraz/internal/grid"
+	"fraz/internal/huffman"
+	"fraz/internal/quantize"
+)
+
+const magic = 0x4D475231 // "MGR1"
+
+// unpredictable marks coefficients stored verbatim.
+const unpredictable = int32(1 << 30)
+
+// Norm selects the error-control norm.
+type Norm uint8
+
+const (
+	// NormInfinity bounds the maximum absolute pointwise error.
+	NormInfinity Norm = iota
+	// NormL2 bounds the mean squared error of the reconstruction.
+	NormL2
+)
+
+// String returns the norm name used in experiment tables.
+func (n Norm) String() string {
+	switch n {
+	case NormInfinity:
+		return "infinity"
+	case NormL2:
+		return "l2"
+	default:
+		return fmt.Sprintf("norm(%d)", uint8(n))
+	}
+}
+
+// Options configures compression.
+type Options struct {
+	// Norm selects the error-control norm.
+	Norm Norm
+	// Bound is the norm bound: the maximum absolute error for NormInfinity,
+	// or the maximum mean squared error for NormL2. Must be > 0.
+	Bound float64
+}
+
+// ErrInvalidInput is returned for malformed data or options.
+var ErrInvalidInput = errors.New("mgard: invalid input")
+
+// ErrCorrupt is returned by Decompress for unparsable streams.
+var ErrCorrupt = errors.New("mgard: corrupt stream")
+
+// ErrUnsupportedRank is returned for 1-D or 4-D inputs.
+var ErrUnsupportedRank = errors.New("mgard: only 2-D and 3-D data are supported")
+
+// Compress compresses the field under the options' norm bound.
+func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	if len(data) != shape.Len() {
+		return nil, fmt.Errorf("%w: data length %d does not match shape %v", ErrInvalidInput, len(data), shape)
+	}
+	nd := shape.NDims()
+	if nd != 2 && nd != 3 {
+		return nil, ErrUnsupportedRank
+	}
+	if !(opts.Bound > 0) || math.IsInf(opts.Bound, 0) || math.IsNaN(opts.Bound) {
+		return nil, fmt.Errorf("%w: bound must be positive and finite, got %v", ErrInvalidInput, opts.Bound)
+	}
+	if opts.Norm != NormInfinity && opts.Norm != NormL2 {
+		return nil, fmt.Errorf("%w: unknown norm %d", ErrInvalidInput, opts.Norm)
+	}
+
+	levels := numLevels(shape)
+	step := coefficientBound(opts, levels)
+
+	// Forward multilevel decomposition on a float64 working copy.
+	work := make([]float64, len(data))
+	for i, v := range data {
+		work[i] = float64(v)
+	}
+	forwardDecompose(work, shape, levels)
+
+	// Quantize the multilevel coefficients.
+	q, err := quantize.NewWithIntervals(step, quantize.DefaultIntervals)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	codes := make([]int32, len(work))
+	literals := make([]float32, 0)
+	for i, c := range work {
+		code, recon, ok := q.Quantize(c, 0)
+		if !ok {
+			codes[i] = unpredictable
+			literals = append(literals, float32(c))
+			continue
+		}
+		codes[i] = code
+		work[i] = recon
+	}
+
+	huffBytes, err := huffman.Encode(codes)
+	if err != nil {
+		return nil, fmt.Errorf("mgard: huffman stage: %w", err)
+	}
+
+	var payload bytes.Buffer
+	writeUint32(&payload, uint32(len(huffBytes)))
+	payload.Write(huffBytes)
+	writeUint32(&payload, uint32(len(literals)))
+	for _, v := range literals {
+		writeUint32(&payload, math.Float32bits(v))
+	}
+
+	body := payload.Bytes()
+	var comp bytes.Buffer
+	fw, err := flate.NewWriter(&comp, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("mgard: dictionary stage: %w", err)
+	}
+	if _, err := fw.Write(body); err != nil {
+		return nil, fmt.Errorf("mgard: dictionary stage: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, fmt.Errorf("mgard: dictionary stage: %w", err)
+	}
+	dictFlag := byte(0)
+	if comp.Len() < len(body) {
+		body = comp.Bytes()
+		dictFlag = 1
+	}
+
+	var out bytes.Buffer
+	writeUint32(&out, magic)
+	out.WriteByte(byte(opts.Norm))
+	out.WriteByte(dictFlag)
+	out.WriteByte(byte(nd))
+	writeUint64(&out, math.Float64bits(step))
+	for _, d := range shape {
+		writeUint32(&out, uint32(d))
+	}
+	out.Write(body)
+	return out.Bytes(), nil
+}
+
+// Decompress reconstructs the field from a stream produced by Compress. If
+// shape is non-nil it is validated against the header.
+func Decompress(buf []byte, shape grid.Dims) ([]float32, error) {
+	if len(buf) < 4+3+8 {
+		return nil, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	dictFlag := buf[5]
+	nd := int(buf[6])
+	if nd != 2 && nd != 3 {
+		return nil, fmt.Errorf("%w: bad rank %d", ErrCorrupt, nd)
+	}
+	step := math.Float64frombits(binary.LittleEndian.Uint64(buf[7:15]))
+	if !(step > 0) {
+		return nil, fmt.Errorf("%w: bad quantization step %v", ErrCorrupt, step)
+	}
+	pos := 15
+	if len(buf) < pos+4*nd {
+		return nil, ErrCorrupt
+	}
+	hdrShape := make(grid.Dims, nd)
+	for i := 0; i < nd; i++ {
+		hdrShape[i] = int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+		pos += 4
+	}
+	if err := hdrShape.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if shape != nil && !hdrShape.Equal(shape) {
+		return nil, fmt.Errorf("%w: shape mismatch: stream has %v, caller expects %v", ErrCorrupt, hdrShape, shape)
+	}
+
+	body := buf[pos:]
+	if dictFlag == 1 {
+		fr := flate.NewReader(bytes.NewReader(body))
+		raw, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
+		}
+		fr.Close()
+		body = raw
+	}
+	rd := bytes.NewReader(body)
+	huffBytes, err := readChunk(rd)
+	if err != nil {
+		return nil, err
+	}
+	numLit, err := readUint32(rd)
+	if err != nil {
+		return nil, err
+	}
+	literals := make([]float32, numLit)
+	for i := range literals {
+		v, err := readUint32(rd)
+		if err != nil {
+			return nil, err
+		}
+		literals[i] = math.Float32frombits(v)
+	}
+	codes, err := huffman.Decode(huffBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(codes) != hdrShape.Len() {
+		return nil, fmt.Errorf("%w: code count %d does not match shape %v", ErrCorrupt, len(codes), hdrShape)
+	}
+
+	q, err := quantize.NewWithIntervals(step, quantize.DefaultIntervals)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	work := make([]float64, len(codes))
+	litPos := 0
+	for i, code := range codes {
+		if code == unpredictable {
+			if litPos >= len(literals) {
+				return nil, fmt.Errorf("%w: literal stream exhausted", ErrCorrupt)
+			}
+			work[i] = float64(literals[litPos])
+			litPos++
+			continue
+		}
+		work[i] = q.Dequantize(0, code)
+	}
+
+	levels := numLevels(hdrShape)
+	inverseReconstruct(work, hdrShape, levels)
+
+	out := make([]float32, len(work))
+	for i, v := range work {
+		out[i] = float32(v)
+	}
+	return out, nil
+}
+
+// numLevels returns the number of dyadic refinement levels for the shape:
+// enough that the coarsest grid has at most two nodes along the longest
+// dimension.
+func numLevels(shape grid.Dims) int {
+	maxExtent := 0
+	for _, d := range shape {
+		if d > maxExtent {
+			maxExtent = d
+		}
+	}
+	levels := 0
+	for (1 << (levels + 1)) < maxExtent {
+		levels++
+	}
+	if levels < 1 {
+		levels = 1
+	}
+	return levels
+}
+
+// coefficientBound converts the user-facing norm bound into the per-
+// coefficient quantization bound. For the infinity norm, reconstruction
+// errors accumulate along at most levels+1 hierarchy steps (a detail node's
+// error is its own quantization error plus the interpolated error of its
+// coarser parents, whose interpolation weights sum to one), so dividing the
+// bound by levels+1 bounds the float64 reconstruction error; the final
+// float32 cast can at most double the pointwise error (the original is a
+// float32, so rounding the float64 reconstruction to the nearest float32
+// moves it by no more than its distance to the original), which the extra
+// factor of one half absorbs. For the L2 (MSE) norm, quantization errors
+// behave like uniform noise of variance step²/3 amplified by the same
+// hierarchy depth, so the step is derived from the MSE budget accordingly.
+func coefficientBound(opts Options, levels int) float64 {
+	depth := float64(levels + 1)
+	switch opts.Norm {
+	case NormL2:
+		return 0.5 * math.Sqrt(3*opts.Bound) / depth
+	default:
+		return 0.5 * opts.Bound / depth
+	}
+}
+
+// forwardDecompose converts grid values into hierarchical-surplus
+// coefficients in place, processing levels from fine to coarse.
+func forwardDecompose(work []float64, shape grid.Dims, levels int) {
+	for l := 0; l < levels; l++ {
+		s := 1 << l
+		forEachDetailNode(shape, s, func(off int, pred float64) {
+			work[off] -= pred
+		}, work)
+	}
+}
+
+// inverseReconstruct converts hierarchical-surplus coefficients back into
+// grid values in place, processing levels from coarse to fine.
+func inverseReconstruct(work []float64, shape grid.Dims, levels int) {
+	for l := levels - 1; l >= 0; l-- {
+		s := 1 << l
+		forEachDetailNode(shape, s, func(off int, pred float64) {
+			work[off] += pred
+		}, work)
+	}
+}
+
+// forEachDetailNode visits every detail node of the level with stride s: a
+// grid node whose coordinates are all multiples of s with at least one being
+// an odd multiple. For each such node it computes the multilinear
+// interpolation of the surrounding coarse (stride 2s) nodes and invokes fn.
+//
+// The interpolation reads from work, so the caller must arrange the level
+// processing order such that coarse nodes hold the correct values (original
+// values during decomposition, reconstructed values during reconstruction).
+func forEachDetailNode(shape grid.Dims, s int, fn func(off int, pred float64), work []float64) {
+	nd := shape.NDims()
+	strides := shape.Strides()
+	coords := make([]int, nd)
+	var visit func(dim int)
+	visit = func(dim int) {
+		if dim == nd {
+			// Check that at least one coordinate is an odd multiple of s.
+			odd := false
+			for k := 0; k < nd; k++ {
+				if (coords[k]/s)%2 == 1 {
+					odd = true
+					break
+				}
+			}
+			if !odd {
+				return
+			}
+			off := 0
+			for k := 0; k < nd; k++ {
+				off += coords[k] * strides[k]
+			}
+			fn(off, interpolate(work, shape, strides, coords, s))
+			return
+		}
+		for c := 0; c < shape[dim]; c += s {
+			coords[dim] = c
+			visit(dim + 1)
+		}
+	}
+	visit(0)
+}
+
+// interpolate computes the multilinear interpolation of the coarse-grid
+// neighbours of the detail node at coords. Along each dimension where the
+// coordinate is an odd multiple of s, the neighbours are at coord-s and
+// coord+s with weight 1/2 each; if coord+s falls outside the grid, the
+// left neighbour gets full weight. Dimensions whose coordinate is already a
+// multiple of 2s contribute the node's own coordinate.
+func interpolate(work []float64, shape grid.Dims, strides []int, coords []int, s int) float64 {
+	nd := len(coords)
+	type axisChoice struct {
+		offs    [2]int
+		weights [2]float64
+		n       int
+	}
+	var axes [3]axisChoice
+	for k := 0; k < nd; k++ {
+		c := coords[k]
+		if (c/s)%2 == 0 {
+			axes[k] = axisChoice{offs: [2]int{c, 0}, weights: [2]float64{1, 0}, n: 1}
+			continue
+		}
+		lo := c - s
+		hi := c + s
+		if hi >= shape[k] {
+			axes[k] = axisChoice{offs: [2]int{lo, 0}, weights: [2]float64{1, 0}, n: 1}
+			continue
+		}
+		axes[k] = axisChoice{offs: [2]int{lo, hi}, weights: [2]float64{0.5, 0.5}, n: 2}
+	}
+	var sum float64
+	switch nd {
+	case 2:
+		for a := 0; a < axes[0].n; a++ {
+			for b := 0; b < axes[1].n; b++ {
+				w := axes[0].weights[a] * axes[1].weights[b]
+				sum += w * work[axes[0].offs[a]*strides[0]+axes[1].offs[b]*strides[1]]
+			}
+		}
+	default:
+		for a := 0; a < axes[0].n; a++ {
+			for b := 0; b < axes[1].n; b++ {
+				for c := 0; c < axes[2].n; c++ {
+					w := axes[0].weights[a] * axes[1].weights[b] * axes[2].weights[c]
+					sum += w * work[axes[0].offs[a]*strides[0]+axes[1].offs[b]*strides[1]+axes[2].offs[c]*strides[2]]
+				}
+			}
+		}
+	}
+	return sum
+}
+
+func writeUint32(w *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	w.Write(tmp[:])
+}
+
+func writeUint64(w *bytes.Buffer, v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	w.Write(tmp[:])
+}
+
+func readUint32(r *bytes.Reader) (uint32, error) {
+	var tmp [4]byte
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return binary.LittleEndian.Uint32(tmp[:]), nil
+}
+
+func readChunk(r *bytes.Reader) ([]byte, error) {
+	n, err := readUint32(r)
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > r.Len() {
+		return nil, fmt.Errorf("%w: chunk length %d exceeds remaining %d", ErrCorrupt, n, r.Len())
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return buf, nil
+}

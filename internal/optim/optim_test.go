@@ -1,0 +1,350 @@
+package optim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFindGlobalMinQuadratic(t *testing.T) {
+	obj := func(x float64) float64 { return (x - 3.2) * (x - 3.2) }
+	res, err := FindGlobalMin(obj, Options{Lower: 0, Upper: 10, MaxIterations: 60, Cutoff: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X-3.2) > 0.05 {
+		t.Errorf("minimum at %v, want ~3.2 (f=%v, iters=%d)", res.X, res.F, res.Iterations)
+	}
+}
+
+func TestFindGlobalMinMultimodal(t *testing.T) {
+	// A function with many local minima; the global one is near x=7.5.
+	obj := func(x float64) float64 {
+		return 2 + math.Sin(3*x) + 0.5*math.Cos(7*x) - 2*math.Exp(-(x-7.5)*(x-7.5))
+	}
+	res, err := FindGlobalMin(obj, Options{Lower: 0, Upper: 10, MaxIterations: 120, Cutoff: -1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X-7.5) > 0.5 {
+		t.Errorf("global minimum at %v, want ~7.5 (f=%v)", res.X, res.F)
+	}
+}
+
+func TestFindGlobalMinStepFunction(t *testing.T) {
+	// Step-like objective mimicking ZFP accuracy mode's ratio curve:
+	// the objective is zero on a narrow plateau only.
+	obj := func(x float64) float64 {
+		step := math.Floor(x * 4)
+		target := 17.0
+		return math.Min((step-target)*(step-target), 1e6)
+	}
+	res, err := FindGlobalMin(obj, Options{Lower: 0, Upper: 20, MaxIterations: 200, Cutoff: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("expected convergence onto the plateau, best f=%v at x=%v", res.F, res.X)
+	}
+	if res.X < 4.25 || res.X >= 4.5 {
+		t.Errorf("converged x=%v outside the target plateau [4.25,4.5)", res.X)
+	}
+}
+
+func TestEarlyTerminationCutoff(t *testing.T) {
+	calls := 0
+	obj := func(x float64) float64 {
+		calls++
+		return math.Abs(x - 5)
+	}
+	res, err := FindGlobalMin(obj, Options{Lower: 0, Upper: 10, MaxIterations: 500, Cutoff: 1.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("expected convergence, got f=%v", res.F)
+	}
+	if res.F > 1.0 {
+		t.Errorf("converged with f=%v above cutoff", res.F)
+	}
+	if calls >= 500 {
+		t.Errorf("cutoff should terminate early, used %d calls", calls)
+	}
+	if res.Iterations != calls {
+		t.Errorf("iterations %d != calls %d", res.Iterations, calls)
+	}
+}
+
+func TestNegativeCutoffDisablesEarlyTermination(t *testing.T) {
+	obj := func(x float64) float64 { return 0 } // always at minimum
+	res, err := FindGlobalMin(obj, Options{Lower: 0, Upper: 1, MaxIterations: 17, Cutoff: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Errorf("negative cutoff should never report convergence")
+	}
+	if res.Iterations != 17 {
+		t.Errorf("should exhaust iteration budget, used %d", res.Iterations)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	obj := func(x float64) float64 { return math.Sin(5*x) + x*x/20 }
+	a, err := FindGlobalMin(obj, Options{Lower: -5, Upper: 5, MaxIterations: 40, Cutoff: -1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FindGlobalMin(obj, Options{Lower: -5, Upper: 5, MaxIterations: 40, Cutoff: -1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.X != b.X || a.F != b.F || len(a.History) != len(b.History) {
+		t.Errorf("same seed should give identical trajectories")
+	}
+	c, err := FindGlobalMin(obj, Options{Lower: -5, Upper: 5, MaxIterations: 40, Cutoff: -1, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.History {
+		if i >= len(c.History) || a.History[i] != c.History[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Logf("different seeds produced identical trajectories (possible but unexpected)")
+	}
+}
+
+func TestInvalidIntervals(t *testing.T) {
+	obj := func(x float64) float64 { return x }
+	cases := []Options{
+		{Lower: 1, Upper: 1},
+		{Lower: 2, Upper: 1},
+		{Lower: math.NaN(), Upper: 1},
+		{Lower: 0, Upper: math.Inf(1)},
+	}
+	for _, opts := range cases {
+		if _, err := FindGlobalMin(obj, opts); err == nil {
+			t.Errorf("interval [%v,%v] should fail", opts.Lower, opts.Upper)
+		}
+	}
+	if _, err := FindGlobalMin(nil, Options{Lower: 0, Upper: 1}); err == nil {
+		t.Errorf("nil objective should fail")
+	}
+}
+
+func TestNaNObjectiveHandled(t *testing.T) {
+	obj := func(x float64) float64 {
+		if x < 5 {
+			return math.NaN()
+		}
+		return (x - 7) * (x - 7)
+	}
+	res, err := FindGlobalMin(obj, Options{Lower: 0, Upper: 10, MaxIterations: 80, Cutoff: -1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.F) {
+		t.Errorf("NaN should never be reported as the best value")
+	}
+	if math.Abs(res.X-7) > 0.5 {
+		t.Errorf("minimum at %v, want ~7", res.X)
+	}
+}
+
+func TestMaxIterationsRespected(t *testing.T) {
+	calls := 0
+	obj := func(x float64) float64 { calls++; return math.Sin(x * 100) }
+	res, err := FindGlobalMin(obj, Options{Lower: 0, Upper: 1, MaxIterations: 25, Cutoff: -1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 25 || res.Iterations != 25 {
+		t.Errorf("calls=%d iterations=%d, want 25", calls, res.Iterations)
+	}
+}
+
+func TestHistoryMatchesBest(t *testing.T) {
+	obj := func(x float64) float64 { return math.Cos(x) }
+	res, err := FindGlobalMin(obj, Options{Lower: 0, Upper: 6, MaxIterations: 50, Cutoff: -1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for _, ev := range res.History {
+		if ev.F < best {
+			best = ev.F
+		}
+	}
+	if best != res.F {
+		t.Errorf("best history value %v != reported %v", best, res.F)
+	}
+}
+
+func TestFindGlobalMinFewerIterationsThanBinarySearchOnStep(t *testing.T) {
+	// Reproduces the paper's §V-B1 observation: on a step-like ratio curve
+	// with a cutoff-based acceptance region, the global optimizer needs far
+	// fewer evaluations than binary search climbing from the bottom.
+	ratio := func(e float64) float64 {
+		// Ratio grows slowly then jumps; the target of 8 is only reachable
+		// near the top of the interval.
+		return 2 + 14/(1+math.Exp(-(e-0.8)*12)) + 0.3*math.Sin(40*e)
+	}
+	target := 8.0
+	eps := 0.1
+	loss := func(e float64) float64 {
+		d := ratio(e) - target
+		return d * d
+	}
+	gRes, err := FindGlobalMin(loss, Options{Lower: 1e-6, Upper: 1.0, MaxIterations: 200,
+		Cutoff: eps * eps * target * target, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRes, err := BinarySearch(ratio, target, eps*target, 1e-6, 1.0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gRes.Converged {
+		t.Fatalf("global search did not converge")
+	}
+	if !bRes.Converged {
+		t.Fatalf("binary search did not converge")
+	}
+	if gRes.Iterations > bRes.Iterations*3 {
+		t.Errorf("global search used %d iterations vs binary search %d", gRes.Iterations, bRes.Iterations)
+	}
+}
+
+func TestBinarySearchMonotone(t *testing.T) {
+	f := func(x float64) float64 { return 3 * x }
+	res, err := BinarySearch(f, 12, 0.01, 0, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("binary search should converge on a monotone function")
+	}
+	if math.Abs(res.X-4) > 0.01 {
+		t.Errorf("found x=%v, want ~4", res.X)
+	}
+}
+
+func TestBinarySearchFailsOnNonMonotone(t *testing.T) {
+	// A ratio curve with a dip: binary search is misled and does not reach
+	// the target band within its budget, while the global optimizer does.
+	f := func(x float64) float64 {
+		return 10 + 5*math.Sin(3*x) // oscillates between 5 and 15
+	}
+	target := 14.9
+	_, err := BinarySearch(f, target, 0.01, 0, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := func(x float64) float64 { d := f(x) - target; return d * d }
+	gRes, err := FindGlobalMin(loss, Options{Lower: 0, Upper: 10, MaxIterations: 100, Cutoff: 0.01 * 0.01, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gRes.Converged {
+		t.Errorf("global optimizer should find the target on a non-monotone curve, best f=%v", gRes.F)
+	}
+}
+
+func TestBinarySearchInvalidInterval(t *testing.T) {
+	if _, err := BinarySearch(func(x float64) float64 { return x }, 1, 0.1, 5, 5, 10); err == nil {
+		t.Errorf("empty interval should fail")
+	}
+}
+
+func TestBinarySearchDefaultsIterations(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	res, err := BinarySearch(f, 100, 1e-9, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Errorf("unreachable target should not converge")
+	}
+	if res.Iterations != defaultMaxIterations {
+		t.Errorf("iterations = %d, want default %d", res.Iterations, defaultMaxIterations)
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	evals := GridSearch(func(x float64) float64 { return x * x }, -1, 1, 5)
+	if len(evals) != 5 {
+		t.Fatalf("len=%d", len(evals))
+	}
+	if evals[0].X != -1 || evals[4].X != 1 {
+		t.Errorf("grid endpoints wrong: %v", evals)
+	}
+	if evals[2].X != 0 || evals[2].F != 0 {
+		t.Errorf("grid midpoint wrong: %v", evals[2])
+	}
+	if GridSearch(nil, 0, 1, 1) != nil {
+		t.Errorf("n<2 should return nil")
+	}
+	if GridSearch(nil, 1, 0, 5) != nil {
+		t.Errorf("inverted interval should return nil")
+	}
+}
+
+func TestLogGridSearch(t *testing.T) {
+	evals := LogGridSearch(func(x float64) float64 { return x }, 1e-6, 1, 7)
+	if len(evals) != 7 {
+		t.Fatalf("len=%d", len(evals))
+	}
+	if math.Abs(evals[0].X-1e-6) > 1e-12 || math.Abs(evals[6].X-1) > 1e-12 {
+		t.Errorf("log grid endpoints wrong: %v %v", evals[0].X, evals[6].X)
+	}
+	for i := 1; i < len(evals); i++ {
+		if evals[i].X <= evals[i-1].X {
+			t.Errorf("log grid should be increasing")
+		}
+	}
+	if LogGridSearch(nil, 0, 1, 5) != nil {
+		t.Errorf("lo<=0 should return nil")
+	}
+}
+
+func TestPropertyBestNeverWorseThanAnyEvaluation(t *testing.T) {
+	f := func(a, b, c float64, seed int64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		obj := func(x float64) float64 {
+			return math.Abs(a)*x*x + b*x + c + math.Sin(5*x)
+		}
+		res, err := FindGlobalMin(obj, Options{Lower: -3, Upper: 3, MaxIterations: 30, Cutoff: -1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, ev := range res.History {
+			if ev.F < res.F {
+				return false
+			}
+		}
+		return len(res.History) == res.Iterations
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyResultWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		obj := func(x float64) float64 { return math.Sin(x * 13) }
+		res, err := FindGlobalMin(obj, Options{Lower: 2, Upper: 9, MaxIterations: 20, Cutoff: -1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return res.X >= 2 && res.X <= 9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package parallel provides the task-parallel building blocks of FRaZ's
+// orchestrator: splitting an error-bound search range into slightly
+// overlapping regions (paper Fig. 5), running a set of tasks with bounded
+// concurrency, and cancelling outstanding tasks as soon as one of them
+// produces an acceptable result (paper Algorithm 2, lines 7–14).
+//
+// The paper's implementation distributes these tasks over MPI ranks; here
+// they are goroutines coordinated by contexts, which expresses the same task
+// graph — including the early-termination semantics — on a single node.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Region is a sub-interval of the error-bound search range.
+type Region struct {
+	Lower, Upper float64
+}
+
+// DefaultRegions is the number of error-bound regions used per field and
+// time-step when the caller does not specify one. The paper found 12 tasks
+// per field/time-step to be the best efficiency/runtime trade-off (§V-C).
+const DefaultRegions = 12
+
+// DefaultOverlap is the fractional overlap between adjacent regions. The
+// paper uses a small fixed percentage of the region width (10%) so that a
+// target sitting exactly on a region border is still surrounded by
+// stationary points usable for quadratic refinement.
+const DefaultOverlap = 0.10
+
+// ErrBadRange is returned when a search range is empty or inverted.
+var ErrBadRange = errors.New("parallel: invalid range")
+
+// SplitRegions divides [lo, hi] into k regions that overlap by the given
+// fraction of the region width. The first and last regions are clipped to
+// the original range, as in the paper's Fig. 5.
+func SplitRegions(lo, hi float64, k int, overlap float64) ([]Region, error) {
+	if !(lo < hi) {
+		return nil, fmt.Errorf("%w: [%v, %v]", ErrBadRange, lo, hi)
+	}
+	if k <= 0 {
+		k = DefaultRegions
+	}
+	if overlap < 0 {
+		overlap = 0
+	}
+	if overlap > 0.9 {
+		overlap = 0.9
+	}
+	width := (hi - lo) / float64(k)
+	pad := width * overlap / 2
+	regions := make([]Region, k)
+	for i := 0; i < k; i++ {
+		rlo := lo + float64(i)*width - pad
+		rhi := lo + float64(i+1)*width + pad
+		if rlo < lo {
+			rlo = lo
+		}
+		if rhi > hi {
+			rhi = hi
+		}
+		regions[i] = Region{Lower: rlo, Upper: rhi}
+	}
+	return regions, nil
+}
+
+// ForEach runs fn for every input index with at most workers concurrent
+// goroutines, stopping early if the context is cancelled. It returns the
+// first non-nil error (other tasks still run to completion of the ones
+// already started).
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, idx int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	idxCh := make(chan int)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				if ctx.Err() != nil {
+					errCh <- ctx.Err()
+					continue
+				}
+				errCh <- fn(ctx, idx)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			// Stop feeding work; drain below.
+			close(idxCh)
+			wg.Wait()
+			return ctx.Err()
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	close(errCh)
+	var first error
+	for err := range errCh {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// TaskOutcome reports the result of one task run by RunUntilAcceptable.
+type TaskOutcome[R any] struct {
+	// Index identifies the task in the input slice.
+	Index int
+	// Value is the task's result (zero value when Err != nil).
+	Value R
+	// Acceptable is true when the task declared its result acceptable.
+	Acceptable bool
+	// Started is false when the task was cancelled before it began.
+	Started bool
+	// Err is the task's error, if any.
+	Err error
+}
+
+// Task is a unit of work that reports whether its result satisfies the
+// caller's acceptance criterion (for FRaZ: whether the achieved compression
+// ratio falls inside the target band).
+type Task[R any] func(ctx context.Context) (result R, acceptable bool, err error)
+
+// RunUntilAcceptable runs the tasks with at most workers concurrent
+// goroutines. As soon as any task reports an acceptable result, tasks that
+// have not yet started are skipped and running tasks are signalled to stop
+// through their context, mirroring Algorithm 2's cancellation of outstanding
+// MPI tasks. Every task that started is reported in the returned slice,
+// indexed like the input.
+func RunUntilAcceptable[R any](ctx context.Context, workers int, tasks []Task[R]) []TaskOutcome[R] {
+	n := len(tasks)
+	outcomes := make([]TaskOutcome[R], n)
+	for i := range outcomes {
+		outcomes[i].Index = i
+	}
+	if n == 0 {
+		return outcomes
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var mu sync.Mutex
+	accepted := false
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				mu.Lock()
+				skip := accepted || runCtx.Err() != nil
+				mu.Unlock()
+				if skip {
+					continue
+				}
+				outcomes[idx].Started = true
+				value, ok, err := tasks[idx](runCtx)
+				outcomes[idx].Value = value
+				outcomes[idx].Acceptable = ok
+				outcomes[idx].Err = err
+				if ok && err == nil {
+					mu.Lock()
+					accepted = true
+					mu.Unlock()
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return outcomes
+}

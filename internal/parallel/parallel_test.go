@@ -1,0 +1,267 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSplitRegionsBasic(t *testing.T) {
+	regions, err := SplitRegions(0, 12, 12, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 12 {
+		t.Fatalf("expected 12 regions, got %d", len(regions))
+	}
+	if regions[0].Lower != 0 {
+		t.Errorf("first region should start at the range lower bound, got %v", regions[0].Lower)
+	}
+	if regions[11].Upper != 12 {
+		t.Errorf("last region should end at the range upper bound, got %v", regions[11].Upper)
+	}
+	// Adjacent regions must overlap.
+	for i := 1; i < len(regions); i++ {
+		if !(regions[i].Lower < regions[i-1].Upper) {
+			t.Errorf("regions %d and %d do not overlap: %+v %+v", i-1, i, regions[i-1], regions[i])
+		}
+	}
+}
+
+func TestSplitRegionsCoverage(t *testing.T) {
+	regions, err := SplitRegions(1e-6, 0.5, 7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point of the range must be inside at least one region.
+	for i := 0; i <= 1000; i++ {
+		x := 1e-6 + (0.5-1e-6)*float64(i)/1000
+		covered := false
+		for _, r := range regions {
+			if x >= r.Lower && x <= r.Upper {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("point %v not covered by any region", x)
+		}
+	}
+}
+
+func TestSplitRegionsDefaultsAndClamps(t *testing.T) {
+	regions, err := SplitRegions(0, 1, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != DefaultRegions {
+		t.Errorf("k<=0 should fall back to DefaultRegions, got %d", len(regions))
+	}
+	regions, err = SplitRegions(0, 1, 3, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regions {
+		if r.Lower < 0 || r.Upper > 1 {
+			t.Errorf("region %+v escapes the range", r)
+		}
+	}
+	if _, err := SplitRegions(1, 1, 4, 0.1); err == nil {
+		t.Errorf("empty range should fail")
+	}
+	if _, err := SplitRegions(2, 1, 4, 0.1); err == nil {
+		t.Errorf("inverted range should fail")
+	}
+}
+
+func TestPropertySplitRegionsOrderedAndBounded(t *testing.T) {
+	f := func(loSeed, spanSeed uint16, kSeed, ovSeed uint8) bool {
+		lo := float64(loSeed) / 100
+		span := float64(spanSeed)/100 + 0.001
+		k := int(kSeed%20) + 1
+		overlap := float64(ovSeed%100) / 100
+		regions, err := SplitRegions(lo, lo+span, k, overlap)
+		if err != nil || len(regions) != k {
+			return false
+		}
+		for i, r := range regions {
+			if !(r.Lower < r.Upper) {
+				return false
+			}
+			if r.Lower < lo-1e-12 || r.Upper > lo+span+1e-12 {
+				return false
+			}
+			if i > 0 && r.Lower < regions[i-1].Lower {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	var count int64
+	err := ForEach(context.Background(), 100, 8, func(ctx context.Context, idx int) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("ran %d tasks, want 100", count)
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := ForEach(context.Background(), 10, 2, func(ctx context.Context, idx int) error {
+		if idx == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("expected sentinel error, got %v", err)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, nil); err != nil {
+		t.Errorf("zero items should be a no-op, got %v", err)
+	}
+}
+
+func TestForEachCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 50, 4, func(ctx context.Context, idx int) error { return nil })
+	if err == nil {
+		t.Errorf("cancelled context should surface an error")
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var count int64
+	err := ForEach(context.Background(), 5, 0, func(ctx context.Context, idx int) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	})
+	if err != nil || count != 5 {
+		t.Errorf("default worker count run failed: err=%v count=%d", err, count)
+	}
+}
+
+func TestRunUntilAcceptableCancelsRemaining(t *testing.T) {
+	// Task 2 succeeds quickly; slow tasks should be cancelled or skipped, so
+	// the total wall time stays far below the sum of task durations.
+	n := 8
+	tasks := make([]Task[int], n)
+	var started int64
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func(ctx context.Context) (int, bool, error) {
+			atomic.AddInt64(&started, 1)
+			if i == 2 {
+				return 42, true, nil
+			}
+			select {
+			case <-ctx.Done():
+				return 0, false, ctx.Err()
+			case <-time.After(2 * time.Second):
+				return i, false, nil
+			}
+		}
+	}
+	start := time.Now()
+	outcomes := RunUntilAcceptable(context.Background(), 4, tasks)
+	elapsed := time.Since(start)
+	if elapsed > time.Second {
+		t.Errorf("early termination too slow: %v", elapsed)
+	}
+	found := false
+	for _, o := range outcomes {
+		if o.Acceptable && o.Err == nil {
+			if o.Value != 42 || o.Index != 2 {
+				t.Errorf("unexpected acceptable outcome %+v", o)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no acceptable outcome reported")
+	}
+}
+
+func TestRunUntilAcceptableAllComplete(t *testing.T) {
+	tasks := make([]Task[float64], 5)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(ctx context.Context) (float64, bool, error) {
+			return float64(i) * 1.5, false, nil
+		}
+	}
+	outcomes := RunUntilAcceptable(context.Background(), 2, tasks)
+	if len(outcomes) != 5 {
+		t.Fatalf("expected 5 outcomes")
+	}
+	for i, o := range outcomes {
+		if !o.Started || o.Acceptable || o.Err != nil {
+			t.Errorf("outcome %d unexpected: %+v", i, o)
+		}
+		if math.Abs(o.Value-float64(i)*1.5) > 1e-12 {
+			t.Errorf("outcome %d value %v", i, o.Value)
+		}
+	}
+}
+
+func TestRunUntilAcceptableReportsErrors(t *testing.T) {
+	sentinel := errors.New("task failed")
+	tasks := []Task[int]{
+		func(ctx context.Context) (int, bool, error) { return 0, false, sentinel },
+		func(ctx context.Context) (int, bool, error) { return 7, true, nil },
+	}
+	outcomes := RunUntilAcceptable(context.Background(), 1, tasks)
+	if !errors.Is(outcomes[0].Err, sentinel) {
+		t.Errorf("expected first task error to be reported, got %+v", outcomes[0])
+	}
+	if !outcomes[1].Acceptable {
+		t.Errorf("second task should still be able to succeed")
+	}
+}
+
+func TestRunUntilAcceptableEmpty(t *testing.T) {
+	outcomes := RunUntilAcceptable[int](context.Background(), 4, nil)
+	if len(outcomes) != 0 {
+		t.Errorf("empty task list should produce no outcomes")
+	}
+}
+
+func TestRunUntilAcceptableParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tasks := []Task[int]{
+		func(ctx context.Context) (int, bool, error) {
+			if ctx.Err() != nil {
+				return 0, false, ctx.Err()
+			}
+			return 1, false, nil
+		},
+	}
+	outcomes := RunUntilAcceptable(ctx, 1, tasks)
+	if len(outcomes) != 1 {
+		t.Fatalf("expected one outcome")
+	}
+	// With an already-cancelled parent the task is either skipped or
+	// observes the cancellation.
+	if outcomes[0].Started && outcomes[0].Err == nil {
+		t.Errorf("task under cancelled parent should not report success: %+v", outcomes[0])
+	}
+}

@@ -1,0 +1,133 @@
+package pressio
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"fraz/internal/grid"
+	"fraz/internal/sz"
+	"fraz/internal/zfp"
+)
+
+// This file registers the secondary compressor configurations: SZ with a
+// value-range-relative bound, ZFP's fixed-precision mode, and a lossless
+// DEFLATE baseline. The relative SZ mode is the configuration most
+// scientific users actually run (bounds quoted as 10^-3 of the value range);
+// the lossless baseline substantiates the paper's motivating claim that
+// lossless compressors cannot meaningfully reduce floating-point simulation
+// data.
+
+// --- SZ with a range-relative error bound -------------------------------------
+
+type szRelative struct{}
+
+func (szRelative) Name() string       { return "sz:rel" }
+func (szRelative) BoundName() string  { return "value-range-relative error bound" }
+func (szRelative) ErrorBounded() bool { return true }
+func (szRelative) SupportsShape(shape grid.Dims) bool {
+	return shape.Validate() == nil && shape.NDims() <= 3
+}
+func (szRelative) BoundRange() (float64, float64) { return 1e-12, 1 }
+func (szRelative) Compress(buf Buffer, bound float64) ([]byte, error) {
+	if !(bound > 0) || bound > 1 {
+		return nil, fmt.Errorf("sz:rel: relative bound must be in (0,1], got %v", bound)
+	}
+	vr := grid.ValueRange(buf.Data)
+	if vr <= 0 {
+		vr = 1 // constant field: any positive absolute bound preserves it
+	}
+	return sz.Compress(buf.Data, buf.Shape, sz.Options{ErrorBound: bound * vr})
+}
+func (szRelative) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
+	return sz.Decompress(comp, shape)
+}
+
+// --- ZFP fixed-precision -------------------------------------------------------
+
+type zfpPrecision struct{}
+
+func (zfpPrecision) Name() string       { return "zfp:precision" }
+func (zfpPrecision) BoundName() string  { return "bit planes per block" }
+func (zfpPrecision) ErrorBounded() bool { return false }
+func (zfpPrecision) SupportsShape(shape grid.Dims) bool {
+	return shape.Validate() == nil && shape.NDims() <= 3
+}
+func (zfpPrecision) BoundRange() (float64, float64) { return 1, 32 }
+func (zfpPrecision) Compress(buf Buffer, bound float64) ([]byte, error) {
+	prec := int(math.Round(bound))
+	return zfp.Compress(buf.Data, buf.Shape, zfp.Options{Mode: zfp.ModeFixedPrecision, Precision: prec})
+}
+func (zfpPrecision) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
+	return zfp.Decompress(comp, shape)
+}
+
+// --- lossless DEFLATE baseline --------------------------------------------------
+
+const losslessMagic = 0x4C5A4631 // "LZF1"
+
+// errLossless is the base error for the lossless baseline codec.
+var errLossless = errors.New("flate:lossless")
+
+type losslessFlate struct{}
+
+func (losslessFlate) Name() string       { return "flate:lossless" }
+func (losslessFlate) BoundName() string  { return "unused (lossless)" }
+func (losslessFlate) ErrorBounded() bool { return true } // zero error by construction
+func (losslessFlate) SupportsShape(shape grid.Dims) bool {
+	return shape.Validate() == nil
+}
+func (losslessFlate) BoundRange() (float64, float64) { return 1e-12, 1e12 }
+func (losslessFlate) Compress(buf Buffer, _ float64) ([]byte, error) {
+	raw := make([]byte, 4+len(buf.Data)*4)
+	binary.LittleEndian.PutUint32(raw[:4], losslessMagic)
+	for i, v := range buf.Data {
+		binary.LittleEndian.PutUint32(raw[4+4*i:], math.Float32bits(v))
+	}
+	var out bytes.Buffer
+	fw, err := flate.NewWriter(&out, flate.BestCompression)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errLossless, err)
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return nil, fmt.Errorf("%w: %v", errLossless, err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, fmt.Errorf("%w: %v", errLossless, err)
+	}
+	return out.Bytes(), nil
+}
+func (losslessFlate) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
+	fr := flate.NewReader(bytes.NewReader(comp))
+	raw, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errLossless, err)
+	}
+	fr.Close()
+	if len(raw) < 4 || binary.LittleEndian.Uint32(raw[:4]) != losslessMagic {
+		return nil, fmt.Errorf("%w: bad magic", errLossless)
+	}
+	raw = raw[4:]
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("%w: truncated payload", errLossless)
+	}
+	n := len(raw) / 4
+	if shape != nil && n != shape.Len() {
+		return nil, fmt.Errorf("%w: payload holds %d values, shape %v expects %d", errLossless, n, shape, shape.Len())
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+func init() {
+	Register("sz:rel", func() Compressor { return szRelative{} })
+	Register("zfp:precision", func() Compressor { return zfpPrecision{} })
+	Register("flate:lossless", func() Compressor { return losslessFlate{} })
+}

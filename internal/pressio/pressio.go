@@ -1,0 +1,245 @@
+// Package pressio provides a small generic abstraction over the lossy
+// compressors in this repository, playing the role libpressio plays in the
+// paper: FRaZ never talks to SZ, ZFP, or MGARD directly, only to this
+// interface, which is what makes the framework compressor-agnostic.
+//
+// Each registered compressor exposes exactly one tunable scalar parameter —
+// its error bound (or, for the ZFP fixed-rate baseline, its rate) — which is
+// the dimension FRaZ's autotuner searches over.
+package pressio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"fraz/internal/grid"
+	"fraz/internal/metrics"
+	"fraz/internal/mgard"
+	"fraz/internal/sz"
+	"fraz/internal/zfp"
+)
+
+// Buffer couples a flat float32 array with its logical shape.
+type Buffer struct {
+	Data  []float32
+	Shape grid.Dims
+}
+
+// NewBuffer validates and constructs a Buffer.
+func NewBuffer(data []float32, shape grid.Dims) (Buffer, error) {
+	if err := shape.Validate(); err != nil {
+		return Buffer{}, err
+	}
+	if len(data) != shape.Len() {
+		return Buffer{}, fmt.Errorf("pressio: data length %d does not match shape %v", len(data), shape)
+	}
+	return Buffer{Data: data, Shape: shape}, nil
+}
+
+// Bytes returns the uncompressed size of the buffer in bytes.
+func (b Buffer) Bytes() int { return len(b.Data) * 4 }
+
+// Compressor is the generic error-bounded compressor interface FRaZ tunes.
+type Compressor interface {
+	// Name identifies the compressor and mode, e.g. "sz:abs" or
+	// "zfp:accuracy".
+	Name() string
+	// BoundName describes the tunable parameter, e.g. "absolute error bound".
+	BoundName() string
+	// ErrorBounded reports whether the tunable parameter guarantees a
+	// pointwise error bound (false only for the ZFP fixed-rate baseline).
+	ErrorBounded() bool
+	// SupportsShape reports whether the compressor accepts data of the given
+	// shape (e.g. the MGARD back end rejects 1-D data).
+	SupportsShape(shape grid.Dims) bool
+	// BoundRange returns the smallest and largest admissible values of the
+	// tunable parameter.
+	BoundRange() (lo, hi float64)
+	// Compress compresses the buffer with the tunable parameter set to bound.
+	Compress(buf Buffer, bound float64) ([]byte, error)
+	// Decompress reconstructs data previously compressed by this compressor.
+	Decompress(comp []byte, shape grid.Dims) ([]float32, error)
+}
+
+// ErrUnknownCompressor is returned by New for unregistered names.
+var ErrUnknownCompressor = errors.New("pressio: unknown compressor")
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() Compressor{}
+)
+
+// Register adds a compressor constructor under the given name. It is called
+// from init functions and by tests installing fakes; registering a duplicate
+// name panics, as that is always a programming error.
+func Register(name string, factory func() Compressor) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("pressio: duplicate registration of %q", name))
+	}
+	registry[name] = factory
+}
+
+// New instantiates a registered compressor by name.
+func New(name string) (Compressor, error) {
+	registryMu.RLock()
+	factory, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (available: %v)", ErrUnknownCompressor, name, Names())
+	}
+	return factory(), nil
+}
+
+// Names lists the registered compressor names in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Result captures one compression run: the parameter used, the achieved
+// ratio, and the full quality report.
+type Result struct {
+	Compressor string
+	Bound      float64
+	Compressed int
+	Report     metrics.Report
+}
+
+// Run compresses, decompresses, and evaluates the buffer with the given
+// bound, returning the full result. It is the convenience used by the
+// experiment harness; FRaZ's inner loop uses Ratio instead, which skips the
+// decompression when only the size is needed.
+func Run(c Compressor, buf Buffer, bound float64) (Result, error) {
+	comp, err := c.Compress(buf, bound)
+	if err != nil {
+		return Result{}, err
+	}
+	dec, err := c.Decompress(comp, buf.Shape)
+	if err != nil {
+		return Result{}, err
+	}
+	rep, err := metrics.Evaluate(buf.Data, dec, len(comp), 4)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Compressor: c.Name(), Bound: bound, Compressed: len(comp), Report: rep}, nil
+}
+
+// Ratio compresses the buffer with the given bound and returns the achieved
+// compression ratio and compressed size. This is the single black-box
+// evaluation FRaZ's optimizer performs at every iteration.
+func Ratio(c Compressor, buf Buffer, bound float64) (float64, int, error) {
+	comp, err := c.Compress(buf, bound)
+	if err != nil {
+		return 0, 0, err
+	}
+	return metrics.CompressionRatio(buf.Bytes(), len(comp)), len(comp), nil
+}
+
+// --- SZ adapter -------------------------------------------------------------
+
+type szCompressor struct{}
+
+func (szCompressor) Name() string      { return "sz:abs" }
+func (szCompressor) BoundName() string { return "absolute error bound" }
+func (szCompressor) ErrorBounded() bool {
+	return true
+}
+func (szCompressor) SupportsShape(shape grid.Dims) bool {
+	return shape.Validate() == nil && shape.NDims() <= 3
+}
+func (szCompressor) BoundRange() (float64, float64) { return 1e-12, 1e12 }
+func (szCompressor) Compress(buf Buffer, bound float64) ([]byte, error) {
+	return sz.Compress(buf.Data, buf.Shape, sz.Options{ErrorBound: bound})
+}
+func (szCompressor) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
+	return sz.Decompress(comp, shape)
+}
+
+// --- ZFP adapters -----------------------------------------------------------
+
+type zfpAccuracy struct{}
+
+func (zfpAccuracy) Name() string       { return "zfp:accuracy" }
+func (zfpAccuracy) BoundName() string  { return "absolute error tolerance" }
+func (zfpAccuracy) ErrorBounded() bool { return true }
+func (zfpAccuracy) SupportsShape(shape grid.Dims) bool {
+	return shape.Validate() == nil && shape.NDims() <= 3
+}
+func (zfpAccuracy) BoundRange() (float64, float64) { return 1e-12, 1e12 }
+func (zfpAccuracy) Compress(buf Buffer, bound float64) ([]byte, error) {
+	return zfp.Compress(buf.Data, buf.Shape, zfp.Options{Mode: zfp.ModeAccuracy, Tolerance: bound})
+}
+func (zfpAccuracy) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
+	return zfp.Decompress(comp, shape)
+}
+
+type zfpFixedRate struct{}
+
+func (zfpFixedRate) Name() string       { return "zfp:rate" }
+func (zfpFixedRate) BoundName() string  { return "bits per value" }
+func (zfpFixedRate) ErrorBounded() bool { return false }
+func (zfpFixedRate) SupportsShape(shape grid.Dims) bool {
+	return shape.Validate() == nil && shape.NDims() <= 3
+}
+func (zfpFixedRate) BoundRange() (float64, float64) { return 1, 32 }
+func (zfpFixedRate) Compress(buf Buffer, bound float64) ([]byte, error) {
+	return zfp.Compress(buf.Data, buf.Shape, zfp.Options{Mode: zfp.ModeFixedRate, Rate: bound})
+}
+func (zfpFixedRate) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
+	return zfp.Decompress(comp, shape)
+}
+
+// --- MGARD adapters ----------------------------------------------------------
+
+type mgardInfinity struct{}
+
+func (mgardInfinity) Name() string       { return "mgard:abs" }
+func (mgardInfinity) BoundName() string  { return "infinity-norm bound" }
+func (mgardInfinity) ErrorBounded() bool { return true }
+func (mgardInfinity) SupportsShape(shape grid.Dims) bool {
+	nd := shape.NDims()
+	return shape.Validate() == nil && (nd == 2 || nd == 3)
+}
+func (mgardInfinity) BoundRange() (float64, float64) { return 1e-12, 1e12 }
+func (mgardInfinity) Compress(buf Buffer, bound float64) ([]byte, error) {
+	return mgard.Compress(buf.Data, buf.Shape, mgard.Options{Norm: mgard.NormInfinity, Bound: bound})
+}
+func (mgardInfinity) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
+	return mgard.Decompress(comp, shape)
+}
+
+type mgardL2 struct{}
+
+func (mgardL2) Name() string       { return "mgard:l2" }
+func (mgardL2) BoundName() string  { return "mean-squared-error bound" }
+func (mgardL2) ErrorBounded() bool { return true }
+func (mgardL2) SupportsShape(shape grid.Dims) bool {
+	nd := shape.NDims()
+	return shape.Validate() == nil && (nd == 2 || nd == 3)
+}
+func (mgardL2) BoundRange() (float64, float64) { return 1e-18, 1e12 }
+func (mgardL2) Compress(buf Buffer, bound float64) ([]byte, error) {
+	return mgard.Compress(buf.Data, buf.Shape, mgard.Options{Norm: mgard.NormL2, Bound: bound})
+}
+func (mgardL2) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
+	return mgard.Decompress(comp, shape)
+}
+
+func init() {
+	Register("sz:abs", func() Compressor { return szCompressor{} })
+	Register("zfp:accuracy", func() Compressor { return zfpAccuracy{} })
+	Register("zfp:rate", func() Compressor { return zfpFixedRate{} })
+	Register("mgard:abs", func() Compressor { return mgardInfinity{} })
+	Register("mgard:l2", func() Compressor { return mgardL2{} })
+}

@@ -1,0 +1,115 @@
+package quantize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadBounds(t *testing.T) {
+	for _, eb := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := New(eb); err == nil {
+			t.Errorf("New(%v) should fail", eb)
+		}
+	}
+}
+
+func TestNewWithIntervalsRejectsSmallCapacity(t *testing.T) {
+	if _, err := NewWithIntervals(1.0, 2); err == nil {
+		t.Errorf("intervals < 4 should fail")
+	}
+}
+
+func TestQuantizeExactAtPrediction(t *testing.T) {
+	q, err := New(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, recon, ok := q.Quantize(10.0, 10.0)
+	if !ok || code != 0 || recon != 10.0 {
+		t.Errorf("got code=%d recon=%v ok=%v", code, recon, ok)
+	}
+}
+
+func TestQuantizeRespectsBound(t *testing.T) {
+	q, err := New(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{0, 0.004, 0.009, 0.011, 1.2345, -3.3, 100.5}
+	pred := 0.0
+	for _, v := range values {
+		code, recon, ok := q.Quantize(v, pred)
+		if !ok {
+			continue
+		}
+		if math.Abs(recon-v) > q.ErrorBound {
+			t.Errorf("value %v: reconstruction %v exceeds bound (code %d)", v, recon, code)
+		}
+		if got := q.Dequantize(pred, code); got != recon {
+			t.Errorf("Dequantize mismatch: %v vs %v", got, recon)
+		}
+	}
+}
+
+func TestQuantizeOverflowIsUnpredictable(t *testing.T) {
+	q, err := NewWithIntervals(1e-6, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recon, ok := q.Quantize(1000.0, 0.0)
+	if ok {
+		t.Errorf("residual far beyond capacity should be unpredictable")
+	}
+	if recon != 1000.0 {
+		t.Errorf("unpredictable reconstruction should echo the value, got %v", recon)
+	}
+}
+
+func TestQuantizeNaNResidual(t *testing.T) {
+	q, _ := New(0.1)
+	if _, _, ok := q.Quantize(math.NaN(), 0); ok {
+		t.Errorf("NaN value should be unpredictable")
+	}
+}
+
+func TestPropertyBoundAlwaysRespected(t *testing.T) {
+	f := func(value, pred float64, ebExp uint8) bool {
+		if math.IsNaN(value) || math.IsInf(value, 0) || math.IsNaN(pred) || math.IsInf(pred, 0) {
+			return true
+		}
+		eb := math.Pow(10, -float64(ebExp%8)) // 1 .. 1e-7
+		q, err := New(eb)
+		if err != nil {
+			return false
+		}
+		code, recon, ok := q.Quantize(value, pred)
+		if !ok {
+			return recon == value
+		}
+		if math.Abs(recon-value) > eb {
+			return false
+		}
+		return q.Dequantize(pred, code) == recon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCodeZeroWhenWithinBound(t *testing.T) {
+	f := func(residFrac float64) bool {
+		if math.IsNaN(residFrac) || math.IsInf(residFrac, 0) {
+			return true
+		}
+		// residual strictly inside (-eb, eb) must quantize to code 0
+		eb := 0.125
+		frac := math.Mod(math.Abs(residFrac), 0.99)
+		q, _ := New(eb)
+		code, _, ok := q.Quantize(10+frac*eb, 10)
+		return ok && code == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

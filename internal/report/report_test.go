@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableASCII(t *testing.T) {
+	tab := NewTable("Demo", "name", "ratio", "psnr")
+	tab.AddRow("sz", 10.0, 62.341)
+	tab.AddRow("zfp", 9.871, 58.0)
+	tab.AddNote("synthetic data")
+	out := tab.String()
+	for _, want := range []string{"Demo", "name", "ratio", "psnr", "sz", "zfp", "62.34", "note: synthetic data"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Errorf("expected at least 5 lines, got %d", len(lines))
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(1)
+	tab.AddRow(1, 2, 3)
+	out := tab.String()
+	if strings.Contains(out, "3") {
+		t.Errorf("extra cells should be dropped:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("ignored title", "field", "value")
+	tab.AddRow("plain", 1.5)
+	tab.AddRow("with,comma", 2.0)
+	tab.AddRow(`with"quote`, 3.0)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "ignored title") {
+		t.Errorf("CSV should not include the title")
+	}
+	if !strings.Contains(out, "field,value") {
+		t.Errorf("CSV missing header: %s", out)
+	}
+	if !strings.Contains(out, "\"with,comma\"") {
+		t.Errorf("comma cell should be quoted: %s", out)
+	}
+	if !strings.Contains(out, "\"with\"\"quote\"") {
+		t.Errorf("quote cell should be escaped: %s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Errorf("CSV should have 4 lines: %s", out)
+	}
+}
+
+func TestFormatCellVariants(t *testing.T) {
+	tab := NewTable("", "x")
+	tab.AddRow(nil)
+	tab.AddRow(float32(1.25))
+	tab.AddRow(42)
+	tab.AddRow("text")
+	out := tab.String()
+	for _, want := range []string{"1.25", "42", "text"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

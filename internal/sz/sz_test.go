@@ -1,0 +1,307 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fraz/internal/grid"
+	"fraz/internal/metrics"
+)
+
+// synthetic3D produces a smooth 3-D field with a small noise component,
+// similar in character to simulation output.
+func synthetic3D(nz, ny, nx int, seed int64) ([]float32, grid.Dims) {
+	shape := grid.MustDims(nz, ny, nx)
+	data := make([]float32, shape.Len())
+	rng := rand.New(rand.NewSource(seed))
+	i := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := math.Sin(float64(x)/7)*math.Cos(float64(y)/9) + 0.5*math.Sin(float64(z)/5)
+				v += 0.01 * rng.NormFloat64()
+				data[i] = float32(v)
+				i++
+			}
+		}
+	}
+	return data, shape
+}
+
+func synthetic1D(n int, seed int64) ([]float32, grid.Dims) {
+	shape := grid.MustDims(n)
+	data := make([]float32, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i)/40) + 0.05*rng.NormFloat64())
+	}
+	return data, shape
+}
+
+func roundTrip(t *testing.T, data []float32, shape grid.Dims, eb float64) []float32 {
+	t.Helper()
+	comp, err := Compress(data, shape, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	dec, err := Decompress(comp, shape)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if len(dec) != len(data) {
+		t.Fatalf("length mismatch: %d vs %d", len(dec), len(data))
+	}
+	maxErr := metrics.MaxAbsError(data, dec)
+	if maxErr > eb+1e-9 {
+		t.Fatalf("error bound violated: maxErr=%v > eb=%v", maxErr, eb)
+	}
+	return dec
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	data, shape := synthetic3D(16, 20, 24, 1)
+	for _, eb := range []float64{1e-1, 1e-2, 1e-3, 1e-5} {
+		roundTrip(t, data, shape, eb)
+	}
+}
+
+func TestRoundTrip2D(t *testing.T) {
+	shape := grid.MustDims(37, 53)
+	data := make([]float32, shape.Len())
+	for i := range data {
+		y, x := i/53, i%53
+		data[i] = float32(float64(x)*0.3 + float64(y)*0.7)
+	}
+	roundTrip(t, data, shape, 1e-3)
+}
+
+func TestRoundTrip1D(t *testing.T) {
+	data, shape := synthetic1D(10000, 2)
+	roundTrip(t, data, shape, 1e-4)
+}
+
+func TestRoundTripOddShapes(t *testing.T) {
+	shapes := []grid.Dims{
+		grid.MustDims(1),
+		grid.MustDims(7),
+		grid.MustDims(1, 1),
+		grid.MustDims(5, 1, 13),
+		grid.MustDims(6, 6, 6),
+		grid.MustDims(7, 11, 13),
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, shape := range shapes {
+		data := make([]float32, shape.Len())
+		for i := range data {
+			data[i] = rng.Float32() * 10
+		}
+		roundTrip(t, data, shape, 1e-2)
+	}
+}
+
+func TestConstantField(t *testing.T) {
+	shape := grid.MustDims(10, 10, 10)
+	data := make([]float32, shape.Len())
+	for i := range data {
+		data[i] = 42.5
+	}
+	comp, err := Compress(data, shape, Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(comp, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.MaxAbsError(data, dec) > 1e-3 {
+		t.Errorf("constant field error bound violated")
+	}
+	cr := metrics.CompressionRatio(len(data)*4, len(comp))
+	if cr < 20 {
+		t.Errorf("constant field should compress very well, got CR=%.1f", cr)
+	}
+}
+
+func TestRandomNoiseStillBounded(t *testing.T) {
+	shape := grid.MustDims(20, 20, 20)
+	rng := rand.New(rand.NewSource(17))
+	data := make([]float32, shape.Len())
+	for i := range data {
+		data[i] = rng.Float32()*2000 - 1000
+	}
+	roundTrip(t, data, shape, 0.5)
+}
+
+func TestExtremeValues(t *testing.T) {
+	shape := grid.MustDims(64)
+	data := make([]float32, 64)
+	for i := range data {
+		data[i] = float32(math.Pow(-10, float64(i%20)))
+	}
+	// A tiny bound forces most values into the unpredictable/literal path.
+	roundTrip(t, data, shape, 1e-6)
+}
+
+func TestSmallerBoundGivesLowerRatio(t *testing.T) {
+	data, shape := synthetic3D(24, 24, 24, 5)
+	var prevSize int
+	for i, eb := range []float64{1e-1, 1e-3, 1e-6} {
+		comp, err := Compress(data, shape, Options{ErrorBound: eb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && len(comp) < prevSize {
+			t.Errorf("tighter bound %g should not compress better: %d < %d", eb, len(comp), prevSize)
+		}
+		prevSize = len(comp)
+	}
+}
+
+func TestCompressionRatioReasonable(t *testing.T) {
+	data, shape := synthetic3D(32, 32, 32, 7)
+	comp, err := Compress(data, shape, Options{ErrorBound: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := metrics.CompressionRatio(len(data)*4, len(comp))
+	if cr < 4 {
+		t.Errorf("smooth data at 1e-2 should reach at least 4:1, got %.2f", cr)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	data := make([]float32, 10)
+	if _, err := Compress(data, grid.Dims{5}, Options{ErrorBound: 0.1}); err == nil {
+		t.Errorf("length/shape mismatch should fail")
+	}
+	if _, err := Compress(data, grid.Dims{10}, Options{ErrorBound: 0}); err == nil {
+		t.Errorf("zero error bound should fail")
+	}
+	if _, err := Compress(data, grid.Dims{}, Options{ErrorBound: 0.1}); err == nil {
+		t.Errorf("empty shape should fail")
+	}
+	if _, err := Compress(data, grid.Dims{10}, Options{ErrorBound: math.NaN()}); err == nil {
+		t.Errorf("NaN bound should fail")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	if _, err := Decompress([]byte{1, 2, 3}, nil); err == nil {
+		t.Errorf("short buffer should fail")
+	}
+	data, shape := synthetic1D(100, 3)
+	comp, err := Compress(data, shape, Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp[0] ^= 0xFF // break magic
+	if _, err := Decompress(comp, shape); err == nil {
+		t.Errorf("bad magic should fail")
+	}
+}
+
+func TestDecompressShapeMismatch(t *testing.T) {
+	data, shape := synthetic1D(100, 4)
+	comp, err := Compress(data, shape, Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(comp, grid.MustDims(50)); err == nil {
+		t.Errorf("shape mismatch should fail")
+	}
+	// nil shape uses the embedded one
+	if _, err := Decompress(comp, nil); err != nil {
+		t.Errorf("nil shape should use header shape: %v", err)
+	}
+}
+
+func TestDecompressHeaderShape(t *testing.T) {
+	data, shape := synthetic3D(8, 9, 10, 6)
+	comp, err := Compress(data, shape, Options{ErrorBound: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressHeaderShape(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(shape) {
+		t.Errorf("header shape = %v, want %v", got, shape)
+	}
+}
+
+func TestAblationOptions(t *testing.T) {
+	data, shape := synthetic3D(16, 16, 16, 8)
+	for _, opts := range []Options{
+		{ErrorBound: 1e-3, DisableRegression: true},
+		{ErrorBound: 1e-3, DisableDictionary: true},
+		{ErrorBound: 1e-3, DisableRegression: true, DisableDictionary: true},
+		{ErrorBound: 1e-3, BlockSize: 4, Intervals: 256},
+	} {
+		comp, err := Compress(data, shape, opts)
+		if err != nil {
+			t.Fatalf("Compress(%+v): %v", opts, err)
+		}
+		dec, err := Decompress(comp, shape)
+		if err != nil {
+			t.Fatalf("Decompress(%+v): %v", opts, err)
+		}
+		if metrics.MaxAbsError(data, dec) > opts.ErrorBound+1e-9 {
+			t.Errorf("bound violated for %+v", opts)
+		}
+	}
+}
+
+func TestPropertyErrorBoundHolds(t *testing.T) {
+	f := func(seed int64, ebExp uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shape := grid.MustDims(6, 7, 8)
+		data := make([]float32, shape.Len())
+		for i := range data {
+			data[i] = float32(math.Sin(float64(i)/13)*50 + rng.NormFloat64())
+		}
+		eb := math.Pow(10, -float64(ebExp%6)-1)
+		comp, err := Compress(data, shape, Options{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(comp, shape)
+		if err != nil {
+			return false
+		}
+		return metrics.MaxAbsError(data, dec) <= eb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompress3D(b *testing.B) {
+	data, shape := synthetic3D(64, 64, 64, 1)
+	b.SetBytes(int64(len(data) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, shape, Options{ErrorBound: 1e-3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress3D(b *testing.B) {
+	data, shape := synthetic3D(64, 64, 64, 1)
+	comp, err := Compress(data, shape, Options{ErrorBound: 1e-3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp, shape); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

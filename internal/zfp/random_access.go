@@ -1,0 +1,172 @@
+package zfp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fraz/internal/bitstream"
+	"fraz/internal/grid"
+)
+
+// Random access. The paper motivates ZFP's fixed-rate mode partly by its
+// random-access property — every block occupies exactly the same number of
+// bits, so any block can be decoded without touching the rest of the stream
+// (§II-B, §III). This file provides that capability for fixed-rate streams
+// produced by this package, which is what FRaZ-tuned accuracy-mode streams
+// give up in exchange for their much better rate distortion.
+
+// ErrNotFixedRate is returned when random access is requested on a stream
+// that was not produced in fixed-rate mode.
+var ErrNotFixedRate = fmt.Errorf("zfp: random access requires a fixed-rate stream")
+
+// BlockCount returns the number of 4^d blocks a field of the given shape is
+// partitioned into.
+func BlockCount(shape grid.Dims) int {
+	if shape.Validate() != nil {
+		return 0
+	}
+	return len(shape.Blocks(4))
+}
+
+// DecompressBlock decodes a single block (by index, in row-major block
+// order) from a fixed-rate stream without decoding any other block. It
+// returns the block's reconstructed values (only the valid, unpadded
+// portion, in row-major order) and the block's extent descriptor.
+func DecompressBlock(buf []byte, blockIndex int) ([]float32, grid.Block, error) {
+	if len(buf) < 4+1+1+8 {
+		return nil, grid.Block{}, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != magic {
+		return nil, grid.Block{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	mode := Mode(buf[4])
+	if mode != ModeFixedRate {
+		return nil, grid.Block{}, ErrNotFixedRate
+	}
+	nd := int(buf[5])
+	if nd < 1 || nd > 3 {
+		return nil, grid.Block{}, fmt.Errorf("%w: bad rank %d", ErrCorrupt, nd)
+	}
+	rate := math.Float64frombits(binary.LittleEndian.Uint64(buf[6:14]))
+	if rate < 1 || rate > 64 {
+		return nil, grid.Block{}, fmt.Errorf("%w: bad rate %v", ErrCorrupt, rate)
+	}
+	pos := 14
+	if len(buf) < pos+4*nd {
+		return nil, grid.Block{}, ErrCorrupt
+	}
+	shape := make(grid.Dims, nd)
+	for i := 0; i < nd; i++ {
+		shape[i] = int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+		pos += 4
+	}
+	if err := shape.Validate(); err != nil {
+		return nil, grid.Block{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	blocks := shape.Blocks(4)
+	if blockIndex < 0 || blockIndex >= len(blocks) {
+		return nil, grid.Block{}, fmt.Errorf("zfp: block index %d out of range [0,%d)", blockIndex, len(blocks))
+	}
+
+	blockValues := 1 << (2 * nd)
+	maxbits := int(math.Round(rate * float64(blockValues)))
+	if maxbits < 18 {
+		maxbits = 18
+	}
+
+	// Seek: the block starts exactly blockIndex*maxbits bits into the payload.
+	bitOffset := blockIndex * maxbits
+	byteOffset := bitOffset / 8
+	if pos+byteOffset >= len(buf) {
+		return nil, grid.Block{}, fmt.Errorf("%w: truncated stream", ErrCorrupt)
+	}
+	r := bitstream.NewReader(buf[pos+byteOffset:])
+	for skip := bitOffset % 8; skip > 0; skip-- {
+		if _, err := r.ReadBit(); err != nil {
+			return nil, grid.Block{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+
+	blockBuf := make([]float32, blockValues)
+	perm := sequencyPermutation(nd)
+	if err := decodeBlock(r, blockBuf, nd, perm, ModeFixedRate, 0, 0, maxbits); err != nil {
+		return nil, grid.Block{}, err
+	}
+
+	b := blocks[blockIndex]
+	out := make([]float32, b.Len())
+	// Copy the valid (unpadded) portion in row-major order.
+	switch nd {
+	case 1:
+		copy(out, blockBuf[:b.Size[0]])
+	case 2:
+		i := 0
+		for y := 0; y < b.Size[0]; y++ {
+			for x := 0; x < b.Size[1]; x++ {
+				out[i] = blockBuf[y*4+x]
+				i++
+			}
+		}
+	default:
+		i := 0
+		for z := 0; z < b.Size[0]; z++ {
+			for y := 0; y < b.Size[1]; y++ {
+				for x := 0; x < b.Size[2]; x++ {
+					out[i] = blockBuf[z*16+y*4+x]
+					i++
+				}
+			}
+		}
+	}
+	return out, b, nil
+}
+
+// DecompressAt decodes the single value at the given multi-index from a
+// fixed-rate stream, touching only the block that contains it.
+func DecompressAt(buf []byte, index ...int) (float32, error) {
+	if len(buf) < 6 {
+		return 0, ErrCorrupt
+	}
+	nd := int(buf[5])
+	if nd < 1 || nd > 3 || len(index) != nd {
+		return 0, fmt.Errorf("zfp: index rank %d does not match stream rank %d", len(index), nd)
+	}
+	pos := 14
+	if len(buf) < pos+4*nd {
+		return 0, ErrCorrupt
+	}
+	shape := make(grid.Dims, nd)
+	for i := 0; i < nd; i++ {
+		shape[i] = int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+		pos += 4
+	}
+	if err := shape.Validate(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	for k, idx := range index {
+		if idx < 0 || idx >= shape[k] {
+			return 0, fmt.Errorf("zfp: index %d out of range [0,%d) in dimension %d", idx, shape[k], k)
+		}
+	}
+	// Locate the block containing the index. Blocks are laid out in
+	// row-major order over the block grid with edge 4.
+	blockCounts := make([]int, nd)
+	for k := range shape {
+		blockCounts[k] = (shape[k] + 3) / 4
+	}
+	blockIndex := 0
+	for k := 0; k < nd; k++ {
+		blockIndex = blockIndex*blockCounts[k] + index[k]/4
+	}
+	values, b, err := DecompressBlock(buf, blockIndex)
+	if err != nil {
+		return 0, err
+	}
+	// Offset within the (possibly truncated) block.
+	local := 0
+	for k := 0; k < nd; k++ {
+		local = local*b.Size[k] + (index[k] - b.Start[k])
+	}
+	return values[local], nil
+}

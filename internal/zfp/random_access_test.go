@@ -1,0 +1,129 @@
+package zfp
+
+import (
+	"testing"
+
+	"fraz/internal/grid"
+)
+
+func TestBlockCount(t *testing.T) {
+	cases := []struct {
+		shape grid.Dims
+		want  int
+	}{
+		{grid.MustDims(16), 4},
+		{grid.MustDims(17), 5},
+		{grid.MustDims(8, 8), 4},
+		{grid.MustDims(9, 5), 6},
+		{grid.MustDims(4, 4, 4), 1},
+		{grid.MustDims(8, 8, 8), 8},
+	}
+	for _, c := range cases {
+		if got := BlockCount(c.shape); got != c.want {
+			t.Errorf("BlockCount(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+	if BlockCount(grid.Dims{0}) != 0 {
+		t.Errorf("invalid shape should report zero blocks")
+	}
+}
+
+func TestDecompressBlockMatchesFullDecompression(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  func() ([]float32, grid.Dims)
+	}{
+		{"3d", func() ([]float32, grid.Dims) { return smooth3D(9, 10, 11, 31) }},
+		{"2d", func() ([]float32, grid.Dims) { return smooth2D(13, 18, 32) }},
+		{"1d", func() ([]float32, grid.Dims) { return smooth1D(37, 33) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data, shape := tc.gen()
+			comp, err := Compress(data, shape, Options{Mode: ModeFixedRate, Rate: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := Decompress(comp, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocks := shape.Blocks(4)
+			if BlockCount(shape) != len(blocks) {
+				t.Fatalf("BlockCount disagrees with grid.Blocks")
+			}
+			for bi := range blocks {
+				values, b, err := DecompressBlock(comp, bi)
+				if err != nil {
+					t.Fatalf("block %d: %v", bi, err)
+				}
+				want := grid.GatherBlock(full, shape, b, nil)
+				if len(values) != len(want) {
+					t.Fatalf("block %d: %d values, want %d", bi, len(values), len(want))
+				}
+				for i := range want {
+					if values[i] != want[i] {
+						t.Fatalf("block %d value %d: %v vs full decompression %v", bi, i, values[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDecompressAtMatchesFullDecompression(t *testing.T) {
+	data, shape := smooth3D(7, 9, 6, 35)
+	comp, err := Compress(data, shape, Options{Mode: ModeFixedRate, Rate: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decompress(comp, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strides := shape.Strides()
+	for _, idx := range [][]int{{0, 0, 0}, {6, 8, 5}, {3, 4, 2}, {5, 0, 5}} {
+		got, err := DecompressAt(comp, idx...)
+		if err != nil {
+			t.Fatalf("DecompressAt(%v): %v", idx, err)
+		}
+		want := full[idx[0]*strides[0]+idx[1]*strides[1]+idx[2]*strides[2]]
+		if got != want {
+			t.Errorf("DecompressAt(%v) = %v, want %v", idx, got, want)
+		}
+	}
+}
+
+func TestRandomAccessErrors(t *testing.T) {
+	data, shape := smooth1D(64, 36)
+	accComp, err := Compress(data, shape, Options{Mode: ModeAccuracy, Tolerance: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressBlock(accComp, 0); err != ErrNotFixedRate {
+		t.Errorf("accuracy-mode stream should be rejected, got %v", err)
+	}
+	frComp, err := Compress(data, shape, Options{Mode: ModeFixedRate, Rate: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressBlock(frComp, -1); err == nil {
+		t.Errorf("negative block index should fail")
+	}
+	if _, _, err := DecompressBlock(frComp, 1000); err == nil {
+		t.Errorf("out-of-range block index should fail")
+	}
+	if _, _, err := DecompressBlock([]byte{1, 2, 3}, 0); err == nil {
+		t.Errorf("garbage stream should fail")
+	}
+	if _, err := DecompressAt(frComp, 1, 2); err == nil {
+		t.Errorf("rank mismatch should fail")
+	}
+	if _, err := DecompressAt(frComp, 100); err == nil {
+		t.Errorf("out-of-range index should fail")
+	}
+	bad := append([]byte(nil), frComp...)
+	bad[0] ^= 0xFF
+	if _, _, err := DecompressBlock(bad, 0); err == nil {
+		t.Errorf("bad magic should fail")
+	}
+}

@@ -1,0 +1,760 @@
+// Package zfp implements a pure-Go block-transform lossy compressor modelled
+// on ZFP (Lindstrom, IEEE TVCG 2014), the second back end the paper
+// evaluates and the source of its fixed-rate baseline.
+//
+// The pipeline follows ZFP's structure: the field is partitioned into 4^d
+// blocks; each block is converted to a block-floating-point representation
+// (a shared exponent plus 30-bit signed integers), decorrelated with ZFP's
+// integer lifting transform along each dimension, reordered by total
+// sequency, mapped to negabinary, and finally coded bit plane by bit plane
+// with ZFP's group-testing embedded coder.
+//
+// Two modes are provided, matching the two modes the paper contrasts:
+//
+//   - ModeAccuracy: an absolute error tolerance determines the lowest bit
+//     plane encoded (through a *floored* minimum-exponent computation, which
+//     is exactly why only a step-like set of compression ratios is reachable
+//     in this mode — see paper §VI-B3);
+//   - ModeFixedRate: each block gets a fixed bit budget (rate × block size),
+//     giving exact control of the compressed size and random access at
+//     block granularity, but no error bound (the paper's Fig. 1/Fig. 9/
+//     Fig. 10 baseline).
+package zfp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fraz/internal/bitstream"
+	"fraz/internal/grid"
+)
+
+const magic = 0x5A465031 // "ZFP1"
+
+// intprec is the integer precision used for block-floating-point
+// coefficients (ZFP uses 32 for single-precision input).
+const intprec = 32
+
+// Mode selects how the per-block bit budget is determined.
+type Mode uint8
+
+const (
+	// ModeAccuracy bounds the maximum absolute error by Options.Tolerance.
+	ModeAccuracy Mode = iota
+	// ModeFixedRate spends exactly Options.Rate bits per value.
+	ModeFixedRate
+	// ModeFixedPrecision keeps Options.Precision bit planes per block
+	// (relative to each block's exponent), giving a relative-error-like
+	// control without an absolute guarantee.
+	ModeFixedPrecision
+)
+
+// String returns the human-readable mode name used in experiment tables.
+func (m Mode) String() string {
+	switch m {
+	case ModeAccuracy:
+		return "accuracy"
+	case ModeFixedRate:
+		return "fixed-rate"
+	case ModeFixedPrecision:
+		return "fixed-precision"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Options configures compression.
+type Options struct {
+	// Mode selects accuracy (error-bounded), fixed-rate, or fixed-precision
+	// compression.
+	Mode Mode
+	// Tolerance is the absolute error bound for ModeAccuracy. Must be > 0.
+	Tolerance float64
+	// Rate is the number of compressed bits per value for ModeFixedRate.
+	// Must be >= 1 and <= 64.
+	Rate float64
+	// Precision is the number of bit planes kept per block for
+	// ModeFixedPrecision. Must be in [1, 32].
+	Precision int
+}
+
+// ErrInvalidInput is returned for malformed data or options.
+var ErrInvalidInput = errors.New("zfp: invalid input")
+
+// ErrCorrupt is returned by Decompress for unparsable streams.
+var ErrCorrupt = errors.New("zfp: corrupt stream")
+
+// guardPlanes is the number of extra bit planes retained beyond the
+// tolerance-derived cutoff, per dimension pair, compensating for the dynamic
+// range growth of the decorrelating transform (ZFP uses 2*(d+1)).
+func guardPlanes(ndims int) int { return 2 * (ndims + 1) }
+
+// Compress compresses the field under the given options. The returned stream
+// is self-describing.
+func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	if len(data) != shape.Len() {
+		return nil, fmt.Errorf("%w: data length %d does not match shape %v", ErrInvalidInput, len(data), shape)
+	}
+	nd := shape.NDims()
+	if nd > 3 {
+		return nil, fmt.Errorf("%w: zfp supports 1-3 dimensions, got %d", ErrInvalidInput, nd)
+	}
+	var minexp int
+	var maxbits int
+	precision := 0
+	blockValues := 1 << (2 * nd) // 4^d
+	switch opts.Mode {
+	case ModeAccuracy:
+		if !(opts.Tolerance > 0) || math.IsInf(opts.Tolerance, 0) || math.IsNaN(opts.Tolerance) {
+			return nil, fmt.Errorf("%w: tolerance must be positive and finite, got %v", ErrInvalidInput, opts.Tolerance)
+		}
+		// The floor here is the source of the step-like ratio behaviour.
+		minexp = int(math.Floor(math.Log2(opts.Tolerance)))
+		maxbits = math.MaxInt32
+	case ModeFixedRate:
+		if opts.Rate < 1 || opts.Rate > 64 || math.IsNaN(opts.Rate) {
+			return nil, fmt.Errorf("%w: rate must be in [1,64], got %v", ErrInvalidInput, opts.Rate)
+		}
+		maxbits = int(math.Round(opts.Rate * float64(blockValues)))
+		if maxbits < 18 {
+			maxbits = 18 // room for the block header
+		}
+	case ModeFixedPrecision:
+		if opts.Precision < 1 || opts.Precision > intprec {
+			return nil, fmt.Errorf("%w: precision must be in [1,%d], got %d", ErrInvalidInput, intprec, opts.Precision)
+		}
+		precision = opts.Precision
+		maxbits = math.MaxInt32
+	default:
+		return nil, fmt.Errorf("%w: unknown mode %d", ErrInvalidInput, opts.Mode)
+	}
+
+	w := bitstream.NewWriter(len(data) / 2)
+	blocks := shape.Blocks(4)
+	blockBuf := make([]float32, blockValues)
+	perm := sequencyPermutation(nd)
+
+	for _, b := range blocks {
+		gatherPadded(data, shape, b, blockBuf, nd)
+		startBits := w.Len()
+		encodeBlock(w, blockBuf, nd, perm, opts.Mode, minexp, precision, maxbits)
+		if opts.Mode == ModeFixedRate {
+			used := w.Len() - startBits
+			for ; used < maxbits; used++ {
+				w.WriteBit(0)
+			}
+		}
+	}
+	payload := w.Bytes()
+
+	var out bytes.Buffer
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], magic)
+	out.Write(tmp[:4])
+	out.WriteByte(byte(opts.Mode))
+	out.WriteByte(byte(nd))
+	param := opts.Tolerance
+	switch opts.Mode {
+	case ModeFixedRate:
+		param = opts.Rate
+	case ModeFixedPrecision:
+		param = float64(opts.Precision)
+	}
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(param))
+	out.Write(tmp[:])
+	for _, d := range shape {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(d))
+		out.Write(tmp[:4])
+	}
+	out.Write(payload)
+	return out.Bytes(), nil
+}
+
+// Decompress reconstructs the field from a stream produced by Compress. If
+// shape is non-nil it is validated against the header.
+func Decompress(buf []byte, shape grid.Dims) ([]float32, error) {
+	if len(buf) < 4+1+1+8 {
+		return nil, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	mode := Mode(buf[4])
+	nd := int(buf[5])
+	if nd < 1 || nd > 3 {
+		return nil, fmt.Errorf("%w: bad rank %d", ErrCorrupt, nd)
+	}
+	param := math.Float64frombits(binary.LittleEndian.Uint64(buf[6:14]))
+	pos := 14
+	if len(buf) < pos+4*nd {
+		return nil, ErrCorrupt
+	}
+	hdrShape := make(grid.Dims, nd)
+	for i := 0; i < nd; i++ {
+		hdrShape[i] = int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+		pos += 4
+	}
+	if err := hdrShape.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if shape != nil && !hdrShape.Equal(shape) {
+		return nil, fmt.Errorf("%w: shape mismatch: stream has %v, caller expects %v", ErrCorrupt, hdrShape, shape)
+	}
+
+	blockValues := 1 << (2 * nd)
+	var minexp, maxbits, precision int
+	switch mode {
+	case ModeAccuracy:
+		if !(param > 0) {
+			return nil, fmt.Errorf("%w: bad tolerance %v", ErrCorrupt, param)
+		}
+		minexp = int(math.Floor(math.Log2(param)))
+		maxbits = math.MaxInt32
+	case ModeFixedRate:
+		if param < 1 || param > 64 {
+			return nil, fmt.Errorf("%w: bad rate %v", ErrCorrupt, param)
+		}
+		maxbits = int(math.Round(param * float64(blockValues)))
+		if maxbits < 18 {
+			maxbits = 18
+		}
+	case ModeFixedPrecision:
+		precision = int(math.Round(param))
+		if precision < 1 || precision > intprec {
+			return nil, fmt.Errorf("%w: bad precision %v", ErrCorrupt, param)
+		}
+		maxbits = math.MaxInt32
+	default:
+		return nil, fmt.Errorf("%w: unknown mode %d", ErrCorrupt, mode)
+	}
+
+	r := bitstream.NewReader(buf[pos:])
+	out := make([]float32, hdrShape.Len())
+	blocks := hdrShape.Blocks(4)
+	blockBuf := make([]float32, blockValues)
+	perm := sequencyPermutation(nd)
+
+	for _, b := range blocks {
+		startRemaining := r.BitsRemaining()
+		if err := decodeBlock(r, blockBuf, nd, perm, mode, minexp, precision, maxbits); err != nil {
+			return nil, err
+		}
+		if mode == ModeFixedRate {
+			used := startRemaining - r.BitsRemaining()
+			for ; used < maxbits; used++ {
+				if _, err := r.ReadBit(); err != nil {
+					return nil, fmt.Errorf("%w: truncated fixed-rate padding", ErrCorrupt)
+				}
+			}
+		}
+		scatterPadded(out, hdrShape, b, blockBuf, nd)
+	}
+	return out, nil
+}
+
+// CompressedSizeFixedRate predicts the compressed size in bytes of a
+// fixed-rate stream for the given shape and rate, without compressing.
+// It is exact, which is what makes fixed-rate mode attractive for storage
+// budgeting despite its poor rate distortion.
+func CompressedSizeFixedRate(shape grid.Dims, rate float64) int {
+	nd := shape.NDims()
+	blockValues := 1 << (2 * nd)
+	maxbits := int(math.Round(rate * float64(blockValues)))
+	if maxbits < 18 {
+		maxbits = 18
+	}
+	totalBits := len(shape.Blocks(4)) * maxbits
+	header := 4 + 1 + 1 + 8 + 4*nd
+	return header + (totalBits+7)/8
+}
+
+// --- block encoding -------------------------------------------------------
+
+// gatherPadded copies a (possibly partial) block into a full 4^d buffer,
+// padding missing samples by replicating the nearest valid sample along each
+// axis, as ZFP does, to avoid introducing artificial discontinuities.
+func gatherPadded(data []float32, shape grid.Dims, b grid.Block, dst []float32, nd int) {
+	strides := shape.Strides()
+	switch nd {
+	case 1:
+		for x := 0; x < 4; x++ {
+			sx := clampIndex(x, b.Size[0])
+			dst[x] = data[(b.Start[0]+sx)*strides[0]]
+		}
+	case 2:
+		for y := 0; y < 4; y++ {
+			sy := clampIndex(y, b.Size[0])
+			for x := 0; x < 4; x++ {
+				sx := clampIndex(x, b.Size[1])
+				dst[y*4+x] = data[(b.Start[0]+sy)*strides[0]+(b.Start[1]+sx)*strides[1]]
+			}
+		}
+	default:
+		for z := 0; z < 4; z++ {
+			sz := clampIndex(z, b.Size[0])
+			for y := 0; y < 4; y++ {
+				sy := clampIndex(y, b.Size[1])
+				for x := 0; x < 4; x++ {
+					sx := clampIndex(x, b.Size[2])
+					dst[z*16+y*4+x] = data[(b.Start[0]+sz)*strides[0]+(b.Start[1]+sy)*strides[1]+(b.Start[2]+sx)*strides[2]]
+				}
+			}
+		}
+	}
+}
+
+// scatterPadded writes the valid portion of a decoded 4^d block back into
+// the output array, discarding padded samples.
+func scatterPadded(out []float32, shape grid.Dims, b grid.Block, src []float32, nd int) {
+	strides := shape.Strides()
+	switch nd {
+	case 1:
+		for x := 0; x < b.Size[0]; x++ {
+			out[(b.Start[0]+x)*strides[0]] = src[x]
+		}
+	case 2:
+		for y := 0; y < b.Size[0]; y++ {
+			for x := 0; x < b.Size[1]; x++ {
+				out[(b.Start[0]+y)*strides[0]+(b.Start[1]+x)*strides[1]] = src[y*4+x]
+			}
+		}
+	default:
+		for z := 0; z < b.Size[0]; z++ {
+			for y := 0; y < b.Size[1]; y++ {
+				for x := 0; x < b.Size[2]; x++ {
+					out[(b.Start[0]+z)*strides[0]+(b.Start[1]+y)*strides[1]+(b.Start[2]+x)*strides[2]] = src[z*16+y*4+x]
+				}
+			}
+		}
+	}
+}
+
+func clampIndex(i, size int) int {
+	if i >= size {
+		return size - 1
+	}
+	return i
+}
+
+// blockExponent returns the smallest e such that |v| < 2^e for every value
+// in the block, and whether any value is nonzero.
+func blockExponent(block []float32) (int, bool) {
+	var maxAbs float64
+	for _, v := range block {
+		a := math.Abs(float64(v))
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 0, false
+	}
+	_, e := math.Frexp(maxAbs)
+	return e, true
+}
+
+// encodeBlock encodes one 4^d block.
+func encodeBlock(w *bitstream.Writer, block []float32, nd int, perm []int, mode Mode, minexp, precision, maxbits int) {
+	emax, nonzero := blockExponent(block)
+	size := len(block)
+
+	// Determine how many bit planes to keep.
+	kmin := 0
+	switch mode {
+	case ModeAccuracy:
+		prec := emax - minexp + guardPlanes(nd)
+		if prec < 0 {
+			prec = 0
+		}
+		if prec > intprec {
+			prec = intprec
+		}
+		kmin = intprec - prec
+		if !nonzero || prec == 0 {
+			// Block reconstructs to all zeros within tolerance.
+			w.WriteBit(0)
+			return
+		}
+		w.WriteBit(1)
+	case ModeFixedPrecision:
+		kmin = intprec - precision
+		if !nonzero {
+			w.WriteBit(0)
+			return
+		}
+		w.WriteBit(1)
+	default:
+		if !nonzero {
+			w.WriteBit(0)
+			return
+		}
+		w.WriteBit(1)
+	}
+	// Biased exponent (bias 16384 keeps it positive in 16 bits).
+	w.WriteBits(uint64(emax+16384), 16)
+
+	// Block floating point: scale to signed integers with intprec-2 bits.
+	// The clamp keeps |q| strictly below 2^30 so the lifting transform's
+	// intermediate sums cannot overflow int32.
+	scale := math.Ldexp(1, intprec-2-emax)
+	const qmax = 1<<(intprec-2) - 1
+	ints := make([]int32, size)
+	for i, v := range block {
+		q := float64(v) * scale
+		if q > qmax {
+			q = qmax
+		} else if q < -qmax {
+			q = -qmax
+		}
+		ints[i] = int32(q)
+	}
+
+	// Decorrelating transform along each dimension.
+	forwardTransform(ints, nd)
+
+	// Reorder by total sequency and convert to negabinary.
+	neg := make([]uint32, size)
+	for i, p := range perm {
+		neg[i] = int32ToNegabinary(ints[p])
+	}
+
+	budget := maxbits
+	if mode == ModeFixedRate {
+		budget = maxbits - 17 // header bits already spent
+		if budget < 0 {
+			budget = 0
+		}
+	}
+	encodeInts(w, neg, kmin, budget)
+}
+
+func decodeBlock(r *bitstream.Reader, block []float32, nd int, perm []int, mode Mode, minexp, precision, maxbits int) error {
+	flag, err := r.ReadBit()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if flag == 0 {
+		for i := range block {
+			block[i] = 0
+		}
+		return nil
+	}
+	e, err := r.ReadBits(16)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	emax := int(e) - 16384
+	size := len(block)
+
+	kmin := 0
+	switch mode {
+	case ModeAccuracy:
+		prec := emax - minexp + guardPlanes(nd)
+		if prec < 0 {
+			prec = 0
+		}
+		if prec > intprec {
+			prec = intprec
+		}
+		kmin = intprec - prec
+	case ModeFixedPrecision:
+		kmin = intprec - precision
+	}
+	budget := maxbits
+	if mode == ModeFixedRate {
+		budget = maxbits - 17
+		if budget < 0 {
+			budget = 0
+		}
+	}
+	neg, err := decodeInts(r, size, kmin, budget)
+	if err != nil {
+		return err
+	}
+	ints := make([]int32, size)
+	for i, p := range perm {
+		ints[p] = negabinaryToInt32(neg[i])
+	}
+	inverseTransform(ints, nd)
+	scale := math.Ldexp(1, emax-(intprec-2))
+	for i := range block {
+		block[i] = float32(float64(ints[i]) * scale)
+	}
+	return nil
+}
+
+// --- integer lifting transform ---------------------------------------------
+
+// fwdLift applies ZFP's forward lifting transform to four values at the
+// given stride.
+func fwdLift(p []int32, base, stride int) {
+	x := p[base]
+	y := p[base+stride]
+	z := p[base+2*stride]
+	w := p[base+3*stride]
+
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+
+	p[base] = x
+	p[base+stride] = y
+	p[base+2*stride] = z
+	p[base+3*stride] = w
+}
+
+// invLift applies the inverse lifting transform.
+func invLift(p []int32, base, stride int) {
+	x := p[base]
+	y := p[base+stride]
+	z := p[base+2*stride]
+	w := p[base+3*stride]
+
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+
+	p[base] = x
+	p[base+stride] = y
+	p[base+2*stride] = z
+	p[base+3*stride] = w
+}
+
+func forwardTransform(p []int32, nd int) {
+	switch nd {
+	case 1:
+		fwdLift(p, 0, 1)
+	case 2:
+		for y := 0; y < 4; y++ {
+			fwdLift(p, y*4, 1)
+		}
+		for x := 0; x < 4; x++ {
+			fwdLift(p, x, 4)
+		}
+	default:
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				fwdLift(p, z*16+y*4, 1)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(p, z*16+x, 4)
+			}
+		}
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(p, y*4+x, 16)
+			}
+		}
+	}
+}
+
+func inverseTransform(p []int32, nd int) {
+	switch nd {
+	case 1:
+		invLift(p, 0, 1)
+	case 2:
+		for x := 0; x < 4; x++ {
+			invLift(p, x, 4)
+		}
+		for y := 0; y < 4; y++ {
+			invLift(p, y*4, 1)
+		}
+	default:
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				invLift(p, y*4+x, 16)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				invLift(p, z*16+x, 4)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				invLift(p, z*16+y*4, 1)
+			}
+		}
+	}
+}
+
+// --- negabinary -------------------------------------------------------------
+
+const negabinaryMask = 0xaaaaaaaa
+
+func int32ToNegabinary(v int32) uint32 {
+	return (uint32(v) + negabinaryMask) ^ negabinaryMask
+}
+
+func negabinaryToInt32(u uint32) int32 {
+	return int32((u ^ negabinaryMask) - negabinaryMask)
+}
+
+// --- sequency permutation ----------------------------------------------------
+
+// permutations holds the precomputed visiting orders for 1-D, 2-D, and 3-D
+// blocks. They are computed once at package initialisation so that
+// concurrent compressions (FRaZ searches regions in parallel goroutines)
+// share them without synchronisation.
+var permutations = [4][]int{
+	nil,
+	computeSequencyPermutation(1),
+	computeSequencyPermutation(2),
+	computeSequencyPermutation(3),
+}
+
+// sequencyPermutation returns the coefficient visiting order for a 4^d
+// block: coefficients are ordered by total degree (sum of per-dimension
+// frequencies), low frequencies first, which concentrates energy at the
+// start of the embedded stream.
+func sequencyPermutation(nd int) []int { return permutations[nd] }
+
+func computeSequencyPermutation(nd int) []int {
+	size := 1 << (2 * nd)
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	degree := func(i int) int {
+		d := 0
+		for k := 0; k < nd; k++ {
+			d += (i >> (2 * k)) & 3
+		}
+		return d
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		da, db := degree(idx[a]), degree(idx[b])
+		if da != db {
+			return da < db
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// --- embedded bit-plane coder -----------------------------------------------
+
+// encodeInts encodes the negabinary coefficients bit plane by bit plane with
+// ZFP's group-testing scheme, spending at most budget bits and stopping at
+// bit plane kmin. It returns the number of bits written.
+func encodeInts(w *bitstream.Writer, data []uint32, kmin, budget int) int {
+	size := len(data)
+	bits := budget
+	n := 0
+	for k := intprec - 1; k >= kmin && bits > 0; k-- {
+		// Extract bit plane k: bit i of x is coefficient i's bit.
+		var x uint64
+		for i := 0; i < size; i++ {
+			x |= uint64((data[i]>>uint(k))&1) << uint(i)
+		}
+		// Verbatim bits for coefficients already significant.
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		for j := 0; j < m; j++ {
+			w.WriteBit(uint(x) & 1)
+			x >>= 1
+		}
+		// Group-test the remainder.
+		for n < size && bits > 0 {
+			bits--
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			for n < size-1 && bits > 0 {
+				bits--
+				b := uint(x) & 1
+				w.WriteBit(b)
+				if b != 0 {
+					break
+				}
+				x >>= 1
+				n++
+			}
+			x >>= 1
+			n++
+		}
+	}
+	return budget - bits
+}
+
+// decodeInts is the inverse of encodeInts.
+func decodeInts(r *bitstream.Reader, size, kmin, budget int) ([]uint32, error) {
+	data := make([]uint32, size)
+	bits := budget
+	n := 0
+	for k := intprec - 1; k >= kmin && bits > 0; k-- {
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		x, err := r.ReadBits(uint(m))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		for n < size && bits > 0 {
+			bits--
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			if b == 0 {
+				break
+			}
+			for n < size-1 && bits > 0 {
+				bits--
+				bb, err := r.ReadBit()
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+				}
+				if bb != 0 {
+					break
+				}
+				n++
+			}
+			x |= uint64(1) << uint(n)
+			n++
+		}
+		for i := 0; x != 0; i++ {
+			data[i] |= uint32(x&1) << uint(k)
+			x >>= 1
+		}
+	}
+	return data, nil
+}
