@@ -155,6 +155,22 @@ func BenchmarkAblationWithCutoff(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationEvaluationCache measures a hard (barely reachable) target
+// where the overlapping region searches burn their full iteration budget,
+// and reports how many of those compressor evaluations the shared
+// evaluation cache served without recompressing.
+func BenchmarkAblationEvaluationCache(b *testing.B) {
+	b.ReportAllocs()
+	var hits, misses int
+	for i := 0; i < b.N; i++ {
+		res := tuneWith(b, core.Config{TargetRatio: 60, Tolerance: 0.1, Regions: 6, Seed: 1, MaxIterationsPerRegion: 24})
+		hits += res.CacheHits
+		misses += res.CacheMisses
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "cache-hits/op")
+	b.ReportMetric(float64(misses)/float64(b.N), "compressions/op")
+}
+
 func hurricaneSeries(b *testing.B, steps int) core.Series {
 	b.Helper()
 	d, err := dataset.New("Hurricane", dataset.ScaleTiny)

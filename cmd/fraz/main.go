@@ -1,15 +1,17 @@
 // Command fraz performs fixed-ratio lossy compression of a single field: it
 // tunes the chosen compressor's error bound until the achieved compression
 // ratio reaches the requested target (within the tolerance), then optionally
-// writes the compressed stream.
+// writes a self-describing .fraz container.
 //
 // The field can come from a raw little-endian float32 file (-in, with -dims)
 // or from one of the built-in synthetic SDRBench stand-ins (-dataset/-field).
 //
-// Examples:
+// A .fraz container records the codec, tuned bound, achieved ratio, and
+// shape in its header, so decompression needs no flags beyond the file:
 //
-//	fraz -dataset Hurricane -field TCf -ratio 10
-//	fraz -in cloud.f32 -dims 100x500x500 -compressor zfp:accuracy -ratio 25 -out cloud.zfp
+//	fraz -dataset Hurricane -field TCf -ratio 10 -out tcf.fraz
+//	fraz -decompress tcf.fraz -out tcf.f32
+//	fraz -in cloud.f32 -dims 100x500x500 -compressor zfp:accuracy -ratio 25 -out cloud.fraz
 package main
 
 import (
@@ -21,10 +23,12 @@ import (
 	"strconv"
 	"strings"
 
+	"fraz/internal/container"
 	"fraz/internal/core"
 	"fraz/internal/dataset"
 	"fraz/internal/grid"
 	"fraz/internal/pressio"
+	"fraz/internal/report"
 )
 
 func main() {
@@ -37,6 +41,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fraz", flag.ContinueOnError)
 	var (
+		decompress = fs.String("decompress", "", "decompress this .fraz container (codec, bound, and shape come from its header)")
 		inPath     = fs.String("in", "", "raw little-endian float32 input file")
 		dims       = fs.String("dims", "", "input dimensions, slowest first, e.g. 100x500x500 (required with -in)")
 		dsName     = fs.String("dataset", "", "built-in synthetic dataset name (Hurricane, HACC, CESM, EXAALT, NYX)")
@@ -50,10 +55,26 @@ func run(args []string, out io.Writer) error {
 		regions    = fs.Int("regions", 12, "number of overlapping error-bound search regions")
 		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed       = fs.Int64("seed", 1, "search seed")
-		outPath    = fs.String("out", "", "write the compressed stream to this file")
+		outPath    = fs.String("out", "", "compress: write a .fraz container here; decompress: write raw float32 here")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *decompress != "" {
+		// Every decompression parameter comes from the container header, so
+		// any other flag the user set would be silently ignored — reject it
+		// instead of letting them believe it took effect.
+		var extra []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name != "decompress" && f.Name != "out" {
+				extra = append(extra, "-"+f.Name)
+			}
+		})
+		if len(extra) > 0 {
+			return fmt.Errorf("-decompress reads the codec, bound, and shape from the container header; remove %s", strings.Join(extra, ", "))
+		}
+		return runDecompress(*decompress, *outPath, out)
 	}
 
 	buf, label, err := loadInput(*inPath, *dims, *dsName, *fieldName, *timeStep, *scaleName)
@@ -88,7 +109,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "recommended bound: %g\n", res.ErrorBound)
 	fmt.Fprintf(out, "achieved ratio:   %.2f (compressed %.2f MB)\n", res.AchievedRatio, float64(res.CompressedSize)/1e6)
 	fmt.Fprintf(out, "feasible:         %v\n", res.Feasible)
-	fmt.Fprintf(out, "compressor calls: %d in %v\n", res.Iterations, res.Elapsed)
+	fmt.Fprintf(out, "evaluations:      %d in %v (%s)\n", res.Iterations, res.Elapsed, report.Savings(res.CacheHits, res.CacheMisses))
 	if !res.Feasible {
 		fmt.Fprintf(out, "note: the target ratio was not reachable within the error-bound range;\n")
 		fmt.Fprintf(out, "      the closest observed ratio is reported. Consider relaxing -tolerance,\n")
@@ -96,14 +117,53 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *outPath != "" {
-		comp, err := c.Compress(buf, res.ErrorBound)
+		cn, err := pressio.Seal(c, buf, res.ErrorBound)
 		if err != nil {
 			return fmt.Errorf("final compression: %w", err)
 		}
-		if err := os.WriteFile(*outPath, comp, 0o644); err != nil {
+		enc, err := cn.Encode()
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "wrote %d bytes to %s\n", len(comp), *outPath)
+		if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d bytes to %s (%s)\n", len(enc), *outPath, cn.Header)
+	}
+	return nil
+}
+
+// runDecompress reverses a .fraz container: every parameter needed — codec,
+// bound, shape — is read from the container header, so the only inputs are
+// the file itself and an optional raw float32 output path.
+func runDecompress(inPath, outPath string, out io.Writer) error {
+	enc, err := os.ReadFile(inPath)
+	if err != nil {
+		return err
+	}
+	cn, err := container.Decode(enc)
+	if err != nil {
+		return fmt.Errorf("%s: %w", inPath, err)
+	}
+	buf, err := pressio.Open(cn)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "container:        %s (%s)\n", inPath, cn.Header)
+	fmt.Fprintf(out, "reconstructed:    %d values (%s, %.2f MB)\n", len(buf.Data), buf.Shape, float64(buf.Bytes())/1e6)
+	if cd, ok := pressio.Lookup(cn.Header.Codec); ok {
+		switch {
+		case cd.Caps.Lossless:
+			fmt.Fprintf(out, "error guarantee:  lossless (bit-exact reconstruction)\n")
+		case cd.Caps.ErrorBounded:
+			fmt.Fprintf(out, "error guarantee:  %s <= %g\n", cd.Caps.BoundName, cn.Header.Bound)
+		}
+	}
+	if outPath != "" {
+		if err := dataset.WriteRaw(outPath, buf.Data); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d bytes to %s\n", buf.Bytes(), outPath)
 	}
 	return nil
 }

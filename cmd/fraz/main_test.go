@@ -1,11 +1,13 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"fraz/internal/container"
 	"fraz/internal/dataset"
 	"fraz/internal/grid"
 )
@@ -29,7 +31,7 @@ func TestRunWithSyntheticDataset(t *testing.T) {
 
 func TestRunWritesCompressedOutput(t *testing.T) {
 	dir := t.TempDir()
-	outFile := filepath.Join(dir, "field.szc")
+	outFile := filepath.Join(dir, "field.fraz")
 	var out strings.Builder
 	err := run([]string{
 		"-dataset", "EXAALT", "-field", "x", "-scale", "tiny",
@@ -47,6 +49,104 @@ func TestRunWritesCompressedOutput(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "wrote") {
 		t.Errorf("output should mention the written file:\n%s", out.String())
+	}
+	// The output is a self-describing container, not a bare blob.
+	enc, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := container.Decode(enc)
+	if err != nil {
+		t.Fatalf("written file is not a valid .fraz container: %v", err)
+	}
+	if cn.Header.Codec != "sz:abs" {
+		t.Errorf("container codec = %q, want the tuned default sz:abs", cn.Header.Codec)
+	}
+}
+
+// TestCompressDecompressRoundTrip drives the full artifact pipeline: tune
+// and compress a synthetic field into a .fraz container, decompress it with
+// no -dims/-compressor flags (everything comes from the header), and assert
+// the reconstruction respects the tuned error bound pointwise.
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	frazFile := filepath.Join(dir, "tcf.fraz")
+	rawFile := filepath.Join(dir, "tcf.f32")
+
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "Hurricane", "-field", "TCf", "-scale", "tiny",
+		"-ratio", "10", "-regions", "4", "-seed", "2", "-out", frazFile,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var decOut strings.Builder
+	if err := run([]string{"-decompress", frazFile, "-out", rawFile}, &decOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sz:abs", "error guarantee", "wrote"} {
+		if !strings.Contains(decOut.String(), want) {
+			t.Errorf("decompress output missing %q:\n%s", want, decOut.String())
+		}
+	}
+
+	// Reconstruct the original field and read back the container header to
+	// learn the shape and the tuned bound the CLI settled on.
+	enc, err := os.ReadFile(frazFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := container.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cn.Header.Bound > 0) {
+		t.Fatalf("container bound = %v", cn.Header.Bound)
+	}
+	d, err := dataset.New("Hurricane", dataset.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, shape, err := d.Generate("TCf", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shape.Equal(cn.Header.Shape) {
+		t.Fatalf("container shape %v, dataset shape %v", cn.Header.Shape, shape)
+	}
+	rec, err := dataset.ReadRaw(rawFile, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := 0.0
+	for i := range orig {
+		if diff := math.Abs(float64(rec[i]) - float64(orig[i])); diff > maxErr {
+			maxErr = diff
+		}
+	}
+	if maxErr > cn.Header.Bound {
+		t.Errorf("pointwise error %g exceeds tuned bound %g", maxErr, cn.Header.Bound)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk.fraz")
+	if err := os.WriteFile(junk, []byte("not a container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-decompress", filepath.Join(dir, "missing.fraz")},
+		{"-decompress", junk},
+		{"-decompress", junk, "-dataset", "NYX"}, // mutually exclusive modes
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 //	frazbench                      # run every experiment at the quick scale
 //	frazbench -exp fig9 -scale small
 //	frazbench -exp fig7 -csv > fig7.csv
+//	frazbench -exp cache           # evaluations saved by the shared cache, per field
 package main
 
 import (

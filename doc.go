@@ -5,7 +5,9 @@
 // The implementation lives under internal/:
 //
 //   - internal/core      — the FRaZ autotuner and parallel orchestrator
-//   - internal/pressio   — the generic compressor abstraction (libpressio analogue)
+//   - internal/pressio   — the generic codec layer (libpressio analogue): codec
+//     registry with capabilities plus the shared evaluation cache
+//   - internal/container — the self-describing .fraz on-disk container format
 //   - internal/sz        — SZ-like prediction-based error-bounded compressor
 //   - internal/zfp       — ZFP-like transform compressor (accuracy + fixed-rate)
 //   - internal/mgard     — MGARD-like multilevel compressor
@@ -15,7 +17,8 @@
 //   - internal/experiments — regenerates every table and figure of the paper
 //
 // Executables are under cmd/ (fraz, frazbench, datagen) and runnable usage
-// examples under examples/. The benchmarks in bench_test.go regenerate the
-// paper's evaluation (one benchmark per table/figure) plus ablations of the
-// design choices called out in DESIGN.md.
+// examples under examples/; see README.md for a quickstart and the .fraz
+// format table. The benchmarks in bench_test.go regenerate the paper's
+// evaluation (one benchmark per table/figure) plus ablations of the design
+// choices (region parallelism, cutoff, bound reuse, evaluation cache).
 package fraz

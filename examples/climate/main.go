@@ -14,6 +14,7 @@ import (
 	"fraz/internal/core"
 	"fraz/internal/dataset"
 	"fraz/internal/pressio"
+	"fraz/internal/report"
 )
 
 func main() {
@@ -31,10 +32,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// One evaluation cache shared by every field tuned below: fields whose
+	// searches revisit the same (data, bound) pairs skip the compressor.
+	cache := pressio.NewCache()
 	tuner, err := core.NewTuner(compressor, core.Config{
 		TargetRatio: targetRatio,
 		Tolerance:   tolerance,
 		Seed:        7,
+		Cache:       cache,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -80,4 +85,6 @@ func main() {
 	}
 	fmt.Printf("\noverall reduction: %.2f:1 (storage budget %.0f:1), tuned in %v\n",
 		totalOriginal/totalCompressed, targetRatio, time.Since(start).Round(time.Millisecond))
+	hits, misses := cache.Stats()
+	fmt.Printf("evaluation cache: %s\n", report.Savings(int(hits), int(misses)))
 }

@@ -25,10 +25,9 @@ func main() {
 
 	cases := []struct {
 		app, field string
-		compressor []string
 	}{
-		{"HACC", "x", []string{"sz:abs", "zfp:accuracy"}},                       // 1-D: MGARD not applicable
-		{"NYX", "temperature", []string{"sz:abs", "zfp:accuracy", "mgard:abs"}}, // 3-D: all back ends
+		{"HACC", "x"},          // 1-D particle positions: MGARD drops out
+		{"NYX", "temperature"}, // 3-D grid: every error-bounded back end applies
 	}
 
 	for _, cse := range cases {
@@ -45,10 +44,21 @@ func main() {
 			log.Fatal(err)
 		}
 
+		// Pick the candidates from the codec registry: every lossy
+		// error-bounded codec whose capabilities cover this data's rank.
+		// Registering a new back end makes it show up here automatically —
+		// no per-dataset compressor list to maintain.
+		var candidates []string
+		for _, cd := range pressio.Codecs() {
+			if cd.Caps.ErrorBounded && !cd.Caps.Lossless && cd.Caps.SupportsRank(shape.NDims()) {
+				candidates = append(candidates, cd.Name)
+			}
+		}
+
 		fmt.Printf("%s/%s %s — target %.0f:1\n", cse.app, cse.field, shape, targetRatio)
 		fmt.Printf("  %-22s %-10s %-10s %-12s %s\n", "compressor", "ratio", "feasible", "psnr (dB)", "max error")
 
-		for _, name := range cse.compressor {
+		for _, name := range candidates {
 			c, err := pressio.New(name)
 			if err != nil {
 				log.Fatal(err)

@@ -11,6 +11,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	"fraz/internal/core"
@@ -24,6 +26,11 @@ func main() {
 		tolerance    = 0.15
 		acquisitions = 24
 	)
+
+	archiveDir, err := os.MkdirTemp("", "fraz-instrument-*")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The NYX temperature field evolves across time-steps; cycling through
 	// them stands in for successive detector acquisitions.
@@ -73,15 +80,32 @@ func main() {
 		if res.Feasible {
 			prediction = res.ErrorBound
 		}
+		// Archive the acquisition as a self-describing .fraz container: the
+		// header records the codec, bound, ratio, and shape, so each stored
+		// acquisition is independently decodable long after this run.
+		sealed, err := pressio.Seal(compressor, buf, res.ErrorBound)
+		if err != nil {
+			log.Fatal(err)
+		}
+		encoded, err := sealed.Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(archiveDir, fmt.Sprintf("acq_%03d.fraz", acq))
+		if err := os.WriteFile(path, encoded, 0o644); err != nil {
+			log.Fatal(err)
+		}
 		totalBytes += buf.Bytes()
-		compressedBytes += res.CompressedSize
+		compressedBytes += len(encoded)
 		fmt.Printf("%-5d %-12.2f %-10v %-9v %-10d %v\n",
 			acq, res.AchievedRatio, res.Feasible, res.UsedPrediction, res.Iterations, res.Elapsed.Round(time.Millisecond))
 	}
 	elapsed := time.Since(start)
 
 	fmt.Printf("\nreused the previous bound on %d/%d acquisitions (%d retrains)\n", reused, acquisitions, retrained)
-	fmt.Printf("aggregate reduction %.2f:1; effective ingest throughput %.1f MB/s of raw data\n",
+	fmt.Printf("aggregate reduction %.2f:1 including container headers; effective ingest throughput %.1f MB/s of raw data\n",
 		float64(totalBytes)/float64(compressedBytes),
 		float64(totalBytes)/1e6/elapsed.Seconds())
+	fmt.Printf("archived %d .fraz containers under %s (decode any of them with: fraz -decompress <file>)\n",
+		acquisitions, archiveDir)
 }

@@ -1,6 +1,7 @@
 // The quickstart example shows the minimal FRaZ workflow: take one field of
-// scientific floating-point data, ask for a 10:1 compression ratio, and let
-// the tuner find the error bound that delivers it.
+// scientific floating-point data, ask for a 10:1 compression ratio, let the
+// tuner find the error bound that delivers it, and store the result as a
+// self-describing .fraz container that decompresses with no side knowledge.
 package main
 
 import (
@@ -8,6 +9,7 @@ import (
 	"fmt"
 	"log"
 
+	"fraz/internal/container"
 	"fraz/internal/core"
 	"fraz/internal/dataset"
 	"fraz/internal/pressio"
@@ -61,4 +63,27 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("quality:           %s\n", full.Report)
+
+	// 5. Archive it: seal the tuned compression into a .fraz container.
+	//    The header carries the codec, bound, ratio, and shape, so the
+	//    artifact round-trips from bytes alone — no flags, no metadata
+	//    sidecar.
+	sealed, err := pressio.Seal(compressor, buf, result.ErrorBound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	encoded, err := sealed.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	decoded, err := container.Decode(encoded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := pressio.Open(decoded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("container:         %d bytes (%s)\n", len(encoded), decoded.Header)
+	fmt.Printf("restored:          %d values, shape %s\n", len(restored.Data), restored.Shape)
 }

@@ -1,0 +1,3 @@
+module fraz
+
+go 1.21

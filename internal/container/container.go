@@ -1,0 +1,324 @@
+// Package container defines the self-describing `.fraz` on-disk format.
+//
+// The compressor adapters in internal/pressio emit bare byte blobs that
+// cannot be decoded without out-of-band knowledge of the codec, the tuned
+// error bound, and the data shape. A Container wraps such a blob in a small
+// versioned header carrying exactly that metadata — the same role
+// libpressio's pressio_data metadata (and SZx's typed stream header) plays
+// for the systems the paper builds on — so an archived artifact can be
+// decompressed years later by name alone.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "FRZ\x01"
+//	4       2     format version (currently 1)
+//	6       1     dtype (0 = float32)
+//	7       1     rank (1..4)
+//	8       1     codec name length L (1..255)
+//	9       L     codec name (e.g. "sz:abs")
+//	...     8     tuned bound (IEEE-754 float64)
+//	...     8     achieved ratio (IEEE-754 float64)
+//	...     8×R   shape extents, slowest dimension first (uint64 each)
+//	...     8     payload length N (uint64)
+//	...     4     CRC-32 (IEEE) of the payload
+//	...     N     payload (the codec's compressed stream)
+//
+// Encoding and decoding use sticky-error readers/writers in the style of
+// internal/bitstream: every field accessor checks and records the first
+// failure, and the caller inspects a single error at the end.
+package container
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"fraz/internal/grid"
+)
+
+// Version is the current format version written by Encode.
+const Version = 1
+
+// magic identifies a .fraz stream: "FRZ" plus a non-printable byte so text
+// files are rejected immediately.
+var magic = [4]byte{'F', 'R', 'Z', 0x01}
+
+// DType enumerates the element types a container can carry. Only float32 is
+// produced today; the byte is reserved so float64 data can be added without
+// a format break.
+type DType uint8
+
+// Float32 is the only element type currently written.
+const Float32 DType = 0
+
+// Size returns the element size in bytes, or 0 for an unknown dtype.
+func (d DType) Size() int {
+	if d == Float32 {
+		return 4
+	}
+	return 0
+}
+
+func (d DType) String() string {
+	if d == Float32 {
+		return "float32"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// Sentinel errors returned (wrapped) by Decode.
+var (
+	// ErrBadMagic means the stream does not start with the .fraz magic.
+	ErrBadMagic = errors.New("container: not a .fraz stream (bad magic)")
+	// ErrVersion means the stream was written by a newer format version.
+	ErrVersion = errors.New("container: unsupported format version")
+	// ErrTruncated means the stream ended before the header or payload did.
+	ErrTruncated = errors.New("container: truncated stream")
+	// ErrCorrupt means the payload failed its CRC-32 check.
+	ErrCorrupt = errors.New("container: payload CRC mismatch")
+	// ErrHeader means a header field holds an invalid value.
+	ErrHeader = errors.New("container: invalid header field")
+)
+
+// Header carries the metadata needed to decompress a payload without any
+// out-of-band knowledge.
+type Header struct {
+	// Version is the format version the stream was written with.
+	Version uint16
+	// Codec is the registered compressor name, e.g. "sz:abs".
+	Codec string
+	// Bound is the tuned error-bound parameter the payload was compressed
+	// with (bits per value for rate-mode codecs).
+	Bound float64
+	// Ratio is the compression ratio achieved at that bound.
+	Ratio float64
+	// DType is the element type of the uncompressed data.
+	DType DType
+	// Shape is the logical shape of the uncompressed data, slowest
+	// dimension first.
+	Shape grid.Dims
+}
+
+// Container couples a header with the codec's compressed payload.
+type Container struct {
+	Header  Header
+	Payload []byte
+}
+
+// New builds a Container with the current format version, validating the
+// header fields that Encode would otherwise reject later.
+func New(codec string, bound, ratio float64, shape grid.Dims, payload []byte) (Container, error) {
+	c := Container{
+		Header: Header{
+			Version: Version,
+			Codec:   codec,
+			Bound:   bound,
+			Ratio:   ratio,
+			DType:   Float32,
+			Shape:   shape.Clone(),
+		},
+		Payload: payload,
+	}
+	if err := c.Header.validate(); err != nil {
+		return Container{}, err
+	}
+	return c, nil
+}
+
+func (h Header) validate() error {
+	if h.Codec == "" || len(h.Codec) > 255 {
+		return fmt.Errorf("%w: codec name length %d (want 1..255)", ErrHeader, len(h.Codec))
+	}
+	if math.IsNaN(h.Bound) || math.IsInf(h.Bound, 0) || h.Bound < 0 {
+		return fmt.Errorf("%w: bound %v", ErrHeader, h.Bound)
+	}
+	if math.IsNaN(h.Ratio) || math.IsInf(h.Ratio, 0) || h.Ratio < 0 {
+		return fmt.Errorf("%w: ratio %v", ErrHeader, h.Ratio)
+	}
+	if h.DType.Size() == 0 {
+		return fmt.Errorf("%w: unknown dtype %d", ErrHeader, uint8(h.DType))
+	}
+	if err := h.Shape.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrHeader, err)
+	}
+	return nil
+}
+
+// EncodedSize returns the exact byte length Encode will produce.
+func (c Container) EncodedSize() int {
+	return 4 + 2 + 1 + 1 + 1 + len(c.Header.Codec) + 8 + 8 + 8*c.Header.Shape.NDims() + 8 + 4 + len(c.Payload)
+}
+
+// writer appends header fields to a buffer. It cannot fail (append grows the
+// buffer), so unlike reader it carries no error; it exists to keep the field
+// order readable and symmetric with reader.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) bytes(p []byte) { w.buf = append(w.buf, p...) }
+func (w *writer) u8(v uint8)     { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16)   { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32)   { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64)   { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) f64(v float64)  { w.u64(math.Float64bits(v)) }
+func (w *writer) str(s string)   { w.u8(uint8(len(s))); w.bytes([]byte(s)) }
+
+// Encode serialises the container. The header is validated first, so a
+// Container assembled by hand fails here rather than producing a stream
+// Decode would reject.
+func (c Container) Encode() ([]byte, error) {
+	if err := c.Header.validate(); err != nil {
+		return nil, err
+	}
+	w := writer{buf: make([]byte, 0, c.EncodedSize())}
+	w.bytes(magic[:])
+	w.u16(Version)
+	w.u8(uint8(c.Header.DType))
+	w.u8(uint8(c.Header.Shape.NDims()))
+	w.str(c.Header.Codec)
+	w.f64(c.Header.Bound)
+	w.f64(c.Header.Ratio)
+	for _, e := range c.Header.Shape {
+		w.u64(uint64(e))
+	}
+	w.u64(uint64(len(c.Payload)))
+	w.u32(crc32.ChecksumIEEE(c.Payload))
+	w.bytes(c.Payload)
+	return w.buf, nil
+}
+
+// reader consumes header fields from a buffer with a sticky error: after the
+// first failure every subsequent read returns zero values, and the caller
+// checks r.err once at the end (the bitstream-style discipline).
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) || r.pos+n < r.pos {
+		r.fail(fmt.Errorf("%w: need %d bytes at offset %d, have %d", ErrTruncated, n, r.pos, len(r.buf)-r.pos))
+		return nil
+	}
+	p := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return p
+}
+
+func (r *reader) u8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *reader) u16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+func (r *reader) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *reader) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) str() string {
+	n := int(r.u8())
+	p := r.take(n)
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+// Decode parses a stream produced by Encode, verifying the magic, version,
+// header validity, and payload CRC. The payload is copied, so the input
+// buffer may be reused.
+func Decode(data []byte) (Container, error) {
+	r := reader{buf: data}
+	var m [4]byte
+	copy(m[:], r.take(4))
+	if r.err == nil && m != magic {
+		return Container{}, ErrBadMagic
+	}
+	var c Container
+	c.Header.Version = r.u16()
+	if r.err == nil && (c.Header.Version == 0 || c.Header.Version > Version) {
+		return Container{}, fmt.Errorf("%w: %d (this build reads <= %d)", ErrVersion, c.Header.Version, Version)
+	}
+	c.Header.DType = DType(r.u8())
+	rank := int(r.u8())
+	if r.err == nil && (rank < 1 || rank > 4) {
+		return Container{}, fmt.Errorf("%w: rank %d (want 1..4)", ErrHeader, rank)
+	}
+	c.Header.Codec = r.str()
+	c.Header.Bound = r.f64()
+	c.Header.Ratio = r.f64()
+	if r.err == nil {
+		c.Header.Shape = make(grid.Dims, rank)
+		for i := 0; i < rank; i++ {
+			e := r.u64()
+			if r.err == nil && (e == 0 || e > math.MaxInt32) {
+				return Container{}, fmt.Errorf("%w: extent %d in dimension %d", ErrHeader, e, i)
+			}
+			c.Header.Shape[i] = int(e)
+		}
+	}
+	payloadLen := r.u64()
+	if r.err == nil && payloadLen > uint64(len(data)) {
+		return Container{}, fmt.Errorf("%w: payload length %d exceeds stream size %d", ErrTruncated, payloadLen, len(data))
+	}
+	sum := r.u32()
+	payload := r.take(int(payloadLen))
+	if r.err != nil {
+		return Container{}, r.err
+	}
+	if r.pos != len(data) {
+		return Container{}, fmt.Errorf("%w: %d trailing bytes after payload", ErrHeader, len(data)-r.pos)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Container{}, ErrCorrupt
+	}
+	if err := c.Header.validate(); err != nil {
+		return Container{}, err
+	}
+	c.Payload = append([]byte(nil), payload...)
+	return c, nil
+}
+
+// String summarises the header for logs and CLI output.
+func (h Header) String() string {
+	return fmt.Sprintf(".fraz v%d codec=%s dtype=%s shape=%s bound=%g ratio=%.2f",
+		h.Version, h.Codec, h.DType, h.Shape, h.Bound, h.Ratio)
+}

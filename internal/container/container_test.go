@@ -1,0 +1,210 @@
+package container
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"fraz/internal/grid"
+)
+
+func sample(t *testing.T) Container {
+	t.Helper()
+	c, err := New("sz:abs", 1e-3, 11.7, grid.MustDims(4, 8, 16), []byte{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := sample(t)
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != c.EncodedSize() {
+		t.Errorf("EncodedSize = %d, encoded %d bytes", c.EncodedSize(), len(enc))
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Header.Version != Version || dec.Header.Codec != "sz:abs" ||
+		dec.Header.Bound != 1e-3 || dec.Header.Ratio != 11.7 ||
+		dec.Header.DType != Float32 || !dec.Header.Shape.Equal(c.Header.Shape) {
+		t.Errorf("header mismatch: %+v", dec.Header)
+	}
+	if !bytes.Equal(dec.Payload, c.Payload) {
+		t.Errorf("payload mismatch: %v", dec.Payload)
+	}
+}
+
+func TestRoundTripEmptyPayload(t *testing.T) {
+	c, err := New("flate:lossless", 0, 1, grid.MustDims(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Payload) != 0 {
+		t.Errorf("payload = %v, want empty", dec.Payload)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	c := sample(t)
+	enc, _ := c.Encode()
+	enc[0] = 'X'
+	if _, err := Decode(enc); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := Decode([]byte("not a fraz file at all")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("text input: err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeRejectsFutureVersion(t *testing.T) {
+	c := sample(t)
+	enc, _ := c.Encode()
+	enc[4] = 0xFF // bump the version field
+	enc[5] = 0x7F
+	if _, err := Decode(enc); !errors.Is(err, ErrVersion) {
+		t.Errorf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsCorruptPayload(t *testing.T) {
+	c := sample(t)
+	enc, _ := c.Encode()
+	enc[len(enc)-1] ^= 0x40 // flip a payload bit under the CRC
+	if _, err := Decode(enc); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	c := sample(t)
+	enc, _ := c.Encode()
+	for _, cut := range []int{1, 5, 9, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("Decode of %d/%d bytes should fail", cut, len(enc))
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	c := sample(t)
+	enc, _ := c.Encode()
+	if _, err := Decode(append(enc, 0)); !errors.Is(err, ErrHeader) {
+		t.Errorf("err = %v, want ErrHeader for trailing bytes", err)
+	}
+}
+
+func TestNewValidatesHeader(t *testing.T) {
+	shape := grid.MustDims(8)
+	cases := []struct {
+		name  string
+		codec string
+		bound float64
+		ratio float64
+		shape grid.Dims
+	}{
+		{"empty codec", "", 1, 1, shape},
+		{"long codec", strings.Repeat("x", 256), 1, 1, shape},
+		{"nan bound", "sz:abs", math.NaN(), 1, shape},
+		{"negative bound", "sz:abs", -5, 1, shape},
+		{"inf ratio", "sz:abs", 1, math.Inf(1), shape},
+		{"negative ratio", "sz:abs", 1, -1, shape},
+		{"nil shape", "sz:abs", 1, 1, nil},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.codec, tc.bound, tc.ratio, tc.shape, nil); !errors.Is(err, ErrHeader) {
+			t.Errorf("%s: err = %v, want ErrHeader", tc.name, err)
+		}
+	}
+}
+
+func TestEncodeValidatesHandAssembledHeader(t *testing.T) {
+	c := Container{Header: Header{Version: Version, Codec: "sz:abs", DType: 99, Shape: grid.MustDims(4)}}
+	if _, err := c.Encode(); !errors.Is(err, ErrHeader) {
+		t.Errorf("unknown dtype: err = %v, want ErrHeader", err)
+	}
+}
+
+func TestDecodeRejectsZeroExtent(t *testing.T) {
+	c := sample(t)
+	enc, _ := c.Encode()
+	// The first extent's u64 starts after magic(4) version(2) dtype(1)
+	// rank(1) len(1)+codec(6) bound(8) ratio(8).
+	off := 4 + 2 + 1 + 1 + 1 + len(c.Header.Codec) + 8 + 8
+	for i := 0; i < 8; i++ {
+		enc[off+i] = 0
+	}
+	if _, err := Decode(enc); !errors.Is(err, ErrHeader) {
+		t.Errorf("err = %v, want ErrHeader for zero extent", err)
+	}
+}
+
+func TestHeaderString(t *testing.T) {
+	s := sample(t).Header.String()
+	for _, want := range []string{"sz:abs", "float32", "4x8x16", "0.001"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Header.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// FuzzContainerRoundTrip checks that any container that encodes also decodes
+// to an identical value, and that flipping any payload byte is rejected by
+// the CRC.
+func FuzzContainerRoundTrip(f *testing.F) {
+	f.Add("sz:abs", 1e-4, 12.5, uint8(3), 7, []byte{1, 2, 3})
+	f.Add("zfp:rate", 8.0, 4.0, uint8(1), 100, []byte{})
+	f.Add("mgard:abs", 0.5, 1.0, uint8(4), 2, []byte{0xFF, 0x00})
+	f.Fuzz(func(t *testing.T, codec string, bound, ratio float64, rank uint8, extent int, payload []byte) {
+		r := int(rank%4) + 1
+		if extent <= 0 {
+			extent = -extent + 1
+		}
+		extent = extent%16 + 1
+		shape := make(grid.Dims, r)
+		for i := range shape {
+			shape[i] = extent + i
+		}
+		c, err := New(codec, bound, ratio, shape, payload)
+		if err != nil {
+			return // invalid header inputs are allowed to be rejected
+		}
+		enc, err := c.Encode()
+		if err != nil {
+			t.Fatalf("New accepted but Encode failed: %v", err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode of valid stream failed: %v", err)
+		}
+		if dec.Header.Codec != c.Header.Codec || dec.Header.Bound != c.Header.Bound ||
+			dec.Header.Ratio != c.Header.Ratio || !dec.Header.Shape.Equal(c.Header.Shape) {
+			t.Fatalf("header round trip mismatch: sent %+v got %+v", c.Header, dec.Header)
+		}
+		if !bytes.Equal(dec.Payload, c.Payload) {
+			t.Fatalf("payload round trip mismatch")
+		}
+		if len(payload) > 0 {
+			bad := append([]byte(nil), enc...)
+			bad[len(bad)-1] ^= 0x01
+			if _, err := Decode(bad); err == nil {
+				t.Fatalf("corrupted payload byte not rejected")
+			}
+		}
+	})
+}

@@ -80,6 +80,10 @@ type Config struct {
 	Workers int
 	// Seed makes the search deterministic.
 	Seed int64
+	// Cache memoises compressor evaluations across the K overlapping region
+	// searches (and across tuning runs, when shared between tuners). Nil
+	// gives the tuner a private cache.
+	Cache *pressio.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +146,11 @@ type Result struct {
 	// UsedPrediction is true when a reused bound from a previous time-step
 	// satisfied the target without retraining.
 	UsedPrediction bool
+	// CacheHits counts evaluations served from the shared evaluation cache
+	// without invoking the compressor; CacheMisses counts the evaluations
+	// that actually compressed. Iterations = CacheHits + CacheMisses.
+	CacheHits   int
+	CacheMisses int
 	// Regions reports the per-region search results (empty when the
 	// prediction was reused).
 	Regions []RegionResult
@@ -175,6 +184,7 @@ func Cutoff(target, tolerance float64) float64 {
 type Tuner struct {
 	compressor pressio.Compressor
 	cfg        Config
+	cache      *pressio.Cache
 }
 
 // NewTuner validates the configuration and returns a Tuner.
@@ -191,11 +201,19 @@ func NewTuner(c pressio.Compressor, cfg Config) (*Tuner, error) {
 	if cfg.MaxError < 0 {
 		return nil, fmt.Errorf("%w: max error must be >= 0, got %v", ErrBadConfig, cfg.MaxError)
 	}
-	return &Tuner{compressor: c, cfg: cfg.withDefaults()}, nil
+	cache := cfg.Cache
+	if cache == nil {
+		cache = pressio.NewCache()
+	}
+	return &Tuner{compressor: c, cfg: cfg.withDefaults(), cache: cache}, nil
 }
 
 // Compressor returns the compressor being tuned.
 func (t *Tuner) Compressor() pressio.Compressor { return t.compressor }
+
+// Cache returns the evaluation cache the tuner records compressor
+// evaluations in (the one from Config.Cache, or the private default).
+func (t *Tuner) Cache() *pressio.Cache { return t.cache }
 
 // Config returns the effective (defaulted) configuration.
 func (t *Tuner) Config() Config { return t.cfg }
@@ -249,16 +267,20 @@ func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, pred
 		TargetRatio: t.cfg.TargetRatio,
 		Tolerance:   t.cfg.Tolerance,
 	}
+	// One evaluator per tuning run: the buffer fingerprint is computed once
+	// and every region search below shares the memoised evaluations.
+	eval := pressio.NewEvaluator(t.cache, t.compressor, buf)
 
 	if prediction > 0 {
-		ratio, size, err := pressio.Ratio(t.compressor, buf, prediction)
+		ratio, size, evaluated, err := eval.Ratio(prediction)
 		res.Iterations++
 		if err == nil && InBand(ratio, t.cfg.TargetRatio, t.cfg.Tolerance) {
-			res.ErrorBound = prediction
+			res.ErrorBound = evaluated
 			res.AchievedRatio = ratio
 			res.CompressedSize = size
 			res.Feasible = true
 			res.UsedPrediction = true
+			res.CacheHits, res.CacheMisses = eval.Stats()
 			res.Elapsed = time.Since(start)
 			return res, nil
 		}
@@ -278,7 +300,7 @@ func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, pred
 	for i, region := range regions {
 		i, region := i, region
 		tasks[i] = func(taskCtx context.Context) (RegionResult, bool, error) {
-			rr := t.searchRegion(taskCtx, buf, region, cutoff, t.cfg.Seed+int64(i))
+			rr := t.searchRegion(taskCtx, eval, region, cutoff, t.cfg.Seed+int64(i))
 			return rr, rr.Acceptable, rr.Err
 		}
 	}
@@ -316,6 +338,7 @@ func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, pred
 			}
 		}
 	}
+	res.CacheHits, res.CacheMisses = eval.Stats()
 	if best == nil {
 		res.Elapsed = time.Since(start)
 		return res, fmt.Errorf("fraz: no successful compressor evaluation (compressor %s)", t.compressor.Name())
@@ -329,9 +352,12 @@ func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, pred
 }
 
 // searchRegion runs the cutoff-modified global minimiser within one region.
-func (t *Tuner) searchRegion(ctx context.Context, buf pressio.Buffer, region parallel.Region, cutoff float64, seed int64) RegionResult {
+// Evaluations go through the shared evaluator, so bounds already measured by
+// an overlapping region (or an earlier tuning run on the same data) are
+// served from the cache instead of re-compressing.
+func (t *Tuner) searchRegion(ctx context.Context, eval *pressio.Evaluator, region parallel.Region, cutoff float64, seed int64) RegionResult {
 	rr := RegionResult{Region: region, Started: true}
-	// rr.Iterations counts actual compressor invocations, not optimizer
+	// rr.Iterations counts evaluations (cached or not), not optimizer
 	// steps: once the region is cancelled the objective short-circuits
 	// without compressing, and those steps must not be billed.
 	objective := func(e float64) float64 {
@@ -340,11 +366,11 @@ func (t *Tuner) searchRegion(ctx context.Context, buf pressio.Buffer, region par
 			return Gamma
 		}
 		rr.Iterations++
-		ratio, size, err := pressio.Ratio(t.compressor, buf, e)
+		ratio, size, evaluated, err := eval.Ratio(e)
 		if err != nil {
 			return Gamma
 		}
-		rr.Evaluations = append(rr.Evaluations, Evaluation{ErrorBound: e, Ratio: ratio, CompressedSize: size})
+		rr.Evaluations = append(rr.Evaluations, Evaluation{ErrorBound: evaluated, Ratio: ratio, CompressedSize: size})
 		return Loss(ratio, t.cfg.TargetRatio, Gamma)
 	}
 	optRes, err := optim.FindGlobalMin(objective, optim.Options{
@@ -389,8 +415,12 @@ type SeriesResult struct {
 	Retrains int
 	// ConvergedSteps counts steps whose final ratio is inside the band.
 	ConvergedSteps int
-	// TotalIterations is the total number of compressor invocations.
+	// TotalIterations is the total number of compressor evaluations.
 	TotalIterations int
+	// CacheHits and CacheMisses total the per-step evaluation-cache
+	// counters: hits are evaluations that skipped the compressor entirely.
+	CacheHits   int
+	CacheMisses int
 	// Elapsed is the total wall-clock time.
 	Elapsed time.Duration
 }
@@ -431,6 +461,8 @@ func (t *Tuner) TuneSeries(ctx context.Context, s Series) (SeriesResult, error) 
 		stepOut := SeriesStep{TimeStep: step, Result: res, Retrained: !res.UsedPrediction}
 		out.Steps = append(out.Steps, stepOut)
 		out.TotalIterations += res.Iterations
+		out.CacheHits += res.CacheHits
+		out.CacheMisses += res.CacheMisses
 		if stepOut.Retrained {
 			out.Retrains++
 		}

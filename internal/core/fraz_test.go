@@ -246,8 +246,17 @@ func TestTuneWithPredictionReuse(t *testing.T) {
 	if !second.UsedPrediction || !second.Feasible {
 		t.Errorf("prediction should be reused: %+v", second)
 	}
-	if atomic.LoadInt64(&calls) != 1 || second.Iterations != 1 {
-		t.Errorf("prediction reuse should cost exactly one compression, got %d", atomic.LoadInt64(&calls))
+	if second.Iterations != 1 {
+		t.Errorf("prediction reuse should cost exactly one evaluation, got %d", second.Iterations)
+	}
+	// The tuner already measured this exact bound during training, so the
+	// prediction evaluation is served from the evaluation cache without
+	// invoking the compressor at all.
+	if got := atomic.LoadInt64(&calls); got != 0 {
+		t.Errorf("prediction reuse compressed %d times, want 0 (cache hit)", got)
+	}
+	if second.CacheHits != 1 || second.CacheMisses != 0 {
+		t.Errorf("prediction reuse stats = %d hits / %d misses, want 1/0", second.CacheHits, second.CacheMisses)
 	}
 }
 
@@ -298,8 +307,10 @@ func TestTuneSeriesRetrainsOnRegimeChange(t *testing.T) {
 			return 1 + 63*bound/(bound+0.05*shift)/(2/(2+0.05*shift))
 		}}
 	}
-	// The Series provider supplies the same buffer; the compressor changes
-	// per step via a closure over the step index.
+	// The compressor changes per step via a closure over the step index, and
+	// the data changes with the regime too (as it would in a real series —
+	// the evaluation cache keys on the data fingerprint, so a regime change
+	// with identical bytes would otherwise be served stale ratios).
 	var stepIndex int
 	fake := fakeCompressor{name: "fake", ratioFn: func(bound float64) float64 {
 		return makeFake(stepIndex).ratioFn(bound)
@@ -308,13 +319,20 @@ func TestTuneSeriesRetrainsOnRegimeChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf := smallBuffer(4096)
+	calm := smallBuffer(4096)
+	stormy := smallBuffer(4096)
+	for i := range stormy.Data {
+		stormy.Data[i] *= 1.5
+	}
 	series := Series{
 		Field: "synthetic",
 		Steps: 10,
 		At: func(i int) (pressio.Buffer, error) {
 			stepIndex = i
-			return buf, nil
+			if i >= 5 {
+				return stormy, nil
+			}
+			return calm, nil
 		},
 	}
 	res, err := tu.TuneSeries(context.Background(), series)

@@ -206,6 +206,9 @@ func Run(name string, cfg Config) ([]*report.Table, error) {
 	case "lossless":
 		t, err := LosslessMotivation(cfg)
 		return wrap(t, err)
+	case "cache":
+		t, err := CacheSavings(cfg)
+		return wrap(t, err)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
@@ -220,7 +223,8 @@ func wrap(t *report.Table, err error) ([]*report.Table, error) {
 
 // Names lists the available experiment identifiers. The fig*/table* entries
 // correspond to the paper's evaluation; "iters", "regions", and "lossless"
-// back specific claims made in its text (§V-B1, §V-C/Fig. 5, and §I).
+// back specific claims made in its text (§V-B1, §V-C/Fig. 5, and §I), and
+// "cache" charts the evaluations saved by the shared evaluation cache.
 func Names() []string {
-	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "regions", "lossless"}
+	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "regions", "lossless", "cache"}
 }

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheSavings(t *testing.T) {
+	tab, err := CacheSavings(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 4)
+	totalHits := 0
+	for _, row := range tab.Rows {
+		evals := row[3].(int)
+		hits := row[4].(int)
+		misses := row[5].(int)
+		if hits+misses != evals {
+			t.Errorf("hits %d + compressor calls %d != evaluations %d in row %v", hits, misses, evals, row)
+		}
+		totalHits += hits
+	}
+	if totalHits == 0 {
+		t.Errorf("cache experiment recorded no hits at all")
+	}
+	if !strings.Contains(tab.String(), "served from cache") {
+		t.Errorf("table should note the total savings:\n%s", tab.String())
+	}
+}

@@ -1,0 +1,232 @@
+package pressio
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the shared compressor-evaluation cache. FRaZ's
+// region-parallel search (paper Algorithm 2) runs K overlapping searches of
+// the same buffer concurrently, and its trust-region refinement clusters
+// evaluations ever more tightly around the incumbent best bound — both
+// produce near-identical error bounds whose compressions are byte-for-byte
+// redundant. The cache memoises the (ratio, size) outcome per (codec,
+// dataset fingerprint, quantized bound), and deduplicates in-flight
+// evaluations so two regions asking for the same bound at the same time
+// trigger exactly one compression.
+
+// quantDropBits is the number of low-order float64 mantissa bits cleared by
+// QuantizeBound: 44 of the 52, keeping 8. Bounds within one part in 2^8
+// (≈0.4%) of each other therefore share a cache slot — far finer than the
+// ratio changes the 10% default acceptance band can resolve, but coarse
+// enough that a converging trust region collides with its own trail and
+// with the overlapping neighbour region's samples.
+const quantDropBits = 44
+
+// QuantizeBound snaps a positive error bound down onto a logarithmic grid
+// with ≈0.4% relative spacing. Bounds on the same grid point share one cache
+// slot: the compressor runs for the first of them, and the measured
+// (bound, ratio, size) triple answers the rest. Non-positive and non-finite
+// bounds are returned unchanged.
+func QuantizeBound(bound float64) float64 {
+	if !(bound > 0) || math.IsInf(bound, 0) {
+		return bound
+	}
+	return math.Float64frombits(math.Float64bits(bound) &^ (1<<quantDropBits - 1))
+}
+
+// Fingerprint hashes a buffer's shape and contents (FNV-1a over the raw
+// float bits) into the cache-key component that distinguishes datasets. Two
+// buffers with equal fingerprints share cached evaluations, so the hash
+// covers every bit of every value. Data is fed to the hash in chunks so no
+// buffer-sized copy is allocated.
+func Fingerprint(buf Buffer) uint64 {
+	h := fnv.New64a()
+	var scratch [4096]byte
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(buf.Shape)))
+	n := 8
+	for _, e := range buf.Shape {
+		binary.LittleEndian.PutUint64(scratch[n:], uint64(e))
+		n += 8
+	}
+	h.Write(scratch[:n])
+	data := buf.Data
+	for len(data) > 0 {
+		chunk := data
+		if len(chunk) > len(scratch)/4 {
+			chunk = chunk[:len(scratch)/4]
+		}
+		for i, f := range chunk {
+			binary.LittleEndian.PutUint32(scratch[4*i:], math.Float32bits(f))
+		}
+		h.Write(scratch[:4*len(chunk)])
+		data = data[len(chunk):]
+	}
+	return h.Sum64()
+}
+
+// CacheKey identifies one memoised evaluation.
+type CacheKey struct {
+	// Codec is the compressor name the bound was evaluated with.
+	Codec string
+	// Fingerprint identifies the dataset (see Fingerprint).
+	Fingerprint uint64
+	// Bound is the float64 bit pattern of the quantized bound.
+	Bound uint64
+}
+
+// CacheEntry is one memoised evaluation: the bound the compressor actually
+// ran with (callers mapping to the same quantized key receive this bound, so
+// the reported ratio is always exact for the reported bound) and its
+// outcome.
+type CacheEntry struct {
+	// Bound is the error bound the entry was measured at.
+	Bound float64
+	// Ratio is the compression ratio achieved at Bound.
+	Ratio float64
+	// Size is the compressed size in bytes at Bound.
+	Size int
+}
+
+// cacheSlot is a single-flight slot: the first requester computes while
+// later ones wait on done. complete is set (under the cache mutex) once the
+// computation finished, marking the slot safe to evict.
+type cacheSlot struct {
+	done     chan struct{}
+	complete bool
+	entry    CacheEntry
+	err      error
+}
+
+// DefaultMaxEntries bounds the cache size. Long-lived tuners on streaming
+// data accumulate entries for fingerprints that never recur, so at capacity
+// the completed entries are swept and the cache restarts cold — a bounded
+// memory footprint traded against an occasional re-warm.
+const DefaultMaxEntries = 1 << 16
+
+// Cache memoises compressor evaluations. It is safe for concurrent use; the
+// zero value is not ready — use NewCache.
+type Cache struct {
+	mu      sync.Mutex
+	m       map[CacheKey]*cacheSlot
+	maxSize int
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewCache returns an empty evaluation cache holding at most
+// DefaultMaxEntries completed evaluations.
+func NewCache() *Cache {
+	return &Cache{m: make(map[CacheKey]*cacheSlot), maxSize: DefaultMaxEntries}
+}
+
+// do returns the memoised outcome for key, computing it with fn exactly once
+// across all concurrent callers. The boolean reports whether the result came
+// from the cache (including waiting on another caller's in-flight
+// computation — the compression was saved either way). Failed evaluations
+// are not retained: concurrent waiters receive the in-flight error, but the
+// slot is released so later callers retry instead of being served a
+// poisoned entry for the cache's lifetime.
+func (c *Cache) do(key CacheKey, fn func() (CacheEntry, error)) (entry CacheEntry, hit bool, err error) {
+	c.mu.Lock()
+	if s, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-s.done
+		c.hits.Add(1)
+		return s.entry, true, s.err
+	}
+	if len(c.m) >= c.maxSize {
+		// At capacity: sweep every completed entry (in-flight slots must
+		// stay so their waiters still get answered through the map).
+		for k, old := range c.m {
+			if old.complete {
+				delete(c.m, k)
+			}
+		}
+	}
+	s := &cacheSlot{done: make(chan struct{})}
+	c.m[key] = s
+	c.mu.Unlock()
+	c.misses.Add(1)
+	s.entry, s.err = fn()
+	c.mu.Lock()
+	s.complete = true
+	if s.err != nil {
+		delete(c.m, key)
+	}
+	c.mu.Unlock()
+	close(s.done)
+	return s.entry, false, s.err
+}
+
+// Stats reports the cumulative hit and miss counts across all users of the
+// cache. A hit is an evaluation served without invoking the compressor.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the number of distinct evaluations stored.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Evaluator performs cached ratio evaluations of one (compressor, buffer)
+// pair. It computes the buffer fingerprint once at construction and keeps
+// its own hit/miss counters, so a tuning run can report savings even when
+// the underlying Cache is shared with other runs. It is safe for concurrent
+// use by the parallel region searches.
+type Evaluator struct {
+	cache  *Cache
+	comp   Compressor
+	buf    Buffer
+	fp     uint64
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewEvaluator binds a cache to one compressor/buffer pair. A nil cache is
+// allowed and disables memoisation (every Ratio call compresses).
+func NewEvaluator(cache *Cache, comp Compressor, buf Buffer) *Evaluator {
+	e := &Evaluator{cache: cache, comp: comp, buf: buf}
+	if cache != nil {
+		e.fp = Fingerprint(buf)
+	}
+	return e
+}
+
+// Ratio evaluates the compression ratio at the given bound, serving repeats
+// from the cache. On a miss the compressor runs at exactly the requested
+// bound (so an uncontended search follows the same trajectory it would
+// without the cache); on a hit the caller receives the cached entry's bound,
+// ratio, and size, keeping the three mutually exact. The returned bound is
+// therefore the one the ratio was actually measured at, never more than the
+// quantization spacing (≈0.4%) away from the request.
+func (e *Evaluator) Ratio(bound float64) (ratio float64, size int, evaluated float64, err error) {
+	if e.cache == nil {
+		e.misses.Add(1)
+		ratio, size, err = Ratio(e.comp, e.buf, bound)
+		return ratio, size, bound, err
+	}
+	key := CacheKey{Codec: e.comp.Name(), Fingerprint: e.fp, Bound: math.Float64bits(QuantizeBound(bound))}
+	entry, hit, err := e.cache.do(key, func() (CacheEntry, error) {
+		r, s, err := Ratio(e.comp, e.buf, bound)
+		return CacheEntry{Bound: bound, Ratio: r, Size: s}, err
+	})
+	if hit {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	return entry.Ratio, entry.Size, entry.Bound, err
+}
+
+// Stats reports this evaluator's own hit and miss counts (a subset of the
+// shared cache's totals).
+func (e *Evaluator) Stats() (hits, misses int) {
+	return int(e.hits.Load()), int(e.misses.Load())
+}

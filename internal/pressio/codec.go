@@ -1,0 +1,170 @@
+package pressio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"fraz/internal/container"
+	"fraz/internal/metrics"
+)
+
+// Capabilities describes the static properties of a registered codec, so
+// callers can select a back end without instantiating one (e.g. which
+// compressors apply to 1-D particle data, or which guarantee a pointwise
+// error bound worth asserting after decompression).
+type Capabilities struct {
+	// BoundName names the tunable scalar parameter, e.g. "absolute error
+	// bound" or "bits per value".
+	BoundName string
+	// ErrorBounded reports whether the tunable parameter guarantees a
+	// pointwise error bound (false for the ZFP fixed-rate and
+	// fixed-precision baselines).
+	ErrorBounded bool
+	// Lossless marks codecs that reconstruct the data bit-exactly; their
+	// bound parameter is ignored, so callers should not quote it as an
+	// error guarantee.
+	Lossless bool
+	// MinRank and MaxRank bound the data ranks the codec accepts.
+	MinRank, MaxRank int
+}
+
+// SupportsRank reports whether the codec accepts data of the given rank.
+func (c Capabilities) SupportsRank(rank int) bool {
+	return rank >= c.MinRank && rank <= c.MaxRank
+}
+
+// Codec is the registry descriptor for one compressor configuration: its
+// wire name (recorded in .fraz container headers), a factory for instances,
+// and its static capabilities.
+type Codec struct {
+	// Name identifies the codec, e.g. "sz:abs". It is the name written into
+	// container headers, so renaming a codec orphans existing archives.
+	Name string
+	// New constructs a ready-to-use compressor instance.
+	New func() Compressor
+	// Caps describes what the codec can do.
+	Caps Capabilities
+}
+
+// ErrUnknownCompressor is returned by New and Open for unregistered names.
+var ErrUnknownCompressor = errors.New("pressio: unknown compressor")
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Codec{}
+)
+
+// Register adds a codec descriptor to the registry. It is called from init
+// functions and by tests installing fakes; registering a duplicate name, an
+// empty name, or a nil factory panics, as those are always programming
+// errors.
+//
+// BoundName and ErrorBounded also exist as methods on the Compressor
+// instances the factory produces. To keep the two from drifting, Register
+// instantiates the codec once: empty Caps fields are filled in from the
+// instance, and populated ones that contradict it panic.
+func Register(c Codec) {
+	if c.Name == "" {
+		panic("pressio: Register with empty codec name")
+	}
+	if c.New == nil {
+		panic(fmt.Sprintf("pressio: Register(%q) with nil factory", c.Name))
+	}
+	inst := c.New()
+	if inst == nil {
+		panic(fmt.Sprintf("pressio: Register(%q) factory returned nil", c.Name))
+	}
+	if got := inst.Name(); got != c.Name {
+		panic(fmt.Sprintf("pressio: Register(%q) factory builds compressor named %q", c.Name, got))
+	}
+	if c.Caps.BoundName == "" {
+		c.Caps.BoundName = inst.BoundName()
+		c.Caps.ErrorBounded = inst.ErrorBounded()
+	} else {
+		if c.Caps.BoundName != inst.BoundName() {
+			panic(fmt.Sprintf("pressio: Register(%q): Caps.BoundName %q disagrees with instance %q", c.Name, c.Caps.BoundName, inst.BoundName()))
+		}
+		if c.Caps.ErrorBounded != inst.ErrorBounded() {
+			panic(fmt.Sprintf("pressio: Register(%q): Caps.ErrorBounded disagrees with instance", c.Name))
+		}
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[c.Name]; dup {
+		panic(fmt.Sprintf("pressio: duplicate registration of %q", c.Name))
+	}
+	registry[c.Name] = c
+}
+
+// Lookup returns the descriptor registered under name.
+func Lookup(name string) (Codec, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	c, ok := registry[name]
+	return c, ok
+}
+
+// New instantiates a registered compressor by name.
+func New(name string) (Compressor, error) {
+	c, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (available: %v)", ErrUnknownCompressor, name, Names())
+	}
+	return c.New(), nil
+}
+
+// Codecs lists the registered descriptors sorted by name.
+func Codecs() []Codec {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Codec, 0, len(registry))
+	for _, c := range registry {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names lists the registered codec names in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Seal compresses the buffer at the given bound and wraps the result in a
+// self-describing container carrying the codec name, the bound, the achieved
+// ratio, and the shape — everything Open needs to reverse it.
+func Seal(c Compressor, buf Buffer, bound float64) (container.Container, error) {
+	comp, err := c.Compress(buf, bound)
+	if err != nil {
+		return container.Container{}, fmt.Errorf("pressio: seal with %s: %w", c.Name(), err)
+	}
+	ratio := metrics.CompressionRatio(buf.Bytes(), len(comp))
+	return container.New(c.Name(), bound, ratio, buf.Shape, comp)
+}
+
+// Open routes a decoded container to the codec named in its header and
+// reconstructs the original buffer. It is the inverse of Seal and the only
+// decompression entry point that needs no out-of-band knowledge.
+func Open(cn container.Container) (Buffer, error) {
+	if cn.Header.DType != container.Float32 {
+		return Buffer{}, fmt.Errorf("pressio: cannot decode %s payloads", cn.Header.DType)
+	}
+	c, err := New(cn.Header.Codec)
+	if err != nil {
+		return Buffer{}, err
+	}
+	data, err := c.Decompress(cn.Payload, cn.Header.Shape)
+	if err != nil {
+		return Buffer{}, fmt.Errorf("pressio: open %s container: %w", cn.Header.Codec, err)
+	}
+	return NewBuffer(data, cn.Header.Shape)
+}

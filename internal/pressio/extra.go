@@ -127,7 +127,16 @@ func (losslessFlate) Decompress(comp []byte, shape grid.Dims) ([]float32, error)
 }
 
 func init() {
-	Register("sz:rel", func() Compressor { return szRelative{} })
-	Register("zfp:precision", func() Compressor { return zfpPrecision{} })
-	Register("flate:lossless", func() Compressor { return losslessFlate{} })
+	Register(Codec{
+		Name: "sz:rel", New: func() Compressor { return szRelative{} },
+		Caps: Capabilities{BoundName: "value-range-relative error bound", ErrorBounded: true, MinRank: 1, MaxRank: 3},
+	})
+	Register(Codec{
+		Name: "zfp:precision", New: func() Compressor { return zfpPrecision{} },
+		Caps: Capabilities{BoundName: "bit planes per block", ErrorBounded: false, MinRank: 1, MaxRank: 3},
+	})
+	Register(Codec{
+		Name: "flate:lossless", New: func() Compressor { return losslessFlate{} },
+		Caps: Capabilities{BoundName: "unused (lossless)", ErrorBounded: true, Lossless: true, MinRank: 1, MaxRank: 4},
+	})
 }

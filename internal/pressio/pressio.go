@@ -9,10 +9,7 @@
 package pressio
 
 import (
-	"errors"
 	"fmt"
-	"sort"
-	"sync"
 
 	"fraz/internal/grid"
 	"fraz/internal/metrics"
@@ -61,49 +58,6 @@ type Compressor interface {
 	Compress(buf Buffer, bound float64) ([]byte, error)
 	// Decompress reconstructs data previously compressed by this compressor.
 	Decompress(comp []byte, shape grid.Dims) ([]float32, error)
-}
-
-// ErrUnknownCompressor is returned by New for unregistered names.
-var ErrUnknownCompressor = errors.New("pressio: unknown compressor")
-
-var (
-	registryMu sync.RWMutex
-	registry   = map[string]func() Compressor{}
-)
-
-// Register adds a compressor constructor under the given name. It is called
-// from init functions and by tests installing fakes; registering a duplicate
-// name panics, as that is always a programming error.
-func Register(name string, factory func() Compressor) {
-	registryMu.Lock()
-	defer registryMu.Unlock()
-	if _, dup := registry[name]; dup {
-		panic(fmt.Sprintf("pressio: duplicate registration of %q", name))
-	}
-	registry[name] = factory
-}
-
-// New instantiates a registered compressor by name.
-func New(name string) (Compressor, error) {
-	registryMu.RLock()
-	factory, ok := registry[name]
-	registryMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q (available: %v)", ErrUnknownCompressor, name, Names())
-	}
-	return factory(), nil
-}
-
-// Names lists the registered compressor names in sorted order.
-func Names() []string {
-	registryMu.RLock()
-	defer registryMu.RUnlock()
-	names := make([]string, 0, len(registry))
-	for n := range registry {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
 }
 
 // Result captures one compression run: the parameter used, the achieved
@@ -237,9 +191,24 @@ func (mgardL2) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
 }
 
 func init() {
-	Register("sz:abs", func() Compressor { return szCompressor{} })
-	Register("zfp:accuracy", func() Compressor { return zfpAccuracy{} })
-	Register("zfp:rate", func() Compressor { return zfpFixedRate{} })
-	Register("mgard:abs", func() Compressor { return mgardInfinity{} })
-	Register("mgard:l2", func() Compressor { return mgardL2{} })
+	Register(Codec{
+		Name: "sz:abs", New: func() Compressor { return szCompressor{} },
+		Caps: Capabilities{BoundName: "absolute error bound", ErrorBounded: true, MinRank: 1, MaxRank: 3},
+	})
+	Register(Codec{
+		Name: "zfp:accuracy", New: func() Compressor { return zfpAccuracy{} },
+		Caps: Capabilities{BoundName: "absolute error tolerance", ErrorBounded: true, MinRank: 1, MaxRank: 3},
+	})
+	Register(Codec{
+		Name: "zfp:rate", New: func() Compressor { return zfpFixedRate{} },
+		Caps: Capabilities{BoundName: "bits per value", ErrorBounded: false, MinRank: 1, MaxRank: 3},
+	})
+	Register(Codec{
+		Name: "mgard:abs", New: func() Compressor { return mgardInfinity{} },
+		Caps: Capabilities{BoundName: "infinity-norm bound", ErrorBounded: true, MinRank: 2, MaxRank: 3},
+	})
+	Register(Codec{
+		Name: "mgard:l2", New: func() Compressor { return mgardL2{} },
+		Caps: Capabilities{BoundName: "mean-squared-error bound", ErrorBounded: true, MinRank: 2, MaxRank: 3},
+	})
 }

@@ -82,7 +82,7 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 			t.Errorf("duplicate registration should panic")
 		}
 	}()
-	Register("sz:abs", func() Compressor { return szCompressor{} })
+	Register(Codec{Name: "sz:abs", New: func() Compressor { return szCompressor{} }})
 }
 
 func TestAllErrorBoundedBackendsRespectBound(t *testing.T) {

@@ -145,3 +145,25 @@ func (t *Table) String() string {
 	_ = t.WriteASCII(&b)
 	return b.String()
 }
+
+// Savings formats evaluation-cache hit/miss counters as a human-readable
+// summary: hits are compressor invocations that were skipped entirely, so
+// the percentage is the fraction of evaluations saved.
+func Savings(hits, misses int) string {
+	total := hits + misses
+	if total <= 0 {
+		return "no evaluations"
+	}
+	return fmt.Sprintf("%d/%d evaluations served from cache (%.1f%% of compressor calls saved)",
+		hits, total, SavingsPercent(hits, misses))
+}
+
+// SavingsPercent returns the fraction of evaluations served from the cache
+// as a percentage, for tabular output.
+func SavingsPercent(hits, misses int) float64 {
+	total := hits + misses
+	if total <= 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(total)
+}

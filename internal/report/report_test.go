@@ -72,3 +72,21 @@ func TestFormatCellVariants(t *testing.T) {
 		}
 	}
 }
+
+func TestSavings(t *testing.T) {
+	if got := Savings(0, 0); got != "no evaluations" {
+		t.Errorf("Savings(0,0) = %q", got)
+	}
+	got := Savings(25, 75)
+	for _, want := range []string{"25/100", "25.0%"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Savings(25,75) = %q missing %q", got, want)
+		}
+	}
+	if got := SavingsPercent(25, 75); got != 25 {
+		t.Errorf("SavingsPercent(25,75) = %v", got)
+	}
+	if got := SavingsPercent(0, 0); got != 0 {
+		t.Errorf("SavingsPercent(0,0) = %v", got)
+	}
+}
