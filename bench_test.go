@@ -11,6 +11,8 @@ package fraz
 
 import (
 	"context"
+	"math"
+	"sync"
 	"testing"
 
 	"fraz/internal/core"
@@ -286,6 +288,102 @@ func BenchmarkSZNoRegression(b *testing.B) {
 func BenchmarkSZNoDictionary(b *testing.B) {
 	benchSZ(b, func(bound float64) sz.Options { return sz.Options{ErrorBound: bound, DisableDictionary: true} })
 }
+
+// --- blocked seal/open benchmarks ---------------------------------------------
+
+// blockedBenchBuffer builds the ≥64 MB synthetic field (256³ float32 =
+// 67 MB) the blocked-pipeline benchmarks compress, once per process.
+var blockedBenchBuffer pressio.Buffer
+var blockedBenchOnce sync.Once
+
+func benchField64MB(b *testing.B) (pressio.Buffer, float64) {
+	b.Helper()
+	blockedBenchOnce.Do(func() {
+		shape := grid.MustDims(256, 256, 256)
+		data := make([]float32, shape.Len())
+		i := 0
+		for z := 0; z < shape[0]; z++ {
+			for y := 0; y < shape[1]; y++ {
+				zy := 20 * math.Sin(float64(z)/17) * math.Cos(float64(y)/23)
+				for x := 0; x < shape[2]; x++ {
+					data[i] = float32(zy + 5*math.Sin(float64(x)/11) + float64((i*2654435761)%97)/970)
+					i++
+				}
+			}
+		}
+		buf, err := pressio.NewBuffer(data, shape)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blockedBenchBuffer = buf
+	})
+	return blockedBenchBuffer, grid.ValueRange(blockedBenchBuffer.Data) * 1e-3
+}
+
+// BenchmarkSealMonolithic64MB is the single-invocation baseline: one
+// compressor call sealing the whole 67 MB field into a v1 container.
+func BenchmarkSealMonolithic64MB(b *testing.B) {
+	buf, bound := benchField64MB(b)
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pressio.Seal(c, buf, bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSealBlocked8Workers seals the same field as 16 slowest-axis
+// blocks compressed by 8 concurrent workers into a v2 container. On a
+// multi-core host this is where the ≥2x seal-throughput win over
+// BenchmarkSealMonolithic64MB shows up; the bytes/s columns of the two
+// benchmarks are directly comparable.
+func BenchmarkSealBlocked8Workers(b *testing.B) {
+	buf, bound := benchField64MB(b)
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pressio.SealBlocked(context.Background(), c, buf, bound, 16, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpenBlocked8Workers measures block-parallel decompression of the
+// v2 container produced by the blocked seal.
+func BenchmarkOpenBlocked8Workers(b *testing.B) {
+	buf, bound := benchField64MB(b)
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cn, err := pressio.SealBlocked(context.Background(), c, buf, bound, 16, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pressio.OpenBlocked(context.Background(), cn, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockedThroughputExperiment regenerates the frazbench "blocks"
+// table (quick scale), keeping the experiment itself under benchmark watch.
+func BenchmarkBlockedThroughputExperiment(b *testing.B) { runExperiment(b, "blocks") }
 
 // BenchmarkRegionAblation regenerates the region-count/overlap ablation
 // backing the paper's Fig. 5 design discussion.

@@ -12,6 +12,15 @@
 //	fraz -dataset Hurricane -field TCf -ratio 10 -out tcf.fraz
 //	fraz -decompress tcf.fraz -out tcf.f32
 //	fraz -in cloud.f32 -dims 100x500x500 -compressor zfp:accuracy -ratio 25 -out cloud.fraz
+//
+// With -blocks N the field is split into N slowest-axis blocks: the bound is
+// tuned once on a sampled block and all blocks are compressed concurrently
+// into a blocked (v2) container whose per-block index lets -decompress
+// verify and decode the blocks in parallel too. -decompress auto-detects v1
+// versus v2 from the header:
+//
+//	fraz -dataset Hurricane -field TCf -ratio 10 -blocks 8 -out tcf.fraz
+//	fraz -decompress tcf.fraz -out tcf.f32
 package main
 
 import (
@@ -53,6 +62,7 @@ func run(args []string, out io.Writer) error {
 		tolerance  = fs.Float64("tolerance", 0.1, "acceptable fractional deviation from the target ratio")
 		maxError   = fs.Float64("max-error", 0, "maximum allowed compression error U (0 = value range of the data)")
 		regions    = fs.Int("regions", 12, "number of overlapping error-bound search regions")
+		blocksN    = fs.Int("blocks", 0, "split the field into N slowest-axis blocks, tune on one sampled block, and compress the blocks in parallel into a blocked (v2) container (0 or 1 = monolithic)")
 		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed       = fs.Int64("seed", 1, "search seed")
 		outPath    = fs.String("out", "", "compress: write a .fraz container here; decompress: write raw float32 here")
@@ -98,22 +108,22 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *blocksN > 1 {
+		return runBlocked(tuner, buf, label, *blocksN, *ratio, *tolerance, *outPath, out)
+	}
+
 	res, err := tuner.TuneBuffer(context.Background(), buf)
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "input:            %s (%s, %d values, %.2f MB)\n", label, buf.Shape, len(buf.Data), float64(buf.Bytes())/1e6)
-	fmt.Fprintf(out, "compressor:       %s (%s)\n", c.Name(), c.BoundName())
-	fmt.Fprintf(out, "target ratio:     %.2f (+/- %.0f%%)\n", *ratio, *tolerance*100)
+	printTuningHeader(out, label, buf, c, *ratio, *tolerance)
 	fmt.Fprintf(out, "recommended bound: %g\n", res.ErrorBound)
 	fmt.Fprintf(out, "achieved ratio:   %.2f (compressed %.2f MB)\n", res.AchievedRatio, float64(res.CompressedSize)/1e6)
 	fmt.Fprintf(out, "feasible:         %v\n", res.Feasible)
 	fmt.Fprintf(out, "evaluations:      %d in %v (%s)\n", res.Iterations, res.Elapsed, report.Savings(res.CacheHits, res.CacheMisses))
 	if !res.Feasible {
-		fmt.Fprintf(out, "note: the target ratio was not reachable within the error-bound range;\n")
-		fmt.Fprintf(out, "      the closest observed ratio is reported. Consider relaxing -tolerance,\n")
-		fmt.Fprintf(out, "      raising -max-error, or switching -compressor.\n")
+		printInfeasibleNote(out)
 	}
 
 	if *outPath != "" {
@@ -133,6 +143,53 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// runBlocked drives the blocked pipeline: tune the bound on one sampled
+// block, compress every block concurrently, and (optionally) write the
+// blocked (v2) container.
+func runBlocked(tuner *core.Tuner, buf pressio.Buffer, label string, blocksN int, ratio, tolerance float64, outPath string, out io.Writer) error {
+	c := tuner.Compressor()
+	cn, sr, err := tuner.SealBlocked(context.Background(), buf, core.SealOptions{Blocks: blocksN})
+	if err != nil {
+		return err
+	}
+	res := sr.Tuning
+	printTuningHeader(out, label, buf, c, ratio, tolerance)
+	fmt.Fprintf(out, "blocks:           %d (tuned on sampled block %d)\n", sr.Blocks, sr.SampleBlock)
+	fmt.Fprintf(out, "recommended bound: %g\n", res.ErrorBound)
+	fmt.Fprintf(out, "achieved ratio:   %.2f whole-field (%.2f on the sampled block)\n", sr.AchievedRatio, res.AchievedRatio)
+	fmt.Fprintf(out, "feasible:         %v (on the sampled block)\n", res.Feasible)
+	fmt.Fprintf(out, "evaluations:      %d in %v (%s)\n", res.Iterations, res.Elapsed, report.Savings(res.CacheHits, res.CacheMisses))
+	if !res.Feasible {
+		printInfeasibleNote(out)
+	}
+	if outPath != "" {
+		enc, err := cn.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d bytes to %s (%s, %d blocks)\n", len(enc), outPath, cn.Header, cn.NumBlocks())
+	}
+	return nil
+}
+
+// printTuningHeader writes the report lines shared by the monolithic and
+// blocked compression paths.
+func printTuningHeader(out io.Writer, label string, buf pressio.Buffer, c pressio.Compressor, ratio, tolerance float64) {
+	fmt.Fprintf(out, "input:            %s (%s, %d values, %.2f MB)\n", label, buf.Shape, len(buf.Data), float64(buf.Bytes())/1e6)
+	fmt.Fprintf(out, "compressor:       %s (%s)\n", c.Name(), c.BoundName())
+	fmt.Fprintf(out, "target ratio:     %.2f (+/- %.0f%%)\n", ratio, tolerance*100)
+}
+
+// printInfeasibleNote explains an out-of-band result and how to remedy it.
+func printInfeasibleNote(out io.Writer) {
+	fmt.Fprintf(out, "note: the target ratio was not reachable within the error-bound range;\n")
+	fmt.Fprintf(out, "      the closest observed ratio is reported. Consider relaxing -tolerance,\n")
+	fmt.Fprintf(out, "      raising -max-error, or switching -compressor.\n")
+}
+
 // runDecompress reverses a .fraz container: every parameter needed — codec,
 // bound, shape — is read from the container header, so the only inputs are
 // the file itself and an optional raw float32 output path.
@@ -150,6 +207,9 @@ func runDecompress(inPath, outPath string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "container:        %s (%s)\n", inPath, cn.Header)
+	if cn.Blocks != nil {
+		fmt.Fprintf(out, "blocks:           %d (independently verified and decoded in parallel)\n", cn.NumBlocks())
+	}
 	fmt.Fprintf(out, "reconstructed:    %d values (%s, %.2f MB)\n", len(buf.Data), buf.Shape, float64(buf.Bytes())/1e6)
 	if cd, ok := pressio.Lookup(cn.Header.Codec); ok {
 		switch {

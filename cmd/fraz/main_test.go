@@ -131,6 +131,67 @@ func TestCompressDecompressRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBlockedCompressDecompressRoundTrip drives the blocked pipeline end to
+// end: -blocks produces a v2 container, -decompress auto-detects it (no
+// extra flags), and the reconstruction respects the tuned bound pointwise.
+func TestBlockedCompressDecompressRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	frazFile := filepath.Join(dir, "tcf-blocked.fraz")
+	rawFile := filepath.Join(dir, "tcf-blocked.f32")
+
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "Hurricane", "-field", "TCf", "-scale", "tiny",
+		"-ratio", "10", "-regions", "4", "-seed", "2", "-blocks", "4", "-out", frazFile,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "blocks:           4") {
+		t.Errorf("compress output should report the block count:\n%s", out.String())
+	}
+
+	enc, err := os.ReadFile(frazFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := container.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn.Header.Version != container.VersionBlocked || cn.NumBlocks() != 4 {
+		t.Fatalf("written container is v%d with %d blocks, want v2 with 4", cn.Header.Version, cn.NumBlocks())
+	}
+
+	var decOut strings.Builder
+	if err := run([]string{"-decompress", frazFile, "-out", rawFile}, &decOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sz:abs", "blocks:           4", "wrote"} {
+		if !strings.Contains(decOut.String(), want) {
+			t.Errorf("decompress output missing %q:\n%s", want, decOut.String())
+		}
+	}
+
+	d, err := dataset.New("Hurricane", dataset.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, shape, err := d.Generate("TCf", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := dataset.ReadRaw(rawFile, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if diff := math.Abs(float64(rec[i]) - float64(orig[i])); diff > cn.Header.Bound {
+			t.Fatalf("value %d error %g exceeds tuned bound %g", i, diff, cn.Header.Bound)
+		}
+	}
+}
+
 func TestDecompressErrors(t *testing.T) {
 	dir := t.TempDir()
 	junk := filepath.Join(dir, "junk.fraz")

@@ -4,10 +4,15 @@
 //
 // The implementation lives under internal/:
 //
-//   - internal/core      — the FRaZ autotuner and parallel orchestrator
+//   - internal/core      — the FRaZ autotuner and parallel orchestrator, plus
+//     the blocked sealing path (tune on a sampled block, compress all blocks
+//     concurrently)
 //   - internal/pressio   — the generic codec layer (libpressio analogue): codec
-//     registry with capabilities plus the shared evaluation cache
+//     registry with capabilities, the shared evaluation cache, and the
+//     block-parallel SealBlocked/OpenBlocked pipeline
 //   - internal/container — the self-describing .fraz on-disk container format
+//     (v1 monolithic payload, v2 block index + independently-decodable blocks)
+//   - internal/blocks    — slowest-axis block decomposition (split/reassemble)
 //   - internal/sz        — SZ-like prediction-based error-bounded compressor
 //   - internal/zfp       — ZFP-like transform compressor (accuracy + fixed-rate)
 //   - internal/mgard     — MGARD-like multilevel compressor

@@ -8,11 +8,11 @@
 // for the systems the paper builds on — so an archived artifact can be
 // decompressed years later by name alone.
 //
-// Layout (all integers little-endian):
+// Common layout (all integers little-endian):
 //
 //	offset  size  field
 //	0       4     magic "FRZ\x01"
-//	4       2     format version (currently 1)
+//	4       2     format version (1 = monolithic, 2 = blocked)
 //	6       1     dtype (0 = float32)
 //	7       1     rank (1..4)
 //	8       1     codec name length L (1..255)
@@ -20,9 +20,25 @@
 //	...     8     tuned bound (IEEE-754 float64)
 //	...     8     achieved ratio (IEEE-754 float64)
 //	...     8×R   shape extents, slowest dimension first (uint64 each)
+//
+// A version-1 stream then carries one monolithic payload:
+//
 //	...     8     payload length N (uint64)
 //	...     4     CRC-32 (IEEE) of the payload
 //	...     N     payload (the codec's compressed stream)
+//
+// A version-2 (blocked) stream instead carries a block index followed by
+// independently-decodable block payloads. Blocks partition the field along
+// its slowest axis (internal/blocks.Plan over the header shape and the block
+// count reproduces every block's sub-shape), so each payload can be
+// decompressed — and its CRC verified — independently and in parallel:
+//
+//	...     4     block count B (uint32, 1..shape[0])
+//	per block (B times):
+//	...     8     payload offset (uint64, from the start of the payload area)
+//	...     8     payload length (uint64)
+//	...     4     CRC-32 (IEEE) of the block payload
+//	...     ΣN    block payloads, concatenated in index order
 //
 // Encoding and decoding use sticky-error readers/writers in the style of
 // internal/bitstream: every field accessor checks and records the first
@@ -39,8 +55,20 @@ import (
 	"fraz/internal/grid"
 )
 
-// Version is the current format version written by Encode.
+// Version is the monolithic (single-payload) format version, written by
+// Encode for containers without a block index.
 const Version = 1
+
+// VersionBlocked is the blocked format version: a block index followed by
+// independently-decodable block payloads.
+const VersionBlocked = 2
+
+// maxVersion is the newest format version this build decodes.
+const maxVersion = VersionBlocked
+
+// MaxBlocks caps the block count a stream may declare, bounding the index
+// allocation a hostile header can demand before any payload is read.
+const MaxBlocks = 1 << 20
 
 // magic identifies a .fraz stream: "FRZ" plus a non-printable byte so text
 // files are rejected immediately.
@@ -102,10 +130,25 @@ type Header struct {
 	Shape grid.Dims
 }
 
-// Container couples a header with the codec's compressed payload.
+// BlockEntry locates one block's payload inside a blocked container.
+type BlockEntry struct {
+	// Offset is the byte offset of the block's payload from the start of the
+	// payload area. Entries are contiguous: each offset equals the previous
+	// entry's offset plus its length.
+	Offset uint64
+	// Length is the payload length in bytes.
+	Length uint64
+	// CRC is the CRC-32 (IEEE) of the block payload.
+	CRC uint32
+}
+
+// Container couples a header with the codec's compressed payload. For a
+// blocked (version-2) container, Payload is the concatenation of the block
+// payloads and Blocks indexes into it; for version 1, Blocks is nil.
 type Container struct {
 	Header  Header
 	Payload []byte
+	Blocks  []BlockEntry
 }
 
 // New builds a Container with the current format version, validating the
@@ -126,6 +169,99 @@ func New(codec string, bound, ratio float64, shape grid.Dims, payload []byte) (C
 		return Container{}, err
 	}
 	return c, nil
+}
+
+// NewBlocked builds a version-2 Container from per-block payloads, which
+// must partition the field along its slowest axis in index order (one
+// payload per block of internal/blocks.Plan(shape, len(payloads))). The
+// payloads are concatenated and indexed with per-block CRCs so each one can
+// be verified and decompressed independently.
+func NewBlocked(codec string, bound, ratio float64, shape grid.Dims, payloads [][]byte) (Container, error) {
+	c := Container{
+		Header: Header{
+			Version: VersionBlocked,
+			Codec:   codec,
+			Bound:   bound,
+			Ratio:   ratio,
+			DType:   Float32,
+			Shape:   shape.Clone(),
+		},
+	}
+	if err := c.Header.validate(); err != nil {
+		return Container{}, err
+	}
+	if len(payloads) < 1 || len(payloads) > c.Header.Shape[0] || len(payloads) > MaxBlocks {
+		return Container{}, fmt.Errorf("%w: %d blocks for shape %s (want 1..%d)",
+			ErrHeader, len(payloads), c.Header.Shape, min(c.Header.Shape[0], MaxBlocks))
+	}
+	total := 0
+	for _, p := range payloads {
+		total += len(p)
+	}
+	c.Payload = make([]byte, 0, total)
+	c.Blocks = make([]BlockEntry, len(payloads))
+	for i, p := range payloads {
+		c.Blocks[i] = BlockEntry{
+			Offset: uint64(len(c.Payload)),
+			Length: uint64(len(p)),
+			CRC:    crc32.ChecksumIEEE(p),
+		}
+		c.Payload = append(c.Payload, p...)
+	}
+	return c, nil
+}
+
+// NumBlocks reports the number of blocks in the container: the index size
+// for a blocked container, 1 for a monolithic one.
+func (c Container) NumBlocks() int {
+	if c.Blocks == nil {
+		return 1
+	}
+	return len(c.Blocks)
+}
+
+// BlockPayload returns block i's payload as a subslice of Payload. For a
+// monolithic container, index 0 returns the whole payload.
+func (c Container) BlockPayload(i int) ([]byte, error) {
+	if c.Blocks == nil {
+		if i != 0 {
+			return nil, fmt.Errorf("%w: block %d of a monolithic container", ErrHeader, i)
+		}
+		return c.Payload, nil
+	}
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("%w: block %d of %d", ErrHeader, i, len(c.Blocks))
+	}
+	b := c.Blocks[i]
+	end := b.Offset + b.Length
+	if end > uint64(len(c.Payload)) || end < b.Offset {
+		return nil, fmt.Errorf("%w: block %d spans [%d,%d) of %d payload bytes", ErrHeader, i, b.Offset, end, len(c.Payload))
+	}
+	return c.Payload[b.Offset:end], nil
+}
+
+// validateBlocks checks a blocked container's index/payload consistency: the
+// count fits the shape, entries tile the payload contiguously in order, and
+// (in Decode) the CRCs match.
+func (c Container) validateBlocks() error {
+	if len(c.Blocks) < 1 || len(c.Blocks) > c.Header.Shape[0] || len(c.Blocks) > MaxBlocks {
+		return fmt.Errorf("%w: %d blocks for shape %s (want 1..%d)",
+			ErrHeader, len(c.Blocks), c.Header.Shape, min(c.Header.Shape[0], MaxBlocks))
+	}
+	next := uint64(0)
+	for i, b := range c.Blocks {
+		if b.Offset != next {
+			return fmt.Errorf("%w: block %d at offset %d, want %d (entries must be contiguous)", ErrHeader, i, b.Offset, next)
+		}
+		next += b.Length
+		if next < b.Offset {
+			return fmt.Errorf("%w: block %d length %d overflows", ErrHeader, i, b.Length)
+		}
+	}
+	if next != uint64(len(c.Payload)) {
+		return fmt.Errorf("%w: block index covers %d bytes, payload holds %d", ErrHeader, next, len(c.Payload))
+	}
+	return nil
 }
 
 func (h Header) validate() error {
@@ -149,7 +285,11 @@ func (h Header) validate() error {
 
 // EncodedSize returns the exact byte length Encode will produce.
 func (c Container) EncodedSize() int {
-	return 4 + 2 + 1 + 1 + 1 + len(c.Header.Codec) + 8 + 8 + 8*c.Header.Shape.NDims() + 8 + 4 + len(c.Payload)
+	header := 4 + 2 + 1 + 1 + 1 + len(c.Header.Codec) + 8 + 8 + 8*c.Header.Shape.NDims()
+	if c.Blocks != nil {
+		return header + 4 + 20*len(c.Blocks) + len(c.Payload)
+	}
+	return header + 8 + 4 + len(c.Payload)
 }
 
 // writer appends header fields to a buffer. It cannot fail (append grows the
@@ -167,16 +307,25 @@ func (w *writer) u64(v uint64)   { w.buf = binary.LittleEndian.AppendUint64(w.bu
 func (w *writer) f64(v float64)  { w.u64(math.Float64bits(v)) }
 func (w *writer) str(s string)   { w.u8(uint8(len(s))); w.bytes([]byte(s)) }
 
-// Encode serialises the container. The header is validated first, so a
-// Container assembled by hand fails here rather than producing a stream
-// Decode would reject.
+// Encode serialises the container. The header (and, for a blocked
+// container, the block index) is validated first, so a Container assembled
+// by hand fails here rather than producing a stream Decode would reject.
+// The version written follows the presence of a block index: nil Blocks
+// encodes as version 1, non-nil as version 2.
 func (c Container) Encode() ([]byte, error) {
 	if err := c.Header.validate(); err != nil {
 		return nil, err
 	}
+	version := uint16(Version)
+	if c.Blocks != nil {
+		if err := c.validateBlocks(); err != nil {
+			return nil, err
+		}
+		version = VersionBlocked
+	}
 	w := writer{buf: make([]byte, 0, c.EncodedSize())}
 	w.bytes(magic[:])
-	w.u16(Version)
+	w.u16(version)
 	w.u8(uint8(c.Header.DType))
 	w.u8(uint8(c.Header.Shape.NDims()))
 	w.str(c.Header.Codec)
@@ -184,6 +333,16 @@ func (c Container) Encode() ([]byte, error) {
 	w.f64(c.Header.Ratio)
 	for _, e := range c.Header.Shape {
 		w.u64(uint64(e))
+	}
+	if c.Blocks != nil {
+		w.u32(uint32(len(c.Blocks)))
+		for _, b := range c.Blocks {
+			w.u64(b.Offset)
+			w.u64(b.Length)
+			w.u32(b.CRC)
+		}
+		w.bytes(c.Payload)
+		return w.buf, nil
 	}
 	w.u64(uint64(len(c.Payload)))
 	w.u32(crc32.ChecksumIEEE(c.Payload))
@@ -263,8 +422,8 @@ func (r *reader) str() string {
 }
 
 // Decode parses a stream produced by Encode, verifying the magic, version,
-// header validity, and payload CRC. The payload is copied, so the input
-// buffer may be reused.
+// header validity, and payload CRC (per block for a blocked stream). The
+// payload is copied, so the input buffer may be reused.
 func Decode(data []byte) (Container, error) {
 	r := reader{buf: data}
 	var m [4]byte
@@ -274,8 +433,8 @@ func Decode(data []byte) (Container, error) {
 	}
 	var c Container
 	c.Header.Version = r.u16()
-	if r.err == nil && (c.Header.Version == 0 || c.Header.Version > Version) {
-		return Container{}, fmt.Errorf("%w: %d (this build reads <= %d)", ErrVersion, c.Header.Version, Version)
+	if r.err == nil && (c.Header.Version == 0 || c.Header.Version > maxVersion) {
+		return Container{}, fmt.Errorf("%w: %d (this build reads <= %d)", ErrVersion, c.Header.Version, maxVersion)
 	}
 	c.Header.DType = DType(r.u8())
 	rank := int(r.u8())
@@ -295,6 +454,9 @@ func Decode(data []byte) (Container, error) {
 			c.Header.Shape[i] = int(e)
 		}
 	}
+	if c.Header.Version == VersionBlocked {
+		return decodeBlocked(&r, c, data)
+	}
 	payloadLen := r.u64()
 	if r.err == nil && payloadLen > uint64(len(data)) {
 		return Container{}, fmt.Errorf("%w: payload length %d exceeds stream size %d", ErrTruncated, payloadLen, len(data))
@@ -312,6 +474,54 @@ func Decode(data []byte) (Container, error) {
 	}
 	if err := c.Header.validate(); err != nil {
 		return Container{}, err
+	}
+	c.Payload = append([]byte(nil), payload...)
+	return c, nil
+}
+
+// decodeBlocked parses the version-2 tail of a stream: the block index and
+// the concatenated block payloads, verifying each block's CRC.
+func decodeBlocked(r *reader, c Container, data []byte) (Container, error) {
+	count := r.u32()
+	if r.err == nil {
+		if count == 0 || count > MaxBlocks || (len(c.Header.Shape) > 0 && int(count) > c.Header.Shape[0]) {
+			return Container{}, fmt.Errorf("%w: block count %d for shape %s", ErrHeader, count, c.Header.Shape)
+		}
+		// The index alone needs 20 bytes per block; refuse early rather
+		// than allocating an index the stream cannot possibly hold.
+		if int64(count)*20 > int64(len(data)-r.pos) {
+			return Container{}, fmt.Errorf("%w: %d-block index exceeds stream size", ErrTruncated, count)
+		}
+		c.Blocks = make([]BlockEntry, count)
+	}
+	var total uint64
+	for i := range c.Blocks {
+		c.Blocks[i].Offset = r.u64()
+		c.Blocks[i].Length = r.u64()
+		c.Blocks[i].CRC = r.u32()
+		total += c.Blocks[i].Length
+	}
+	if r.err == nil && total > uint64(len(data)) {
+		return Container{}, fmt.Errorf("%w: payload length %d exceeds stream size %d", ErrTruncated, total, len(data))
+	}
+	payload := r.take(int(total))
+	if r.err != nil {
+		return Container{}, r.err
+	}
+	if r.pos != len(data) {
+		return Container{}, fmt.Errorf("%w: %d trailing bytes after payload", ErrHeader, len(data)-r.pos)
+	}
+	if err := c.Header.validate(); err != nil {
+		return Container{}, err
+	}
+	c.Payload = payload
+	if err := c.validateBlocks(); err != nil {
+		return Container{}, err
+	}
+	for i, b := range c.Blocks {
+		if crc32.ChecksumIEEE(payload[b.Offset:b.Offset+b.Length]) != b.CRC {
+			return Container{}, fmt.Errorf("%w (block %d)", ErrCorrupt, i)
+		}
 	}
 	c.Payload = append([]byte(nil), payload...)
 	return c, nil

@@ -2,7 +2,9 @@ package container
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math"
 	"strings"
 	"testing"
@@ -163,6 +165,142 @@ func TestHeaderString(t *testing.T) {
 	}
 }
 
+func sampleBlocked(t *testing.T) Container {
+	t.Helper()
+	payloads := [][]byte{{1, 2, 3}, {4, 5}, {6, 7, 8, 9}}
+	c, err := NewBlocked("sz:abs", 1e-3, 11.7, grid.MustDims(6, 8, 16), payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBlockedRoundTrip(t *testing.T) {
+	c := sampleBlocked(t)
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != c.EncodedSize() {
+		t.Errorf("EncodedSize = %d, encoded %d bytes", c.EncodedSize(), len(enc))
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Header.Version != VersionBlocked || dec.NumBlocks() != 3 {
+		t.Fatalf("decoded version %d with %d blocks, want v%d with 3", dec.Header.Version, dec.NumBlocks(), VersionBlocked)
+	}
+	want := [][]byte{{1, 2, 3}, {4, 5}, {6, 7, 8, 9}}
+	for i, w := range want {
+		p, err := dec.BlockPayload(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, w) {
+			t.Errorf("block %d payload = %v, want %v", i, p, w)
+		}
+	}
+	if !bytes.Equal(dec.Payload, c.Payload) {
+		t.Errorf("concatenated payload mismatch")
+	}
+}
+
+func TestBlockedRejectsPerBlockCorruption(t *testing.T) {
+	c := sampleBlocked(t)
+	enc, _ := c.Encode()
+	// Flip one byte inside the middle block's payload.
+	mid := len(enc) - len(c.Payload) + int(c.Blocks[1].Offset)
+	enc[mid] ^= 0x10
+	if _, err := Decode(enc); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt for a corrupted block", err)
+	}
+}
+
+func TestBlockedRejectsTruncation(t *testing.T) {
+	c := sampleBlocked(t)
+	enc, _ := c.Encode()
+	for _, cut := range []int{7, 40, len(enc) - len(c.Payload) + 1, len(enc) - 1} {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("Decode of %d/%d bytes should fail", cut, len(enc))
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), enc...), 0)); !errors.Is(err, ErrHeader) {
+		t.Errorf("trailing garbage should be rejected")
+	}
+}
+
+func TestNewBlockedValidatesBlockCount(t *testing.T) {
+	// More blocks than slowest-axis rows cannot come from a valid plan.
+	payloads := [][]byte{{1}, {2}, {3}, {4}}
+	if _, err := NewBlocked("sz:abs", 1e-3, 2, grid.MustDims(3, 8), payloads); !errors.Is(err, ErrHeader) {
+		t.Errorf("err = %v, want ErrHeader for 4 blocks over 3 rows", err)
+	}
+	if _, err := NewBlocked("sz:abs", 1e-3, 2, grid.MustDims(3, 8), nil); !errors.Is(err, ErrHeader) {
+		t.Errorf("err = %v, want ErrHeader for zero blocks", err)
+	}
+}
+
+func TestBlockedEncodeValidatesHandAssembledIndex(t *testing.T) {
+	c := sampleBlocked(t)
+	c.Blocks[1].Offset++ // break contiguity
+	if _, err := c.Encode(); !errors.Is(err, ErrHeader) {
+		t.Errorf("err = %v, want ErrHeader for a gap in the index", err)
+	}
+	c = sampleBlocked(t)
+	c.Blocks[2].Length-- // index no longer covers the payload
+	if _, err := c.Encode(); !errors.Is(err, ErrHeader) {
+		t.Errorf("err = %v, want ErrHeader for an index/payload size mismatch", err)
+	}
+}
+
+// TestV1StreamStillDecodes pins the version-1 wire format: a byte stream
+// assembled by hand against the documented layout (not via Encode) must
+// keep decoding unchanged after the format gained version 2.
+func TestV1StreamStillDecodes(t *testing.T) {
+	payload := []byte{9, 8, 7}
+	var enc []byte
+	enc = append(enc, 'F', 'R', 'Z', 0x01) // magic
+	enc = append(enc, 1, 0)                // version 1
+	enc = append(enc, 0)                   // dtype float32
+	enc = append(enc, 1)                   // rank 1
+	enc = append(enc, 2, 's', 'z')         // codec "sz"
+	bound := make([]byte, 8)
+	binary.LittleEndian.PutUint64(bound, math.Float64bits(0.5))
+	enc = append(enc, bound...)
+	ratio := make([]byte, 8)
+	binary.LittleEndian.PutUint64(ratio, math.Float64bits(4))
+	enc = append(enc, ratio...)
+	ext := make([]byte, 8)
+	binary.LittleEndian.PutUint64(ext, 16)
+	enc = append(enc, ext...)
+	plen := make([]byte, 8)
+	binary.LittleEndian.PutUint64(plen, uint64(len(payload)))
+	enc = append(enc, plen...)
+	crc := make([]byte, 4)
+	binary.LittleEndian.PutUint32(crc, crc32.ChecksumIEEE(payload))
+	enc = append(enc, crc...)
+	enc = append(enc, payload...)
+
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Header.Version != 1 || dec.Header.Codec != "sz" || dec.Header.Bound != 0.5 ||
+		dec.Header.Ratio != 4 || !dec.Header.Shape.Equal(grid.MustDims(16)) {
+		t.Errorf("v1 header mismatch: %+v", dec.Header)
+	}
+	if dec.Blocks != nil || dec.NumBlocks() != 1 {
+		t.Errorf("v1 stream should decode as monolithic, got %d blocks", dec.NumBlocks())
+	}
+	if !bytes.Equal(dec.Payload, payload) {
+		t.Errorf("v1 payload mismatch: %v", dec.Payload)
+	}
+	if p, err := dec.BlockPayload(0); err != nil || !bytes.Equal(p, payload) {
+		t.Errorf("BlockPayload(0) = %v, %v", p, err)
+	}
+}
+
 // FuzzContainerRoundTrip checks that any container that encodes also decodes
 // to an identical value, and that flipping any payload byte is rejected by
 // the CRC.
@@ -204,6 +342,61 @@ func FuzzContainerRoundTrip(f *testing.F) {
 			bad[len(bad)-1] ^= 0x01
 			if _, err := Decode(bad); err == nil {
 				t.Fatalf("corrupted payload byte not rejected")
+			}
+		}
+	})
+}
+
+// FuzzBlockedContainerRoundTrip is the version-2 counterpart: arbitrary
+// payload bytes split into blocks must round-trip through the blocked
+// encoding, and flipping any payload byte must trip a per-block CRC.
+func FuzzBlockedContainerRoundTrip(f *testing.F) {
+	f.Add("sz:abs", 1e-4, 12.5, uint8(3), 7, uint8(4), []byte{1, 2, 3, 4, 5, 6, 7})
+	f.Add("zfp:accuracy", 0.5, 4.0, uint8(1), 9, uint8(2), []byte{0xFF, 0x00})
+	f.Add("flate:lossless", 0.0, 1.0, uint8(2), 3, uint8(3), []byte{})
+	f.Fuzz(func(t *testing.T, codec string, bound, ratio float64, rank uint8, extent int, nBlocks uint8, blob []byte) {
+		r := int(rank%4) + 1
+		if extent <= 0 {
+			extent = -extent + 1
+		}
+		extent = extent%16 + 1
+		shape := make(grid.Dims, r)
+		for i := range shape {
+			shape[i] = extent + i
+		}
+		n := int(nBlocks)%shape[0] + 1
+		// Slice the fuzzed blob into n payloads (some possibly empty).
+		payloads := make([][]byte, n)
+		for i := range payloads {
+			lo, hi := i*len(blob)/n, (i+1)*len(blob)/n
+			payloads[i] = blob[lo:hi]
+		}
+		c, err := NewBlocked(codec, bound, ratio, shape, payloads)
+		if err != nil {
+			return // invalid header inputs are allowed to be rejected
+		}
+		enc, err := c.Encode()
+		if err != nil {
+			t.Fatalf("NewBlocked accepted but Encode failed: %v", err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode of valid blocked stream failed: %v", err)
+		}
+		if dec.Header.Version != VersionBlocked || dec.NumBlocks() != n {
+			t.Fatalf("decoded v%d with %d blocks, want v%d with %d", dec.Header.Version, dec.NumBlocks(), VersionBlocked, n)
+		}
+		for i := range payloads {
+			p, err := dec.BlockPayload(i)
+			if err != nil || !bytes.Equal(p, payloads[i]) {
+				t.Fatalf("block %d payload mismatch: %v, %v", i, p, err)
+			}
+		}
+		if len(blob) > 0 {
+			bad := append([]byte(nil), enc...)
+			bad[len(bad)-1-len(blob)/2] ^= 0x01
+			if _, err := Decode(bad); err == nil {
+				t.Fatalf("corrupted blocked payload byte not rejected")
 			}
 		}
 	})

@@ -146,9 +146,16 @@ type Result struct {
 	// UsedPrediction is true when a reused bound from a previous time-step
 	// satisfied the target without retraining.
 	UsedPrediction bool
+	// PredictionErr records the error of the prediction evaluation when one
+	// was tried and the compressor failed on it. It distinguishes "the
+	// reused bound missed the acceptance band" (nil, retrained normally)
+	// from "the compressor could not evaluate the reused bound at all",
+	// which TuneSeries reporting would otherwise conflate.
+	PredictionErr error
 	// CacheHits counts evaluations served from the shared evaluation cache
 	// without invoking the compressor; CacheMisses counts the evaluations
-	// that actually compressed. Iterations = CacheHits + CacheMisses.
+	// that were not (those that compressed, plus failed evaluations).
+	// Iterations = CacheHits + CacheMisses.
 	CacheHits   int
 	CacheMisses int
 	// Regions reports the per-region search results (empty when the
@@ -274,7 +281,12 @@ func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, pred
 	if prediction > 0 {
 		ratio, size, evaluated, err := eval.Ratio(prediction)
 		res.Iterations++
-		if err == nil && InBand(ratio, t.cfg.TargetRatio, t.cfg.Tolerance) {
+		if err != nil {
+			// A compressor failure at the predicted bound is not the same
+			// as "the prediction missed the band": record it so series
+			// reporting can tell the two apart, then retrain as usual.
+			res.PredictionErr = fmt.Errorf("fraz: prediction evaluation at bound %v: %w", prediction, err)
+		} else if InBand(ratio, t.cfg.TargetRatio, t.cfg.Tolerance) {
 			res.ErrorBound = evaluated
 			res.AchievedRatio = ratio
 			res.CompressedSize = size
@@ -413,6 +425,10 @@ type SeriesResult struct {
 	// Retrains counts how many steps required a full search (the first step
 	// always does).
 	Retrains int
+	// PredictionErrors counts the steps whose prediction evaluation failed
+	// outright (Result.PredictionErr != nil) — retrains forced by a
+	// compressor failure, not by the reused bound missing the band.
+	PredictionErrors int
 	// ConvergedSteps counts steps whose final ratio is inside the band.
 	ConvergedSteps int
 	// TotalIterations is the total number of compressor evaluations.
@@ -465,6 +481,9 @@ func (t *Tuner) TuneSeries(ctx context.Context, s Series) (SeriesResult, error) 
 		out.CacheMisses += res.CacheMisses
 		if stepOut.Retrained {
 			out.Retrains++
+		}
+		if res.PredictionErr != nil {
+			out.PredictionErrors++
 		}
 		if res.Feasible {
 			out.ConvergedSteps++

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -279,6 +280,117 @@ func TestTuneWithBadPredictionRetrains(t *testing.T) {
 	if len(res.Regions) == 0 {
 		t.Errorf("retraining should report region results")
 	}
+}
+
+// faultyAtCompressor fails Compress for bounds below a threshold and
+// otherwise behaves like the wrapped fake — a stand-in for a compressor
+// whose parameter validation rejects a bound that drifted out of range.
+type faultyAtCompressor struct {
+	fakeCompressor
+	failBelow float64
+}
+
+func (f faultyAtCompressor) Compress(buf pressio.Buffer, bound float64) ([]byte, error) {
+	if bound < f.failBelow {
+		return nil, errFaulty
+	}
+	return f.fakeCompressor.Compress(buf, bound)
+}
+
+var errFaulty = errors.New("faulty compressor: bound rejected")
+
+// TestTuneWithPredictionRecordsEvaluationError pins the distinction between
+// a prediction that missed the band (PredictionErr nil, retrain) and one the
+// compressor failed to evaluate at all (PredictionErr records the cause).
+func TestTuneWithPredictionRecordsEvaluationError(t *testing.T) {
+	fake := faultyAtCompressor{
+		fakeCompressor: fakeCompressor{name: "fake-faulty", ratioFn: smoothRatio},
+		failBelow:      1e-6,
+	}
+	tu, err := NewTuner(fake, Config{TargetRatio: 20, Tolerance: 0.1, MaxError: 2, LowerBound: 1e-5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := smallBuffer(4096)
+
+	// The prediction sits in the compressor's failing range: the evaluation
+	// errors, the failure is recorded, and the tuner still retrains.
+	res, err := tu.TuneWithPrediction(context.Background(), buf, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.PredictionErr, errFaulty) {
+		t.Errorf("PredictionErr = %v, want the compressor failure", res.PredictionErr)
+	}
+	if res.UsedPrediction {
+		t.Errorf("a failed prediction evaluation must not be reused")
+	}
+	if !res.Feasible {
+		t.Errorf("retraining should still find the target: %+v", res)
+	}
+
+	// A prediction that evaluates fine but misses the band records no error.
+	missed, err := tu.TuneWithPrediction(context.Background(), buf, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missed.PredictionErr != nil {
+		t.Errorf("a merely-missed prediction should not record an error, got %v", missed.PredictionErr)
+	}
+}
+
+// TestTuneSeriesCountsPredictionErrors checks the series-level accounting:
+// a step whose prediction evaluation fails increments PredictionErrors.
+func TestTuneSeriesCountsPredictionErrors(t *testing.T) {
+	// Step 0 trains normally. Step 1 uses a different buffer (so the
+	// prediction evaluation cannot be served from the cache) and its first
+	// compression — which is exactly the prediction evaluation — fails.
+	var step atomic.Int64
+	var failedOnce atomic.Bool
+	base := fakeCompressor{name: "fake-series-faulty", ratioFn: smoothRatio}
+	comp := predicateFaultyCompressor{fakeCompressor: base, fail: func(bound float64) bool {
+		return step.Load() == 1 && failedOnce.CompareAndSwap(false, true)
+	}}
+	tu, err := NewTuner(comp, Config{TargetRatio: 20, Tolerance: 0.1, MaxError: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tu.TuneSeries(context.Background(), Series{
+		Field: "f",
+		Steps: 2,
+		At: func(i int) (pressio.Buffer, error) {
+			step.Store(int64(i))
+			return smallBuffer(4096 + i), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PredictionErrors != 1 {
+		t.Errorf("PredictionErrors = %d, want 1 (step 1's prediction failed to evaluate)", out.PredictionErrors)
+	}
+	if out.Steps[0].Result.PredictionErr != nil {
+		t.Errorf("step 0 ran without a prediction, PredictionErr = %v", out.Steps[0].Result.PredictionErr)
+	}
+	if out.Steps[1].Result.PredictionErr == nil {
+		t.Errorf("step 1 should record its prediction evaluation error")
+	}
+	if !out.Steps[1].Retrained {
+		t.Errorf("step 1 should have retrained after the failed prediction")
+	}
+}
+
+// predicateFaultyCompressor fails Compress when the predicate says so.
+type predicateFaultyCompressor struct {
+	fakeCompressor
+	fail func(bound float64) bool
+}
+
+func (p predicateFaultyCompressor) Compress(buf pressio.Buffer, bound float64) ([]byte, error) {
+	if p.fail(bound) {
+		return nil, errFaulty
+	}
+	return p.fakeCompressor.Compress(buf, bound)
 }
 
 func TestTuneBufferUnsupportedShape(t *testing.T) {

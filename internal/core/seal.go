@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"fraz/internal/blocks"
+	"fraz/internal/container"
+	"fraz/internal/pressio"
+)
+
+// This file implements the blocked sealing path: instead of tuning and
+// compressing one monolithic buffer — which serialises the whole hot path
+// onto a single compressor invocation — the field is split along its
+// slowest axis, the error bound is tuned once on a single sampled block,
+// and every block is then compressed concurrently at that bound into a
+// version-2 (blocked) container. Tuning cost drops with the sample size
+// (each search evaluation compresses one block, not the whole field) and
+// the final compression parallelises across however many cores are
+// available, which is where the fixed-ratio workflow spends its time.
+
+// SealOptions controls Tuner.SealBlocked.
+type SealOptions struct {
+	// Blocks is the number of slowest-axis blocks. Zero picks
+	// blocks.DefaultCount for the configured worker count; 1 seals
+	// monolithically (a version-1 container).
+	Blocks int
+	// Workers bounds the concurrent block compressions. Zero uses the
+	// tuner's Config.Workers, which itself defaults to GOMAXPROCS.
+	Workers int
+}
+
+// SealResult reports what SealBlocked did: the tuning outcome on the
+// sampled block and the final whole-field seal.
+type SealResult struct {
+	// Tuning is the search result on the sampled block. Its AchievedRatio
+	// and CompressedSize refer to that block alone.
+	Tuning Result
+	// SampleBlock is the index of the block the bound was tuned on.
+	SampleBlock int
+	// Blocks is the number of blocks sealed (1 = monolithic fallback).
+	Blocks int
+	// AchievedRatio is the whole-field compression ratio of the sealed
+	// container (the ratio recorded in its header).
+	AchievedRatio float64
+}
+
+// SealBlocked tunes the error bound on one sampled block of the buffer and
+// compresses all blocks concurrently at the tuned bound, returning the
+// ready-to-encode container. The sample is the middle block — on the
+// spatially-coherent fields FRaZ targets, the interior is more
+// representative of the whole than a boundary block. With Blocks <= 1 (or a
+// shape that cannot be split) the result is a monolithic version-1
+// container sealed at a bound tuned on the full buffer, so callers can use
+// SealBlocked unconditionally.
+func (t *Tuner) SealBlocked(ctx context.Context, buf pressio.Buffer, opts SealOptions) (container.Container, SealResult, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = t.cfg.Workers
+	}
+	if workers <= 0 {
+		// Resolve the GOMAXPROCS sentinel here rather than leaving it to
+		// parallel.ForEach: blocks.DefaultCount needs the real worker count,
+		// else the default configuration would degenerate to one block.
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numBlocks := opts.Blocks
+	if numBlocks <= 0 {
+		numBlocks = blocks.DefaultCount(buf.Shape, workers)
+	}
+	plan, err := blocks.Plan(buf.Shape, numBlocks)
+	if err != nil {
+		return container.Container{}, SealResult{}, fmt.Errorf("fraz: seal blocked: %w", err)
+	}
+
+	out := SealResult{Blocks: len(plan), SampleBlock: len(plan) / 2}
+	sample := buf
+	if len(plan) > 1 {
+		sub, err := blocks.Slice(buf.Data, plan[out.SampleBlock])
+		if err != nil {
+			return container.Container{}, SealResult{}, fmt.Errorf("fraz: seal blocked: %w", err)
+		}
+		sample = pressio.Buffer{Data: sub, Shape: plan[out.SampleBlock].Shape}
+	}
+	res, err := t.TuneBuffer(ctx, sample)
+	if err != nil {
+		return container.Container{}, SealResult{}, fmt.Errorf("fraz: seal blocked: tuning sample block %d: %w", out.SampleBlock, err)
+	}
+	out.Tuning = res
+
+	cn, err := pressio.SealBlocked(ctx, t.compressor, buf, res.ErrorBound, len(plan), workers)
+	if err != nil {
+		return container.Container{}, SealResult{}, err
+	}
+	out.Blocks = cn.NumBlocks()
+	out.AchievedRatio = cn.Header.Ratio
+	return cn, out, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"fraz/internal/container"
+	"fraz/internal/grid"
+	"fraz/internal/pressio"
+)
+
+func sealTestBuffer(t *testing.T) pressio.Buffer {
+	t.Helper()
+	shape := grid.MustDims(16, 12, 10)
+	data := make([]float32, shape.Len())
+	i := 0
+	for z := 0; z < shape[0]; z++ {
+		for y := 0; y < shape[1]; y++ {
+			for x := 0; x < shape[2]; x++ {
+				data[i] = float32(20*math.Sin(float64(z)/4)*math.Cos(float64(y)/5) + float64(x)/10)
+				i++
+			}
+		}
+	}
+	buf, err := pressio.NewBuffer(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestSealBlockedRoundTrip(t *testing.T) {
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := NewTuner(c, Config{TargetRatio: 6, Tolerance: 0.2, Regions: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := sealTestBuffer(t)
+	cn, sr, err := tu.SealBlocked(context.Background(), buf, SealOptions{Blocks: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn.Header.Version != container.VersionBlocked || sr.Blocks != 4 {
+		t.Fatalf("sealed v%d with %d blocks, want v2 with 4", cn.Header.Version, sr.Blocks)
+	}
+	if sr.SampleBlock != 2 {
+		t.Errorf("sample block = %d, want the middle block 2", sr.SampleBlock)
+	}
+	if sr.AchievedRatio <= 0 || cn.Header.Ratio != sr.AchievedRatio {
+		t.Errorf("achieved ratio %v, header %v", sr.AchievedRatio, cn.Header.Ratio)
+	}
+	if cn.Header.Bound != sr.Tuning.ErrorBound {
+		t.Errorf("container bound %v differs from tuned bound %v", cn.Header.Bound, sr.Tuning.ErrorBound)
+	}
+
+	// Round trip through the wire format; the bound tuned on the sample
+	// block still caps every value's error across all blocks.
+	enc, err := cn.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := container.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pressio.Open(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf.Data {
+		if diff := math.Abs(float64(out.Data[i]) - float64(buf.Data[i])); diff > cn.Header.Bound {
+			t.Fatalf("value %d error %v exceeds sealed bound %v", i, diff, cn.Header.Bound)
+		}
+	}
+}
+
+func TestSealBlockedMonolithicFallback(t *testing.T) {
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := NewTuner(c, Config{TargetRatio: 6, Tolerance: 0.2, Regions: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := sealTestBuffer(t)
+	cn, sr, err := tu.SealBlocked(context.Background(), buf, SealOptions{Blocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn.Header.Version != container.Version || cn.Blocks != nil || sr.Blocks != 1 {
+		t.Errorf("Blocks=1 sealed v%d with %d blocks, want monolithic v1", cn.Header.Version, sr.Blocks)
+	}
+	// The monolithic fallback tunes on the whole buffer.
+	if sr.SampleBlock != 0 {
+		t.Errorf("monolithic sample block = %d, want 0", sr.SampleBlock)
+	}
+}
+
+func TestSealBlockedDefaultsBlockCount(t *testing.T) {
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := NewTuner(c, Config{TargetRatio: 6, Tolerance: 0.2, Regions: 4, Seed: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := sealTestBuffer(t)
+	cn, sr, err := tu.SealBlocked(context.Background(), buf, SealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DefaultCount(16 rows, 2 workers) = 4 blocks.
+	if sr.Blocks != 4 || cn.NumBlocks() != 4 {
+		t.Errorf("defaulted to %d blocks, want 4 (2 per worker)", sr.Blocks)
+	}
+}
+
+// TestSealBlockedDefaultWorkersStaysBlocked pins the all-defaults path: with
+// Config.Workers unset (the GOMAXPROCS sentinel) and empty SealOptions, the
+// seal must still decompose the field rather than silently degenerating to
+// a monolithic container.
+func TestSealBlockedDefaultWorkersStaysBlocked(t *testing.T) {
+	c, err := pressio.New("sz:abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := NewTuner(c, Config{TargetRatio: 6, Tolerance: 0.2, Regions: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := sealTestBuffer(t)
+	cn, sr, err := tu.SealBlocked(context.Background(), buf, SealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even on a single-core host GOMAXPROCS >= 1, so DefaultCount yields at
+	// least 2 blocks and the container must be blocked (v2).
+	if sr.Blocks < 2 || cn.Blocks == nil {
+		t.Errorf("all-defaults seal produced %d blocks (v%d), want a blocked container", sr.Blocks, cn.Header.Version)
+	}
+}

@@ -45,8 +45,8 @@ func TestDefaultConfig(t *testing.T) {
 
 func TestNamesAndRunDispatch(t *testing.T) {
 	names := Names()
-	if len(names) != 13 {
-		t.Errorf("expected 13 experiments, got %d", len(names))
+	if len(names) != 14 {
+		t.Errorf("expected 14 experiments, got %d", len(names))
 	}
 	if _, err := Run("bogus", quickConfig()); err == nil {
 		t.Errorf("unknown experiment should fail")

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fraz/internal/container"
+	"fraz/internal/dataset"
+	"fraz/internal/grid"
+	"fraz/internal/pressio"
+	"fraz/internal/report"
+)
+
+// BlockedThroughput measures what the blocked (format v2) seal/open path
+// buys over the monolithic one: it compresses a synthetic Hurricane field at
+// a fixed error bound monolithically and then block-parallel at several
+// worker counts, reporting wall-clock seal/open time, throughput, and the
+// speedup over the monolithic baseline. The block decomposition is the same
+// structure SZx's fixed-size block pipeline and FZ-GPU's block-parallel
+// kernels exploit; on a single-core host the speedup column degenerates to
+// ~1x and the table instead shows the (small) cost of blocking.
+func BlockedThroughput(cfg Config) (*report.Table, error) {
+	d, err := dataset.New("Hurricane", cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := fieldBuffer(d, "CLOUDf", 0)
+	if err != nil {
+		return nil, err
+	}
+	comp := mustCompressor("sz:abs")
+	// A 10^-3 relative bound is the paper's typical operating point.
+	bound := grid.ValueRange(buf.Data) * 1e-3
+
+	workerCounts := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		workerCounts = []int{1, 4}
+	}
+
+	tab := report.NewTable("Blocked seal/open throughput vs monolithic (Hurricane/CLOUDf, sz:abs)",
+		"mode", "blocks", "workers", "seal_ms", "seal_MBps", "seal_speedup", "open_ms", "ratio")
+	mb := float64(buf.Bytes()) / 1e6
+
+	sealMono, openMono, ratioMono, err := timeSealOpen(1, func() (container.Container, error) {
+		return pressio.Seal(comp, buf, bound)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab.AddRow("monolithic", 1, 1, ms(sealMono), mbps(mb, sealMono), 1.0, ms(openMono), round2(ratioMono))
+
+	for _, workers := range workerCounts {
+		workers := workers
+		blocksN := 2 * workers
+		sealB, openB, ratioB, err := timeSealOpen(workers, func() (container.Container, error) {
+			return pressio.SealBlocked(context.Background(), comp, buf, bound, blocksN, workers)
+		})
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow("blocked", blocksN, workers, ms(sealB), mbps(mb, sealB),
+			round2(float64(sealMono)/float64(sealB)), ms(openB), round2(ratioB))
+	}
+	tab.AddNote("fixed bound %.3g; blocked rows tile the slowest axis with 2 blocks per worker", bound)
+	tab.AddNote("seal_speedup is monolithic seal time over blocked seal time at that worker count")
+	return tab, nil
+}
+
+// timeSealOpen seals via the given function, times it, then times opening
+// the resulting container with the same worker count the seal used, so the
+// row's open_ms reflects the advertised parallelism rather than whatever
+// GOMAXPROCS happens to be.
+func timeSealOpen(workers int, seal func() (container.Container, error)) (sealT, openT time.Duration, ratio float64, err error) {
+	start := time.Now()
+	cn, err := seal()
+	sealT = time.Since(start)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start = time.Now()
+	if _, err := pressio.OpenBlocked(context.Background(), cn, workers); err != nil {
+		return 0, 0, 0, fmt.Errorf("open after seal: %w", err)
+	}
+	return sealT, time.Since(start), cn.Header.Ratio, nil
+}
+
+func ms(d time.Duration) float64 { return round2(float64(d.Nanoseconds()) / 1e6) }
+
+func mbps(mb float64, d time.Duration) float64 {
+	s := d.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return round2(mb / s)
+}
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBlockedThroughput(t *testing.T) {
+	tab, err := BlockedThroughput(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One monolithic baseline row plus one per quick-mode worker count.
+	checkTable(t, tab, 3)
+	if tab.Rows[0][0] != "monolithic" {
+		t.Errorf("first row should be the monolithic baseline, got %v", tab.Rows[0])
+	}
+	for _, row := range tab.Rows[1:] {
+		if row[0] != "blocked" {
+			t.Errorf("expected blocked row, got %v", row)
+		}
+		blocksN := row[1].(int)
+		workers := row[2].(int)
+		if blocksN != 2*workers {
+			t.Errorf("row %v: blocks %d != 2x workers %d", row, blocksN, workers)
+		}
+		if ratio := row[7].(float64); ratio <= 1 {
+			t.Errorf("row %v: implausible compression ratio %v", row, ratio)
+		}
+	}
+	if !strings.Contains(tab.String(), "seal_speedup") {
+		t.Errorf("table should carry the speedup column:\n%s", tab.String())
+	}
+}

@@ -103,22 +103,47 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 		select {
 		case idxCh <- i:
 		case <-ctx.Done():
-			// Stop feeding work; drain below.
+			// Stop feeding work; the drain below prefers a worker's real
+			// failure over the generic cancellation.
 			close(idxCh)
 			wg.Wait()
+			if err := drainErrors(ctx, errCh); err != nil {
+				return err
+			}
 			return ctx.Err()
 		}
 	}
 	close(idxCh)
 	wg.Wait()
+	return drainErrors(ctx, errCh)
+}
+
+// drainErrors closes and empties errCh, returning the first real failure.
+// Context-cancellation errors rank last: on either exit path a worker may
+// have failed for a real reason before (or while) the context was
+// cancelled, and that failure — not the generic cancellation the other
+// workers echo for the indices they skipped — is what the caller needs.
+func drainErrors(ctx context.Context, errCh chan error) error {
 	close(errCh)
-	var first error
+	var first, cancelled error
 	for err := range errCh {
-		if err != nil && first == nil {
+		if err == nil {
+			continue
+		}
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			if cancelled == nil {
+				cancelled = err
+			}
+			continue
+		}
+		if first == nil {
 			first = err
 		}
 	}
-	return first
+	if first != nil {
+		return first
+	}
+	return cancelled
 }
 
 // TaskOutcome reports the result of one task run by RunUntilAcceptable.

@@ -148,6 +148,60 @@ func TestForEachCancelledContext(t *testing.T) {
 	}
 }
 
+// TestForEachKeepsWorkerErrorOnLateCancellation pins the other exit path:
+// even when all indices were fed before the cancellation was observed (the
+// normal-completion drain), a worker's real failure must outrank the
+// context errors other workers echo for the indices they skipped.
+func TestForEachKeepsWorkerErrorOnLateCancellation(t *testing.T) {
+	sentinel := errors.New("real failure")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelled := make(chan struct{})
+	err := ForEach(ctx, 3, 2, func(ctx context.Context, idx int) error {
+		switch idx {
+		case 0:
+			// Fail only after the cancellation, so any context errors the
+			// other worker pushed for remaining indices precede the real
+			// failure in the error channel.
+			<-cancelled
+			return sentinel
+		case 1:
+			cancel()
+			close(cancelled)
+			return nil
+		default:
+			return nil
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want the worker's error to outrank cancellation noise", err)
+	}
+}
+
+// TestForEachKeepsWorkerErrorOnCancellation pins the early-cancellation
+// path: when a task fails and the context is cancelled before all work was
+// fed, the real failure must still be returned, not swallowed in favour of
+// the generic context error.
+func TestForEachKeepsWorkerErrorOnCancellation(t *testing.T) {
+	sentinel := errors.New("real failure")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEach(ctx, 50, 1, func(ctx context.Context, idx int) error {
+		if idx == 0 {
+			cancel()
+			// Hold the single worker long enough that the feeder observes
+			// the cancellation (rather than handing out the next index)
+			// and takes the early-return path.
+			time.Sleep(50 * time.Millisecond)
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want the worker's error to survive cancellation", err)
+	}
+}
+
 func TestForEachDefaultWorkers(t *testing.T) {
 	var count int64
 	err := ForEach(context.Background(), 5, 0, func(ctx context.Context, idx int) error {

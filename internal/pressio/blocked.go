@@ -1,0 +1,117 @@
+package pressio
+
+import (
+	"context"
+	"fmt"
+
+	"fraz/internal/blocks"
+	"fraz/internal/container"
+	"fraz/internal/metrics"
+	"fraz/internal/parallel"
+)
+
+// This file implements the blocked (format v2) seal/open path: the buffer is
+// split along its slowest axis into independent sub-buffers, each compressed
+// and decompressed on its own — turning one monolithic compressor invocation
+// into an embarrassingly parallel batch, the structure SZx's fixed-size
+// block pipeline and FZ-GPU's block-parallel kernels exploit for their
+// throughput. Every block is a complete N-d field, so the existing codecs
+// run on blocks unchanged; the container's block index (per-block offset,
+// length, CRC) is what lets Open decode the blocks concurrently too.
+
+// SealBlocked compresses the buffer as numBlocks independent slowest-axis
+// blocks at the given bound, running up to `workers` compressions
+// concurrently (0 = GOMAXPROCS), and wraps the payloads in a version-2
+// blocked container. numBlocks <= 1 (or a shape whose slowest axis cannot be
+// split) falls back to the monolithic Seal and a version-1 container, so
+// callers can pass the requested block count straight through.
+//
+// The recorded ratio is the achieved whole-field ratio: uncompressed bytes
+// over the summed block payload sizes (index overhead excluded, matching how
+// Seal reports the monolithic payload ratio).
+func SealBlocked(ctx context.Context, c Compressor, buf Buffer, bound float64, numBlocks, workers int) (container.Container, error) {
+	plan, err := blocks.Plan(buf.Shape, numBlocks)
+	if err != nil {
+		return container.Container{}, fmt.Errorf("pressio: seal blocked with %s: %w", c.Name(), err)
+	}
+	if len(plan) <= 1 {
+		return Seal(c, buf, bound)
+	}
+	payloads := make([][]byte, len(plan))
+	err = parallel.ForEach(ctx, len(plan), workers, func(ctx context.Context, i int) error {
+		sub, err := blockBuffer(buf, plan[i])
+		if err != nil {
+			return err
+		}
+		p, err := c.Compress(sub, bound)
+		if err != nil {
+			return fmt.Errorf("block %d (%s): %w", i, sub.Shape, err)
+		}
+		payloads[i] = p
+		return nil
+	})
+	if err != nil {
+		return container.Container{}, fmt.Errorf("pressio: seal blocked with %s: %w", c.Name(), err)
+	}
+	total := 0
+	for _, p := range payloads {
+		total += len(p)
+	}
+	ratio := metrics.CompressionRatio(buf.Bytes(), total)
+	return container.NewBlocked(c.Name(), bound, ratio, buf.Shape, payloads)
+}
+
+// OpenBlocked reconstructs the buffer of a blocked (version-2) container,
+// decompressing up to `workers` blocks concurrently (0 = GOMAXPROCS). Each
+// block resolves its own compressor instance from the registry — cheap for
+// the stateless codecs, and it keeps the decode path independent of any
+// instance the caller holds. Monolithic containers are routed to Open, so
+// OpenBlocked accepts any container.
+func OpenBlocked(ctx context.Context, cn container.Container, workers int) (Buffer, error) {
+	if cn.Blocks == nil {
+		return Open(cn)
+	}
+	if cn.Header.DType != container.Float32 {
+		return Buffer{}, fmt.Errorf("pressio: cannot decode %s payloads", cn.Header.DType)
+	}
+	if _, ok := Lookup(cn.Header.Codec); !ok {
+		return Buffer{}, fmt.Errorf("%w: %q (available: %v)", ErrUnknownCompressor, cn.Header.Codec, Names())
+	}
+	plan, err := blocks.Plan(cn.Header.Shape, len(cn.Blocks))
+	if err != nil {
+		return Buffer{}, fmt.Errorf("pressio: open blocked %s container: %w", cn.Header.Codec, err)
+	}
+	if len(plan) != len(cn.Blocks) {
+		return Buffer{}, fmt.Errorf("pressio: open blocked %s container: %d blocks indexed, shape %s splits into %d",
+			cn.Header.Codec, len(cn.Blocks), cn.Header.Shape, len(plan))
+	}
+	data := make([]float32, cn.Header.Shape.Len())
+	err = parallel.ForEach(ctx, len(plan), workers, func(ctx context.Context, i int) error {
+		c, err := New(cn.Header.Codec)
+		if err != nil {
+			return err
+		}
+		payload, err := cn.BlockPayload(i)
+		if err != nil {
+			return err
+		}
+		dec, err := c.Decompress(payload, plan[i].Shape)
+		if err != nil {
+			return fmt.Errorf("block %d (%s): %w", i, plan[i].Shape, err)
+		}
+		return blocks.Scatter(data, plan[i], dec)
+	})
+	if err != nil {
+		return Buffer{}, fmt.Errorf("pressio: open blocked %s container: %w", cn.Header.Codec, err)
+	}
+	return NewBuffer(data, cn.Header.Shape)
+}
+
+// blockBuffer views one planned block of the buffer as a Buffer of its own.
+func blockBuffer(buf Buffer, b blocks.Block) (Buffer, error) {
+	sub, err := blocks.Slice(buf.Data, b)
+	if err != nil {
+		return Buffer{}, err
+	}
+	return Buffer{Data: sub, Shape: b.Shape}, nil
+}

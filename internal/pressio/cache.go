@@ -135,6 +135,13 @@ func (c *Cache) do(key CacheKey, fn func() (CacheEntry, error)) (entry CacheEntr
 	if s, ok := c.m[key]; ok {
 		c.mu.Unlock()
 		<-s.done
+		if s.err != nil {
+			// Waiting on an in-flight evaluation that failed saved nothing:
+			// no usable (ratio, size) came back, so it must not be counted
+			// as a hit (it would inflate the savings every Result reports).
+			c.misses.Add(1)
+			return s.entry, false, s.err
+		}
 		c.hits.Add(1)
 		return s.entry, true, s.err
 	}
@@ -163,7 +170,9 @@ func (c *Cache) do(key CacheKey, fn func() (CacheEntry, error)) (entry CacheEntr
 }
 
 // Stats reports the cumulative hit and miss counts across all users of the
-// cache. A hit is an evaluation served without invoking the compressor.
+// cache. A hit is an evaluation served a usable result without invoking the
+// compressor; failed evaluations — including waits on an in-flight
+// evaluation that failed — count as misses.
 func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }

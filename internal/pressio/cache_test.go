@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"fraz/internal/container"
 	"fraz/internal/grid"
@@ -233,6 +234,90 @@ func TestCacheDoesNotRetainErrors(t *testing.T) {
 	}
 	if cache.Len() != 1 {
 		t.Errorf("cache holds %d entries, want 1 (only the success)", cache.Len())
+	}
+}
+
+// TestCacheFailedWaitIsNotAHit pins the accounting on the single-flight
+// path: a caller that waits on an in-flight evaluation which then fails got
+// nothing from the cache, so it must not be counted as a hit.
+func TestCacheFailedWaitIsNotAHit(t *testing.T) {
+	cache := NewCache()
+	boom := errors.New("boom")
+	key := CacheKey{Codec: "fake", Fingerprint: 9, Bound: 1}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, hit, err := cache.do(key, func() (CacheEntry, error) {
+			close(entered) // the evaluation is now in flight
+			<-release
+			return CacheEntry{}, boom
+		})
+		if hit || !errors.Is(err, boom) {
+			t.Errorf("originator: hit=%v err=%v, want miss with boom", hit, err)
+		}
+	}()
+
+	<-entered
+	waiter := make(chan struct{})
+	go func() {
+		defer close(waiter)
+		// Usually this caller blocks on the in-flight slot and receives its
+		// failure; if scheduling delays it past the originator's cleanup it
+		// recomputes (and fails again) instead. The accounting under test
+		// is identical either way: no hit, one more miss.
+		_, hit, err := cache.do(key, func() (CacheEntry, error) {
+			return CacheEntry{}, boom
+		})
+		if hit {
+			t.Errorf("waiter on a failed evaluation reported a cache hit")
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("waiter err = %v, want the evaluation failure", err)
+		}
+	}()
+
+	// Give the waiter a moment to reach the in-flight slot, then fail the
+	// evaluation.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	<-done
+	<-waiter
+
+	hits, misses := cache.Stats()
+	if hits != 0 {
+		t.Errorf("hits = %d, want 0 (nothing was served from the cache)", hits)
+	}
+	if misses != 2 {
+		t.Errorf("misses = %d, want 2 (one failed compute, one failed wait)", misses)
+	}
+}
+
+// TestEvaluatorMirrorsFailedWaitAccounting checks the same property through
+// Evaluator.Ratio: a failed evaluation never increments the evaluator's hit
+// counter either.
+func TestEvaluatorMirrorsFailedWaitAccounting(t *testing.T) {
+	cache := NewCache()
+	c, err := New("sz:rel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := testField3D()
+	ev := NewEvaluator(cache, c, buf)
+	// sz:rel rejects bounds > 1, so this evaluation fails deterministically.
+	if _, _, _, err := ev.Ratio(7); err == nil {
+		t.Fatal("expected the out-of-range bound to fail")
+	}
+	if _, _, _, err := ev.Ratio(7); err == nil {
+		t.Fatal("expected the retried bound to fail")
+	}
+	if hits, misses := ev.Stats(); hits != 0 || misses != 2 {
+		t.Errorf("evaluator stats = %d hits / %d misses, want 0/2", hits, misses)
+	}
+	if hits, _ := cache.Stats(); hits != 0 {
+		t.Errorf("cache hits = %d, want 0", hits)
 	}
 }
 

@@ -1,6 +1,7 @@
 package pressio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -152,9 +153,14 @@ func Seal(c Compressor, buf Buffer, bound float64) (container.Container, error) 
 }
 
 // Open routes a decoded container to the codec named in its header and
-// reconstructs the original buffer. It is the inverse of Seal and the only
-// decompression entry point that needs no out-of-band knowledge.
+// reconstructs the original buffer. It is the inverse of Seal (and, through
+// OpenBlocked, of SealBlocked: blocked containers are detected by their
+// block index and decoded block-parallel) and the only decompression entry
+// point that needs no out-of-band knowledge.
 func Open(cn container.Container) (Buffer, error) {
+	if cn.Blocks != nil {
+		return OpenBlocked(context.Background(), cn, 0)
+	}
 	if cn.Header.DType != container.Float32 {
 		return Buffer{}, fmt.Errorf("pressio: cannot decode %s payloads", cn.Header.DType)
 	}

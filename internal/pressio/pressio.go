@@ -39,6 +39,11 @@ func NewBuffer(data []float32, shape grid.Dims) (Buffer, error) {
 func (b Buffer) Bytes() int { return len(b.Data) * 4 }
 
 // Compressor is the generic error-bounded compressor interface FRaZ tunes.
+//
+// Implementations must be safe for concurrent use: the tuner's
+// region-parallel search and the blocked seal path both invoke Compress on
+// one instance from multiple goroutines (all registered codecs are
+// stateless, which satisfies this for free).
 type Compressor interface {
 	// Name identifies the compressor and mode, e.g. "sz:abs" or
 	// "zfp:accuracy".
