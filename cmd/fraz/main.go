@@ -1,7 +1,9 @@
 // Command fraz performs fixed-ratio lossy compression of a single field: it
 // tunes the chosen compressor's error bound until the achieved compression
 // ratio reaches the requested target (within the tolerance), then optionally
-// writes a self-describing .fraz container.
+// writes a self-describing .fraz container. It is a thin shell over the
+// public fraz package — every capability here is available to any Go
+// program through the same API.
 //
 // The field can come from a raw little-endian float32 file (-in, with -dims)
 // or from one of the built-in synthetic SDRBench stand-ins (-dataset/-field).
@@ -21,22 +23,25 @@
 //
 //	fraz -dataset Hurricane -field TCf -ratio 10 -blocks 8 -out tcf.fraz
 //	fraz -decompress tcf.fraz -out tcf.f32
+//
+// When the target ratio is not reachable at any admissible error bound the
+// command reports the closest observed configuration and exits non-zero.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
-	"fraz/internal/container"
-	"fraz/internal/core"
+	"fraz"
 	"fraz/internal/dataset"
 	"fraz/internal/grid"
-	"fraz/internal/pressio"
 	"fraz/internal/report"
 )
 
@@ -45,6 +50,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fraz:", err)
 		os.Exit(1)
 	}
+}
+
+func codecNames() []string {
+	infos := fraz.Codecs()
+	names := make([]string, len(infos))
+	for i, ci := range infos {
+		names[i] = ci.Name
+	}
+	return names
 }
 
 func run(args []string, out io.Writer) error {
@@ -57,7 +71,7 @@ func run(args []string, out io.Writer) error {
 		fieldName  = fs.String("field", "", "field name within the dataset")
 		timeStep   = fs.Int("timestep", 0, "time-step within the dataset")
 		scaleName  = fs.String("scale", "small", "synthetic dataset scale: tiny, small, medium")
-		compressor = fs.String("compressor", "sz:abs", "compressor to tune: "+strings.Join(pressio.Names(), ", "))
+		compressor = fs.String("compressor", fraz.DefaultCodec, "compressor to tune: "+strings.Join(codecNames(), ", "))
 		ratio      = fs.Float64("ratio", 10, "target compression ratio")
 		tolerance  = fs.Float64("tolerance", 0.1, "acceptable fractional deviation from the target ratio")
 		maxError   = fs.Float64("max-error", 0, "maximum allowed compression error U (0 = value range of the data)")
@@ -87,99 +101,110 @@ func run(args []string, out io.Writer) error {
 		return runDecompress(*decompress, *outPath, out)
 	}
 
-	buf, label, err := loadInput(*inPath, *dims, *dsName, *fieldName, *timeStep, *scaleName)
+	data, shape, label, err := loadInput(*inPath, *dims, *dsName, *fieldName, *timeStep, *scaleName)
 	if err != nil {
 		return err
 	}
 
-	c, err := pressio.New(*compressor)
-	if err != nil {
-		return err
+	blocks := *blocksN
+	if blocks <= 1 {
+		blocks = 1 // 0 and 1 both mean a monolithic (v1) container
 	}
-	tuner, err := core.NewTuner(c, core.Config{
-		TargetRatio: *ratio,
-		Tolerance:   *tolerance,
-		MaxError:    *maxError,
-		Regions:     *regions,
-		Workers:     *workers,
-		Seed:        *seed,
-	})
-	if err != nil {
-		return err
-	}
-
-	if *blocksN > 1 {
-		return runBlocked(tuner, buf, label, *blocksN, *ratio, *tolerance, *outPath, out)
-	}
-
-	res, err := tuner.TuneBuffer(context.Background(), buf)
+	client, err := fraz.New(*compressor,
+		fraz.Ratio(*ratio),
+		fraz.Tolerance(*tolerance),
+		fraz.MaxError(*maxError),
+		fraz.Regions(*regions),
+		fraz.Blocks(blocks),
+		fraz.Workers(*workers),
+		fraz.Seed(*seed),
+	)
 	if err != nil {
 		return err
 	}
 
-	printTuningHeader(out, label, buf, c, *ratio, *tolerance)
-	fmt.Fprintf(out, "recommended bound: %g\n", res.ErrorBound)
-	fmt.Fprintf(out, "achieved ratio:   %.2f (compressed %.2f MB)\n", res.AchievedRatio, float64(res.CompressedSize)/1e6)
-	fmt.Fprintf(out, "feasible:         %v\n", res.Feasible)
-	fmt.Fprintf(out, "evaluations:      %d in %v (%s)\n", res.Iterations, res.Elapsed, report.Savings(res.CacheHits, res.CacheMisses))
-	if !res.Feasible {
-		printInfeasibleNote(out)
-	}
-
+	// Without -out the container is still produced (compression is the
+	// point of the tuning report) but discarded. With -out, the container
+	// streams into a temporary file that is renamed over the destination
+	// only on success, so a failed run never truncates or deletes an
+	// archive already at that path.
+	var w io.Writer = io.Discard
+	var tmp *os.File
 	if *outPath != "" {
-		cn, err := pressio.Seal(c, buf, res.ErrorBound)
-		if err != nil {
-			return fmt.Errorf("final compression: %w", err)
-		}
-		enc, err := cn.Encode()
+		tmp, err = os.CreateTemp(filepath.Dir(*outPath), filepath.Base(*outPath)+".tmp-*")
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		// CreateTemp makes the file 0600; restore the 0644 a direct create
+		// would have produced so the published archive stays readable by
+		// consumers other than its owner.
+		if err := tmp.Chmod(0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "wrote %d bytes to %s (%s)\n", len(enc), *outPath, cn.Header)
+		defer func() {
+			if tmp != nil {
+				tmp.Close()
+				os.Remove(tmp.Name())
+			}
+		}()
+		w = tmp
 	}
-	return nil
-}
 
-// runBlocked drives the blocked pipeline: tune the bound on one sampled
-// block, compress every block concurrently, and (optionally) write the
-// blocked (v2) container.
-func runBlocked(tuner *core.Tuner, buf pressio.Buffer, label string, blocksN int, ratio, tolerance float64, outPath string, out io.Writer) error {
-	c := tuner.Compressor()
-	cn, sr, err := tuner.SealBlocked(context.Background(), buf, core.SealOptions{Blocks: blocksN})
+	printTuningHeader(out, label, shape, len(data), client.Codec(), *ratio, *tolerance)
+	res, err := client.Compress(context.Background(), w, data, []int(shape))
+	var infeasible *fraz.InfeasibleError
+	if errors.As(err, &infeasible) {
+		// Report how close the search got and exit non-zero: an archive
+		// that misses its ratio contract must not look like success to
+		// scripts. The deferred cleanup discards the temporary file.
+		fmt.Fprintf(out, "recommended bound: %g (closest observed)\n", infeasible.ErrorBound)
+		fmt.Fprintf(out, "achieved ratio:   %.2f\n", infeasible.ClosestRatio)
+		fmt.Fprintf(out, "feasible:         false\n")
+		printInfeasibleNote(out)
+		return err
+	}
 	if err != nil {
 		return err
 	}
-	res := sr.Tuning
-	printTuningHeader(out, label, buf, c, ratio, tolerance)
-	fmt.Fprintf(out, "blocks:           %d (tuned on sampled block %d)\n", sr.Blocks, sr.SampleBlock)
-	fmt.Fprintf(out, "recommended bound: %g\n", res.ErrorBound)
-	fmt.Fprintf(out, "achieved ratio:   %.2f whole-field (%.2f on the sampled block)\n", sr.AchievedRatio, res.AchievedRatio)
-	fmt.Fprintf(out, "feasible:         %v (on the sampled block)\n", res.Feasible)
-	fmt.Fprintf(out, "evaluations:      %d in %v (%s)\n", res.Iterations, res.Elapsed, report.Savings(res.CacheHits, res.CacheMisses))
-	if !res.Feasible {
-		printInfeasibleNote(out)
+	if tmp != nil {
+		// Close before declaring success so write-back errors surface, then
+		// publish the finished archive atomically.
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			tmp = nil
+			return err
+		}
+		if err := os.Rename(tmp.Name(), *outPath); err != nil {
+			os.Remove(tmp.Name())
+			tmp = nil
+			return err
+		}
+		tmp = nil
 	}
-	if outPath != "" {
-		enc, err := cn.Encode()
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(outPath, enc, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "wrote %d bytes to %s (%s, %d blocks)\n", len(enc), outPath, cn.Header, cn.NumBlocks())
+
+	if res.Blocks > 1 {
+		fmt.Fprintf(out, "blocks:           %d (tuned on sampled block %d)\n", res.Blocks, res.SampleBlock)
+		fmt.Fprintf(out, "recommended bound: %g\n", res.ErrorBound)
+		fmt.Fprintf(out, "achieved ratio:   %.2f whole-field (%.2f on the sampled block)\n", res.Ratio, res.SampleRatio)
+	} else {
+		fmt.Fprintf(out, "recommended bound: %g\n", res.ErrorBound)
+		fmt.Fprintf(out, "achieved ratio:   %.2f (compressed %.2f MB)\n", res.Ratio, float64(res.BytesWritten)/1e6)
+	}
+	fmt.Fprintf(out, "feasible:         true\n")
+	fmt.Fprintf(out, "evaluations:      %d in %v (%s)\n", res.Evaluations, res.Elapsed,
+		report.Savings(res.CacheHits, res.Evaluations-res.CacheHits))
+	if *outPath != "" {
+		fmt.Fprintf(out, "wrote %d bytes to %s (codec=%s bound=%g ratio=%.2f, %d blocks)\n",
+			res.BytesWritten, *outPath, res.Codec, res.ErrorBound, res.Ratio, res.Blocks)
 	}
 	return nil
 }
 
 // printTuningHeader writes the report lines shared by the monolithic and
 // blocked compression paths.
-func printTuningHeader(out io.Writer, label string, buf pressio.Buffer, c pressio.Compressor, ratio, tolerance float64) {
-	fmt.Fprintf(out, "input:            %s (%s, %d values, %.2f MB)\n", label, buf.Shape, len(buf.Data), float64(buf.Bytes())/1e6)
-	fmt.Fprintf(out, "compressor:       %s (%s)\n", c.Name(), c.BoundName())
+func printTuningHeader(out io.Writer, label string, shape grid.Dims, values int, ci fraz.CodecInfo, ratio, tolerance float64) {
+	fmt.Fprintf(out, "input:            %s (%s, %d values, %.2f MB)\n", label, shape, values, float64(4*values)/1e6)
+	fmt.Fprintf(out, "compressor:       %s (%s)\n", ci.Name, ci.BoundName)
 	fmt.Fprintf(out, "target ratio:     %.2f (+/- %.0f%%)\n", ratio, tolerance*100)
 }
 
@@ -194,73 +219,70 @@ func printInfeasibleNote(out io.Writer) {
 // bound, shape — is read from the container header, so the only inputs are
 // the file itself and an optional raw float32 output path.
 func runDecompress(inPath, outPath string, out io.Writer) error {
-	enc, err := os.ReadFile(inPath)
+	f, err := os.Open(inPath)
 	if err != nil {
 		return err
 	}
-	cn, err := container.Decode(enc)
+	defer f.Close()
+	res, err := fraz.DecompressFull(context.Background(), f)
 	if err != nil {
 		return fmt.Errorf("%s: %w", inPath, err)
 	}
-	buf, err := pressio.Open(cn)
-	if err != nil {
-		return err
+	shape := grid.Dims(res.Shape)
+	fmt.Fprintf(out, "container:        %s (.fraz v%d codec=%s shape=%s bound=%g ratio=%.2f)\n",
+		inPath, res.Version, res.Codec, shape, res.ErrorBound, res.Ratio)
+	if res.Version == 2 {
+		fmt.Fprintf(out, "blocks:           %d (independently verified and decoded in parallel)\n", res.Blocks)
 	}
-	fmt.Fprintf(out, "container:        %s (%s)\n", inPath, cn.Header)
-	if cn.Blocks != nil {
-		fmt.Fprintf(out, "blocks:           %d (independently verified and decoded in parallel)\n", cn.NumBlocks())
-	}
-	fmt.Fprintf(out, "reconstructed:    %d values (%s, %.2f MB)\n", len(buf.Data), buf.Shape, float64(buf.Bytes())/1e6)
-	if cd, ok := pressio.Lookup(cn.Header.Codec); ok {
+	fmt.Fprintf(out, "reconstructed:    %d values (%s, %.2f MB)\n", len(res.Data), shape, float64(4*len(res.Data))/1e6)
+	if ci, ok := fraz.LookupCodec(res.Codec); ok {
 		switch {
-		case cd.Caps.Lossless:
+		case ci.Lossless:
 			fmt.Fprintf(out, "error guarantee:  lossless (bit-exact reconstruction)\n")
-		case cd.Caps.ErrorBounded:
-			fmt.Fprintf(out, "error guarantee:  %s <= %g\n", cd.Caps.BoundName, cn.Header.Bound)
+		case ci.ErrorBounded:
+			fmt.Fprintf(out, "error guarantee:  %s <= %g\n", ci.BoundName, res.ErrorBound)
 		}
 	}
 	if outPath != "" {
-		if err := dataset.WriteRaw(outPath, buf.Data); err != nil {
+		if err := dataset.WriteRaw(outPath, res.Data); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "wrote %d bytes to %s\n", buf.Bytes(), outPath)
+		fmt.Fprintf(out, "wrote %d bytes to %s\n", 4*len(res.Data), outPath)
 	}
 	return nil
 }
 
-func loadInput(inPath, dims, dsName, fieldName string, timeStep int, scaleName string) (pressio.Buffer, string, error) {
+func loadInput(inPath, dims, dsName, fieldName string, timeStep int, scaleName string) ([]float32, grid.Dims, string, error) {
 	switch {
 	case inPath != "":
 		shape, err := parseDims(dims)
 		if err != nil {
-			return pressio.Buffer{}, "", err
+			return nil, nil, "", err
 		}
 		data, err := dataset.ReadRaw(inPath, shape)
 		if err != nil {
-			return pressio.Buffer{}, "", err
+			return nil, nil, "", err
 		}
-		buf, err := pressio.NewBuffer(data, shape)
-		return buf, inPath, err
+		return data, shape, inPath, nil
 	case dsName != "":
 		if fieldName == "" {
-			return pressio.Buffer{}, "", fmt.Errorf("-field is required with -dataset")
+			return nil, nil, "", fmt.Errorf("-field is required with -dataset")
 		}
 		scale, err := parseScale(scaleName)
 		if err != nil {
-			return pressio.Buffer{}, "", err
+			return nil, nil, "", err
 		}
 		d, err := dataset.New(dsName, scale)
 		if err != nil {
-			return pressio.Buffer{}, "", err
+			return nil, nil, "", err
 		}
 		data, shape, err := d.Generate(fieldName, timeStep)
 		if err != nil {
-			return pressio.Buffer{}, "", err
+			return nil, nil, "", err
 		}
-		buf, err := pressio.NewBuffer(data, shape)
-		return buf, fmt.Sprintf("%s/%s t=%d", dsName, fieldName, timeStep), err
+		return data, shape, fmt.Sprintf("%s/%s t=%d", dsName, fieldName, timeStep), nil
 	default:
-		return pressio.Buffer{}, "", fmt.Errorf("either -in or -dataset must be provided")
+		return nil, nil, "", fmt.Errorf("either -in or -dataset must be provided")
 	}
 }
 

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"fraz"
 	"fraz/internal/container"
 	"fraz/internal/dataset"
 	"fraz/internal/grid"
@@ -35,7 +37,7 @@ func TestRunWritesCompressedOutput(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{
 		"-dataset", "EXAALT", "-field", "x", "-scale", "tiny",
-		"-ratio", "6", "-regions", "4", "-seed", "3", "-out", outFile,
+		"-ratio", "30", "-tolerance", "0.25", "-regions", "8", "-seed", "3", "-out", outFile,
 	}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -189,6 +191,49 @@ func TestBlockedCompressDecompressRoundTrip(t *testing.T) {
 		if diff := math.Abs(float64(rec[i]) - float64(orig[i])); diff > cn.Header.Bound {
 			t.Fatalf("value %d error %g exceeds tuned bound %g", i, diff, cn.Header.Bound)
 		}
+	}
+}
+
+// TestInfeasibleTargetExitsNonZero is the regression test for the sentinel
+// error path: an unreachable target ratio must surface as an error matching
+// fraz.ErrInfeasible (so main exits non-zero), report the closest observed
+// configuration, and leave no output file behind.
+func TestInfeasibleTargetExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "never.fraz")
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "NYX", "-field", "temperature", "-scale", "tiny",
+		"-ratio", "1000000", "-tolerance", "0.01", "-regions", "2", "-seed", "1", "-out", outFile,
+	}, &out)
+	if !errors.Is(err, fraz.ErrInfeasible) {
+		t.Fatalf("err = %v, want errors.Is(err, fraz.ErrInfeasible)", err)
+	}
+	text := out.String()
+	for _, want := range []string{"feasible:         false", "closest observed", "note:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("infeasible output missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := os.Stat(outFile); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("infeasible run should not leave an output file (stat err = %v)", err)
+	}
+
+	// A failed run must also leave a pre-existing archive at -out intact:
+	// the container streams into a temporary file and only renames over the
+	// destination on success.
+	if err := os.WriteFile(outFile, []byte("precious archive"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{
+		"-dataset", "NYX", "-field", "temperature", "-scale", "tiny",
+		"-ratio", "1000000", "-tolerance", "0.01", "-regions", "2", "-seed", "1", "-out", outFile,
+	}, &out)
+	if !errors.Is(err, fraz.ErrInfeasible) {
+		t.Fatalf("err = %v, want errors.Is(err, fraz.ErrInfeasible)", err)
+	}
+	if got, err := os.ReadFile(outFile); err != nil || string(got) != "precious archive" {
+		t.Errorf("failed run clobbered the existing file at -out: %q, %v", got, err)
 	}
 }
 

@@ -1,0 +1,68 @@
+package fraz
+
+import "fraz/internal/pressio"
+
+// CodecInfo describes one registered codec: its wire name (recorded in
+// .fraz container headers) and the static capabilities callers select on.
+// It is a plain value — codec discovery does not hand out compressor
+// instances or any other internal type.
+type CodecInfo struct {
+	// Name identifies the codec, e.g. "sz:abs", and is what New and the
+	// Codec option accept.
+	Name string
+	// BoundName names the codec's tunable scalar parameter, e.g. "absolute
+	// error bound" or "bits per value".
+	BoundName string
+	// ErrorBounded reports whether the tuned parameter guarantees a
+	// pointwise error bound on the reconstruction (false for the ZFP
+	// fixed-rate baseline).
+	ErrorBounded bool
+	// Lossless marks codecs that reconstruct bit-exactly; their bound
+	// parameter is ignored.
+	Lossless bool
+	// MinRank and MaxRank bound the data ranks the codec accepts (e.g. the
+	// MGARD back end rejects 1-D data).
+	MinRank, MaxRank int
+}
+
+// SupportsRank reports whether the codec accepts data of the given rank
+// (len(shape)).
+func (c CodecInfo) SupportsRank(rank int) bool {
+	return rank >= c.MinRank && rank <= c.MaxRank
+}
+
+// Codecs lists every registered codec sorted by name. Use it to populate
+// CLI help, or to select candidates by capability:
+//
+//	for _, c := range fraz.Codecs() {
+//		if c.ErrorBounded && c.SupportsRank(3) { ... }
+//	}
+func Codecs() []CodecInfo {
+	descs := pressio.Codecs()
+	out := make([]CodecInfo, len(descs))
+	for i, d := range descs {
+		out[i] = codecInfo(d)
+	}
+	return out
+}
+
+// LookupCodec returns the descriptor registered under name and whether the
+// name is known.
+func LookupCodec(name string) (CodecInfo, bool) {
+	d, ok := pressio.Lookup(name)
+	if !ok {
+		return CodecInfo{}, false
+	}
+	return codecInfo(d), true
+}
+
+func codecInfo(d pressio.Codec) CodecInfo {
+	return CodecInfo{
+		Name:         d.Name,
+		BoundName:    d.Caps.BoundName,
+		ErrorBounded: d.Caps.ErrorBounded,
+		Lossless:     d.Caps.Lossless,
+		MinRank:      d.Caps.MinRank,
+		MaxRank:      d.Caps.MaxRank,
+	}
+}

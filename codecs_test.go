@@ -1,0 +1,45 @@
+package fraz_test
+
+import (
+	"sort"
+	"testing"
+
+	"fraz"
+)
+
+func TestCodecsDiscovery(t *testing.T) {
+	infos := fraz.Codecs()
+	if len(infos) == 0 {
+		t.Fatal("no codecs registered")
+	}
+	if !sort.SliceIsSorted(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name }) {
+		t.Errorf("Codecs() not sorted by name")
+	}
+	byName := map[string]fraz.CodecInfo{}
+	for _, ci := range infos {
+		if ci.Name == "" || ci.BoundName == "" || ci.MinRank < 1 || ci.MaxRank < ci.MinRank {
+			t.Errorf("implausible codec descriptor: %+v", ci)
+		}
+		byName[ci.Name] = ci
+	}
+	sz, ok := byName["sz:abs"]
+	if !ok || !sz.ErrorBounded || sz.Lossless {
+		t.Errorf("sz:abs descriptor: %+v (ok=%v)", sz, ok)
+	}
+	if rate, ok := byName["zfp:rate"]; !ok || rate.ErrorBounded {
+		t.Errorf("zfp:rate must not claim an error bound: %+v", rate)
+	}
+}
+
+func TestLookupCodec(t *testing.T) {
+	ci, ok := fraz.LookupCodec("mgard:abs")
+	if !ok {
+		t.Fatal("mgard:abs not registered")
+	}
+	if ci.SupportsRank(1) || !ci.SupportsRank(2) || !ci.SupportsRank(3) {
+		t.Errorf("mgard:abs rank support: %+v", ci)
+	}
+	if _, ok := fraz.LookupCodec("nope:mode"); ok {
+		t.Errorf("LookupCodec accepted an unknown name")
+	}
+}

@@ -1,8 +1,53 @@
-// Package fraz is the root of a pure-Go reproduction of "FRaZ: A Generic
+// Package fraz is a pure-Go implementation of "FRaZ: A Generic
 // High-Fidelity Fixed-Ratio Lossy Compression Framework for Scientific
 // Floating-point Data" (Underwood, Di, Calhoun, Cappello — IPDPS 2020).
 //
-// The implementation lives under internal/:
+// Scientific users usually know how much storage or bandwidth they have — a
+// fixed compression ratio — but error-bounded lossy compressors (SZ, ZFP,
+// MGARD) are parameterised by an error bound. FRaZ closes the gap: it
+// searches the bound space with a parallel global optimizer until the
+// achieved ratio lands inside the requested band, for any codec behind a
+// generic adapter layer.
+//
+// # Usage
+//
+// The root package is the public API. Build a Client with functional
+// options and stream self-describing .fraz containers:
+//
+//	c, err := fraz.New("sz:abs", fraz.Ratio(12), fraz.Tolerance(0.05))
+//	if err != nil { ... }
+//	res, err := c.Compress(ctx, f, data, []int{100, 500, 500})
+//	if errors.Is(err, fraz.ErrInfeasible) {
+//		// no bound reaches 12:1 ±5% on this data; errors.As on
+//		// *fraz.InfeasibleError reports the closest observed ratio.
+//	}
+//
+// Decompression needs no configuration — the container header carries the
+// codec, tuned bound, achieved ratio, and shape:
+//
+//	data, shape, err := fraz.Decompress(ctx, f)
+//
+// One-shot helpers (fraz.Compress, fraz.Decompress) cover single fields;
+// Client adds tuning without sealing (Tune, TuneSeries, TuneFields — the
+// paper's time-step and field parallelism) and carries the last feasible
+// bound across calls as the next search's starting prediction. Codec
+// discovery goes through fraz.Codecs, which describes each registered
+// back end's capabilities (bound semantics, error-boundedness, supported
+// ranks). Failures are errors.Is-able: ErrInfeasible, ErrUnknownCodec,
+// ErrCorrupt.
+//
+// # API stability
+//
+// The root fraz package is the supported surface: additions may happen in
+// any release, but existing identifiers keep their signatures and
+// semantics, and the .fraz container format stays readable across versions
+// (a build decodes every format version up to its own). Everything under
+// internal/ is implementation detail with no compatibility promise — the
+// Go compiler enforces that outside programs cannot import it. The
+// programs under cmd/ and examples/ consume only the public package and
+// double as live documentation of it.
+//
+// # Implementation layout
 //
 //   - internal/core      — the FRaZ autotuner and parallel orchestrator, plus
 //     the blocked sealing path (tune on a sampled block, compress all blocks
@@ -11,7 +56,8 @@
 //     registry with capabilities, the shared evaluation cache, and the
 //     block-parallel SealBlocked/OpenBlocked pipeline
 //   - internal/container — the self-describing .fraz on-disk container format
-//     (v1 monolithic payload, v2 block index + independently-decodable blocks)
+//     (v1 monolithic payload, v2 block index + independently-decodable
+//     blocks), with streaming WriteTo/ReadFrom and incremental CRC checks
 //   - internal/blocks    — slowest-axis block decomposition (split/reassemble)
 //   - internal/sz        — SZ-like prediction-based error-bounded compressor
 //   - internal/zfp       — ZFP-like transform compressor (accuracy + fixed-rate)

@@ -1,0 +1,52 @@
+package fraz
+
+import (
+	"errors"
+	"fmt"
+
+	"fraz/internal/container"
+	"fraz/internal/core"
+	"fraz/internal/pressio"
+)
+
+// ErrInfeasible reports that no error bound in the admissible range reaches
+// the target compression ratio within the tolerance. Compress fails with it
+// (writing nothing), and TuneResult.Err returns it for infeasible tunes.
+// Match with errors.Is; errors.As on *InfeasibleError recovers the closest
+// configuration the search observed, so callers can decide whether to relax
+// the tolerance, raise MaxError, or switch codecs.
+var ErrInfeasible = core.ErrInfeasible
+
+// InfeasibleError carries the closest observed configuration of an
+// infeasible tune: the achieved ratio nearest the target, the bound that
+// produced it, and its compressed size.
+type InfeasibleError = core.InfeasibleError
+
+// ErrUnknownCodec reports a codec name that is not in the registry — from
+// New with a misspelled name, or from Decompress on a stream whose header
+// names a codec this build does not carry. Codecs lists what is available.
+var ErrUnknownCodec = errors.New("fraz: unknown codec")
+
+// ErrCorrupt reports a stream that is not a decodable .fraz container: bad
+// magic, a header field out of range, a truncated payload, a CRC mismatch,
+// or a format version newer than this build reads.
+var ErrCorrupt = errors.New("fraz: invalid or corrupt .fraz stream")
+
+// wrapStreamErr maps internal container and registry failures onto the
+// package's public sentinels, keeping the original error in the chain for
+// diagnostics without making callers depend on internal error values.
+func wrapStreamErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, container.ErrBadMagic),
+		errors.Is(err, container.ErrVersion),
+		errors.Is(err, container.ErrTruncated),
+		errors.Is(err, container.ErrCorrupt),
+		errors.Is(err, container.ErrHeader):
+		return fmt.Errorf("%w: %w", ErrCorrupt, err)
+	case errors.Is(err, pressio.ErrUnknownCompressor):
+		return fmt.Errorf("%w: %w", ErrUnknownCodec, err)
+	}
+	return err
+}

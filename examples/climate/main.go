@@ -1,8 +1,8 @@
 // The climate example reproduces the paper's first use case (§II-B): a
 // climate project whose storage allocation forces a fixed overall reduction.
 // Every 2-D CESM-ATM field must fit a 12:1 budget, but each field needs its
-// own error bound to get there — exactly what FRaZ's field-parallel
-// orchestration (Algorithm 3) automates.
+// own error bound to get there — exactly what the public package's
+// TuneFields (the paper's field-parallel Algorithm 3) automates.
 package main
 
 import (
@@ -11,10 +11,8 @@ import (
 	"log"
 	"time"
 
-	"fraz/internal/core"
+	"fraz"
 	"fraz/internal/dataset"
-	"fraz/internal/pressio"
-	"fraz/internal/report"
 )
 
 func main() {
@@ -28,42 +26,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	compressor, err := pressio.New("sz:abs")
-	if err != nil {
-		log.Fatal(err)
-	}
-	// One evaluation cache shared by every field tuned below: fields whose
-	// searches revisit the same (data, bound) pairs skip the compressor.
-	cache := pressio.NewCache()
-	tuner, err := core.NewTuner(compressor, core.Config{
-		TargetRatio: targetRatio,
-		Tolerance:   tolerance,
-		Seed:        7,
-		Cache:       cache,
-	})
+	// One client tunes every field: its evaluation cache is shared across
+	// all of them, so searches revisiting the same (data, bound) pairs skip
+	// the compressor.
+	client, err := fraz.New("sz:abs", fraz.Ratio(targetRatio), fraz.Tolerance(tolerance), fraz.Seed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Build one lazily generated series per field and tune them in parallel.
-	var series []core.Series
+	var series []fraz.Series
 	for _, field := range cesm.FieldNames() {
 		field := field
-		series = append(series, core.Series{
-			Field: "CESM/" + field,
+		series = append(series, fraz.Series{
+			Name:  "CESM/" + field,
 			Steps: timeSteps,
-			At: func(t int) (pressio.Buffer, error) {
+			At: func(t int) ([]float32, []int, error) {
 				data, shape, err := cesm.Generate(field, t)
-				if err != nil {
-					return pressio.Buffer{}, err
-				}
-				return pressio.NewBuffer(data, shape)
+				return data, []int(shape), err
 			},
 		})
 	}
 
 	start := time.Now()
-	results, err := tuner.TuneFields(context.Background(), series)
+	results, err := client.TuneFields(context.Background(), series)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,19 +58,28 @@ func main() {
 		len(series), timeSteps, targetRatio)
 	fmt.Printf("%-14s %-10s %-10s %-9s %s\n", "field", "converged", "retrains", "calls", "mean ratio")
 	var totalOriginal, totalCompressed float64
+	var hits, calls int
 	for _, r := range results {
 		var sumRatio float64
 		for _, s := range r.Steps {
-			sumRatio += s.Result.AchievedRatio
-			totalOriginal += float64(s.Result.CompressedSize) * s.Result.AchievedRatio
-			totalCompressed += float64(s.Result.CompressedSize)
+			sumRatio += s.Ratio
+			totalOriginal += float64(s.CompressedSize) * s.Ratio
+			totalCompressed += float64(s.CompressedSize)
 		}
+		hits += r.CacheHits
+		calls += r.Evaluations
 		fmt.Printf("%-14s %3d/%-6d %-10d %-9d %.2f\n",
-			r.Field, r.ConvergedSteps, len(r.Steps), r.Retrains, r.TotalIterations,
+			r.Name, r.ConvergedSteps, len(r.Steps), r.Retrains, r.Evaluations,
 			sumRatio/float64(len(r.Steps)))
 	}
 	fmt.Printf("\noverall reduction: %.2f:1 (storage budget %.0f:1), tuned in %v\n",
 		totalOriginal/totalCompressed, targetRatio, time.Since(start).Round(time.Millisecond))
-	hits, misses := cache.Stats()
-	fmt.Printf("evaluation cache: %s\n", report.Savings(int(hits), int(misses)))
+	// Computed inline rather than via internal/report: an external consumer
+	// of the fraz package would have to do the same.
+	savedPct := 0.0
+	if calls > 0 {
+		savedPct = 100 * float64(hits) / float64(calls)
+	}
+	fmt.Printf("evaluation cache: %d/%d evaluations served from cache (%.1f%% of compressor calls saved)\n",
+		hits, calls, savedPct)
 }

@@ -1,20 +1,23 @@
 // The cosmology example reproduces the paper's second use case (§II-B):
 // choosing the best-fit compressor for a fixed compressed size. For an
 // HACC-like particle field and a NYX-like grid field it drives every
-// applicable compressor to the same target ratio with FRaZ, adds ZFP's
-// native fixed-rate mode as the baseline, and reports which one preserves
-// the data best at that size (the comparison behind the paper's Fig. 9 and
-// Fig. 10).
+// applicable codec to the same target ratio, adds ZFP's native fixed-rate
+// mode as the baseline (via fraz.FixedBound), and reports which one
+// preserves the data best at that size (the comparison behind the paper's
+// Fig. 9 and Fig. 10). Candidate selection runs on fraz.Codecs — codec
+// discovery through public capability descriptors, so registering a new
+// back end makes it show up here automatically.
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
+	"math"
 
-	"fraz/internal/core"
+	"fraz"
 	"fraz/internal/dataset"
-	"fraz/internal/pressio"
 )
 
 func main() {
@@ -22,6 +25,7 @@ func main() {
 		targetRatio = 16.0
 		tolerance   = 0.1
 	)
+	ctx := context.Background()
 
 	cases := []struct {
 		app, field string
@@ -39,57 +43,84 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		buf, err := pressio.NewBuffer(data, shape)
-		if err != nil {
-			log.Fatal(err)
-		}
 
 		// Pick the candidates from the codec registry: every lossy
 		// error-bounded codec whose capabilities cover this data's rank.
-		// Registering a new back end makes it show up here automatically —
-		// no per-dataset compressor list to maintain.
 		var candidates []string
-		for _, cd := range pressio.Codecs() {
-			if cd.Caps.ErrorBounded && !cd.Caps.Lossless && cd.Caps.SupportsRank(shape.NDims()) {
-				candidates = append(candidates, cd.Name)
+		for _, ci := range fraz.Codecs() {
+			if ci.ErrorBounded && !ci.Lossless && ci.SupportsRank(len(shape)) {
+				candidates = append(candidates, ci.Name)
 			}
 		}
 
-		fmt.Printf("%s/%s %s — target %.0f:1\n", cse.app, cse.field, shape, targetRatio)
+		fmt.Printf("%s/%s %v — target %.0f:1\n", cse.app, cse.field, shape, targetRatio)
 		fmt.Printf("  %-22s %-10s %-10s %-12s %s\n", "compressor", "ratio", "feasible", "psnr (dB)", "max error")
 
 		for _, name := range candidates {
-			c, err := pressio.New(name)
+			client, err := fraz.New(name, fraz.Ratio(targetRatio), fraz.Tolerance(tolerance), fraz.Seed(11))
 			if err != nil {
 				log.Fatal(err)
 			}
-			tuner, err := core.NewTuner(c, core.Config{TargetRatio: targetRatio, Tolerance: tolerance, Seed: 11})
+			// Tune reports an infeasible search as data (Feasible false with
+			// the closest configuration) so the comparison table can still
+			// show how close the codec got.
+			tuned, err := client.Tune(ctx, data, []int(shape))
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := tuner.TuneBuffer(context.Background(), buf)
-			if err != nil {
-				log.Fatal(err)
-			}
-			full, err := pressio.Run(c, buf, res.ErrorBound)
-			if err != nil {
-				log.Fatal(err)
-			}
+			ratio, psnr, maxErr := sealAndMeasure(ctx, name, tuned.ErrorBound, data, []int(shape))
 			fmt.Printf("  %-22s %-10.2f %-10v %-12.2f %.4g\n",
-				name+" (FRaZ)", full.Report.CompressionRatio, res.Feasible, full.Report.PSNR, full.Report.MaxError)
+				name+" (FRaZ)", ratio, tuned.Feasible, psnr, maxErr)
 		}
 
-		// ZFP fixed-rate baseline at the equivalent bit rate.
-		rate := 32.0 / targetRatio
-		fixed, err := pressio.New("zfp:rate")
-		if err != nil {
-			log.Fatal(err)
-		}
-		full, err := pressio.Run(fixed, buf, rate)
-		if err != nil {
-			log.Fatal(err)
-		}
+		// ZFP fixed-rate baseline at the equivalent bit rate: no tuning, the
+		// rate parameter is set directly with FixedBound.
+		ratio, psnr, maxErr := sealAndMeasure(ctx, "zfp:rate", 32.0/targetRatio, data, []int(shape))
 		fmt.Printf("  %-22s %-10.2f %-10v %-12.2f %.4g\n\n",
-			"zfp:rate (baseline)", full.Report.CompressionRatio, true, full.Report.PSNR, full.Report.MaxError)
+			"zfp:rate (baseline)", ratio, true, psnr, maxErr)
 	}
+}
+
+// sealAndMeasure compresses at an explicit codec parameter, round-trips the
+// container, and measures the reconstruction quality against the original.
+// The PSNR/max-error math is spelled out here deliberately: an external
+// consumer of the fraz package cannot reach internal/metrics, so this is
+// exactly the verification code they would write.
+func sealAndMeasure(ctx context.Context, codec string, bound float64, data []float32, shape []int) (ratio, psnr, maxErr float64) {
+	client, err := fraz.New(codec, fraz.FixedBound(bound), fraz.Blocks(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var archive bytes.Buffer
+	res, err := client.Compress(ctx, &archive, data, shape)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, _, err := fraz.Decompress(ctx, &archive)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lo, hi := float64(data[0]), float64(data[0])
+	var sumSq float64
+	for i := range data {
+		v := float64(data[i])
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		d := float64(restored[i]) - v
+		sumSq += d * d
+		if a := math.Abs(d); a > maxErr {
+			maxErr = a
+		}
+	}
+	rmse := math.Sqrt(sumSq / float64(len(data)))
+	psnr = math.Inf(1)
+	if rmse > 0 {
+		psnr = 20 * math.Log10((hi-lo)/rmse)
+	}
+	return res.Ratio, psnr, maxErr
 }

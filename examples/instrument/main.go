@@ -1,23 +1,24 @@
 // The instrument example reproduces the paper's third use case (§II-B): a
 // light-source detector (LCLS-II-like) producing data faster than the
 // storage system can absorb, so every acquisition must be compressed by at
-// least 10:1 before it is written out. The stream is tuned online: the error
-// bound found for one acquisition is reused for the next and retrained only
-// when the data drifts enough to leave the acceptance band — the time-step
-// reuse strategy of Algorithm 3.
+// least 10:1 before it is written out. The stream is tuned online: the
+// fraz.Client remembers the error bound found for one acquisition and tries
+// it first on the next, retraining only when the data drifts enough to
+// leave the acceptance band — the time-step reuse strategy of Algorithm 3,
+// with each acquisition streamed straight to its archive file.
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"time"
 
-	"fraz/internal/core"
+	"fraz"
 	"fraz/internal/dataset"
-	"fraz/internal/pressio"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 		tolerance    = 0.15
 		acquisitions = 24
 	)
+	ctx := context.Background()
 
 	archiveDir, err := os.MkdirTemp("", "fraz-instrument-*")
 	if err != nil {
@@ -38,37 +40,51 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	compressor, err := pressio.New("zfp:accuracy")
-	if err != nil {
-		log.Fatal(err)
-	}
-	tuner, err := core.NewTuner(compressor, core.Config{
-		TargetRatio: targetRatio,
-		Tolerance:   tolerance,
-		Seed:        3,
-	})
+	// One long-lived client for the whole stream: it carries the last
+	// feasible bound from acquisition to acquisition as the next search's
+	// starting prediction (disable with fraz.ReuseBounds(false) to see the
+	// retrain cost on every step).
+	client, err := fraz.New("zfp:accuracy", fraz.Ratio(targetRatio), fraz.Tolerance(tolerance), fraz.Seed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("streaming %d acquisitions, target %.0f:1 (tolerance %.0f%%), compressor %s\n\n",
-		acquisitions, targetRatio, tolerance*100, compressor.Name())
-	fmt.Printf("%-5s %-12s %-10s %-9s %-10s %s\n", "acq", "ratio", "feasible", "reused", "calls", "tune time")
+		acquisitions, targetRatio, tolerance*100, client.Codec().Name)
+	fmt.Printf("%-5s %-12s %-9s %-10s %s\n", "acq", "ratio", "reused", "calls", "tune time")
 
-	var prediction float64
-	var reused, retrained int
-	var totalBytes, compressedBytes int
+	var reused, retrained, dropped int
+	var totalBytes int
+	var compressedBytes int64
 	start := time.Now()
 	for acq := 0; acq < acquisitions; acq++ {
 		data, shape, err := nyx.Generate("temperature", acq%nyx.TimeSteps)
 		if err != nil {
 			log.Fatal(err)
 		}
-		buf, err := pressio.NewBuffer(data, shape)
+		// Stream each acquisition directly into its own self-describing
+		// .fraz archive: the container is written as it is sealed, never
+		// staged whole in memory.
+		path := filepath.Join(archiveDir, fmt.Sprintf("acq_%03d.fraz", acq))
+		f, err := os.Create(path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := tuner.TuneWithPrediction(context.Background(), buf, prediction)
+		res, err := client.Compress(ctx, f, data, []int(shape))
+		// A close-time flush failure means the archive on disk is not the
+		// container Compress reported; treat it exactly like a compression
+		// failure rather than counting a truncated file as archived.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if errors.Is(err, fraz.ErrInfeasible) {
+			// This acquisition cannot hit the ratio contract: drop the empty
+			// archive and keep streaming rather than stalling the detector.
+			os.Remove(path)
+			dropped++
+			fmt.Printf("%-5d dropped (target infeasible: %v)\n", acq, err)
+			continue
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,35 +93,18 @@ func main() {
 		} else {
 			retrained++
 		}
-		if res.Feasible {
-			prediction = res.ErrorBound
-		}
-		// Archive the acquisition as a self-describing .fraz container: the
-		// header records the codec, bound, ratio, and shape, so each stored
-		// acquisition is independently decodable long after this run.
-		sealed, err := pressio.Seal(compressor, buf, res.ErrorBound)
-		if err != nil {
-			log.Fatal(err)
-		}
-		encoded, err := sealed.Encode()
-		if err != nil {
-			log.Fatal(err)
-		}
-		path := filepath.Join(archiveDir, fmt.Sprintf("acq_%03d.fraz", acq))
-		if err := os.WriteFile(path, encoded, 0o644); err != nil {
-			log.Fatal(err)
-		}
-		totalBytes += buf.Bytes()
-		compressedBytes += len(encoded)
-		fmt.Printf("%-5d %-12.2f %-10v %-9v %-10d %v\n",
-			acq, res.AchievedRatio, res.Feasible, res.UsedPrediction, res.Iterations, res.Elapsed.Round(time.Millisecond))
+		totalBytes += 4 * len(data)
+		compressedBytes += res.BytesWritten
+		fmt.Printf("%-5d %-12.2f %-9v %-10d %v\n",
+			acq, res.Ratio, res.UsedPrediction, res.Evaluations, res.Elapsed.Round(time.Millisecond))
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("\nreused the previous bound on %d/%d acquisitions (%d retrains)\n", reused, acquisitions, retrained)
+	fmt.Printf("\nreused the previous bound on %d/%d acquisitions (%d retrains, %d dropped)\n",
+		reused, acquisitions, retrained, dropped)
 	fmt.Printf("aggregate reduction %.2f:1 including container headers; effective ingest throughput %.1f MB/s of raw data\n",
 		float64(totalBytes)/float64(compressedBytes),
 		float64(totalBytes)/1e6/elapsed.Seconds())
 	fmt.Printf("archived %d .fraz containers under %s (decode any of them with: fraz -decompress <file>)\n",
-		acquisitions, archiveDir)
+		acquisitions-dropped, archiveDir)
 }

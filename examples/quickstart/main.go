@@ -1,23 +1,28 @@
-// The quickstart example shows the minimal FRaZ workflow: take one field of
-// scientific floating-point data, ask for a 10:1 compression ratio, let the
-// tuner find the error bound that delivers it, and store the result as a
-// self-describing .fraz container that decompresses with no side knowledge.
+// The quickstart example shows the minimal FRaZ workflow through the public
+// fraz package: take one field of scientific floating-point data, ask for a
+// 10:1 compression ratio, let the tuner find the error bound that delivers
+// it, and store the result as a self-describing .fraz container that
+// decompresses with no side knowledge.
 package main
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"math"
 
-	"fraz/internal/container"
-	"fraz/internal/core"
+	"fraz"
 	"fraz/internal/dataset"
-	"fraz/internal/pressio"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Get some data: one time-step of the synthetic Hurricane temperature
-	//    field (a stand-in for the SDRBench Hurricane-TCf field).
+	//    field (a stand-in for the SDRBench Hurricane-TCf field). Any flat
+	//    row-major []float32 plus its shape works here.
 	hurricane, err := dataset.New("Hurricane", dataset.ScaleSmall)
 	if err != nil {
 		log.Fatal(err)
@@ -26,64 +31,50 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	buf, err := pressio.NewBuffer(data, shape)
+
+	// 2. Build a client: codec by name, target ratio and tolerance as
+	//    functional options. fraz.Codecs() lists the registered codecs.
+	client, err := fraz.New("sz:abs", fraz.Ratio(10), fraz.Tolerance(0.1), fraz.Seed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. Pick an error-bounded compressor through the generic interface.
-	compressor, err := pressio.New("sz:abs")
+	// 3. Compress: the tuner searches the error-bound space for the target
+	//    ratio, then streams a .fraz container to any io.Writer. If no bound
+	//    reaches 10:1 ±10% the call fails with fraz.ErrInfeasible and
+	//    nothing is written.
+	var archive bytes.Buffer
+	res, err := client.Compress(ctx, &archive, data, []int(shape))
+	if errors.Is(err, fraz.ErrInfeasible) {
+		var ie *fraz.InfeasibleError
+		errors.As(err, &ie)
+		log.Fatalf("10:1 not reachable on this data; closest observed ratio %.2f", ie.ClosestRatio)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 3. Ask FRaZ for a 10:1 ratio, accepting anything within 10%.
-	tuner, err := core.NewTuner(compressor, core.Config{
-		TargetRatio: 10,
-		Tolerance:   0.1,
-		Seed:        1,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	result, err := tuner.TuneBuffer(context.Background(), buf)
+	fmt.Printf("field:             Hurricane/TCf %v (%.2f MB)\n", shape, float64(4*len(data))/1e6)
+	fmt.Printf("recommended bound: %g (%s)\n", res.ErrorBound, client.Codec().BoundName)
+	fmt.Printf("achieved ratio:    %.2f (target 10 +/- 10%%)\n", res.Ratio)
+	fmt.Printf("container:         %d bytes, %d blocks, tuned in %d compressor calls (%v)\n",
+		res.BytesWritten, res.Blocks, res.Evaluations, res.Elapsed)
+
+	// 4. Decompress: everything needed — codec, bound, shape — comes from
+	//    the container header. No flags, no metadata sidecar.
+	restored, restoredShape, err := fraz.Decompress(ctx, &archive)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("field:             Hurricane/TCf %s (%.2f MB)\n", shape, float64(buf.Bytes())/1e6)
-	fmt.Printf("recommended bound: %g (%s)\n", result.ErrorBound, compressor.BoundName())
-	fmt.Printf("achieved ratio:    %.2f (target 10 +/- 10%%)\n", result.AchievedRatio)
-	fmt.Printf("feasible:          %v after %d compressor calls in %v\n",
-		result.Feasible, result.Iterations, result.Elapsed)
-
-	// 4. Use the bound: compress, decompress, and check the fidelity.
-	full, err := pressio.Run(compressor, buf, result.ErrorBound)
-	if err != nil {
-		log.Fatal(err)
+	// 5. Check the fidelity: sz:abs is error-bounded, so every value is
+	//    within the tuned bound of the original.
+	maxErr := 0.0
+	for i := range data {
+		if d := math.Abs(float64(restored[i]) - float64(data[i])); d > maxErr {
+			maxErr = d
+		}
 	}
-	fmt.Printf("quality:           %s\n", full.Report)
-
-	// 5. Archive it: seal the tuned compression into a .fraz container.
-	//    The header carries the codec, bound, ratio, and shape, so the
-	//    artifact round-trips from bytes alone — no flags, no metadata
-	//    sidecar.
-	sealed, err := pressio.Seal(compressor, buf, result.ErrorBound)
-	if err != nil {
-		log.Fatal(err)
-	}
-	encoded, err := sealed.Encode()
-	if err != nil {
-		log.Fatal(err)
-	}
-	decoded, err := container.Decode(encoded)
-	if err != nil {
-		log.Fatal(err)
-	}
-	restored, err := pressio.Open(decoded)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("container:         %d bytes (%s)\n", len(encoded), decoded.Header)
-	fmt.Printf("restored:          %d values, shape %s\n", len(restored.Data), restored.Shape)
+	fmt.Printf("restored:          %d values, shape %v\n", len(restored), restoredShape)
+	fmt.Printf("max error:         %g (guaranteed <= %g)\n", maxErr, res.ErrorBound)
 }

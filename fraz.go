@@ -1,0 +1,530 @@
+package fraz
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"fraz/internal/blocks"
+	"fraz/internal/container"
+	"fraz/internal/core"
+	"fraz/internal/grid"
+	"fraz/internal/pressio"
+)
+
+// Client is the configured entry point to the framework: one codec, one
+// fixed-ratio target, and the tuning/parallelism knobs set through
+// functional options. A Client is safe for concurrent use; it shares one
+// evaluation cache across all of its tuning runs, and (unless disabled with
+// ReuseBounds) carries the last feasible error bound from one call into the
+// next as the starting prediction, the paper's time-step reuse.
+type Client struct {
+	set  settings
+	info CodecInfo
+	comp pressio.Compressor
+
+	// tuner is nil when the client was built without a Ratio (a
+	// decompress-only or FixedBound-only client).
+	tuner *core.Tuner
+
+	mu        sync.Mutex
+	lastBound float64
+}
+
+// New builds a Client for the named codec (see Codecs for the registry).
+// Options that take values validate eagerly, so a misconfigured client
+// fails here rather than on first use:
+//
+//	c, err := fraz.New("sz:abs",
+//		fraz.Ratio(12), fraz.Tolerance(0.05),
+//		fraz.MaxError(1e-2), fraz.Blocks(8), fraz.Workers(4))
+//
+// Compress and Tune additionally require a Ratio (or FixedBound); plain
+// Decompress needs neither.
+func New(codec string, opts ...Option) (*Client, error) {
+	set := defaultSettings()
+	set.codec = codec
+	for _, opt := range opts {
+		if err := opt(&set); err != nil {
+			return nil, err
+		}
+	}
+	return newClient(set)
+}
+
+func newClient(set settings) (*Client, error) {
+	info, ok := LookupCodec(set.codec)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (available: %v)", ErrUnknownCodec, set.codec, codecNames())
+	}
+	comp, err := pressio.New(set.codec)
+	if err != nil {
+		return nil, wrapStreamErr(err)
+	}
+	c := &Client{set: set, info: info, comp: comp}
+	if set.ratio > 0 {
+		tuner, err := core.NewTuner(comp, core.Config{
+			TargetRatio: set.ratio,
+			Tolerance:   set.tolerance,
+			MaxError:    set.maxError,
+			Regions:     set.regions,
+			Workers:     set.workers,
+			Seed:        set.seed,
+			Cache:       pressio.NewCache(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.tuner = tuner
+	}
+	return c, nil
+}
+
+func codecNames() []string {
+	infos := Codecs()
+	names := make([]string, len(infos))
+	for i, ci := range infos {
+		names[i] = ci.Name
+	}
+	return names
+}
+
+// Codec returns the descriptor of the codec this client compresses with.
+func (c *Client) Codec() CodecInfo { return c.info }
+
+// newBuffer validates a (data, shape) pair against the public contract:
+// shape is slowest-dimension-first with 1–4 positive extents whose product
+// is len(data).
+func newBuffer(data []float32, shape []int) (pressio.Buffer, error) {
+	dims, err := grid.NewDims(shape...)
+	if err != nil {
+		return pressio.Buffer{}, fmt.Errorf("fraz: invalid shape %v: %w", shape, err)
+	}
+	buf, err := pressio.NewBuffer(data, dims)
+	if err != nil {
+		return pressio.Buffer{}, fmt.Errorf("fraz: %d values do not fill shape %v", len(data), shape)
+	}
+	return buf, nil
+}
+
+// CompressResult reports what one Compress call did.
+type CompressResult struct {
+	// Codec is the codec name recorded in the container header.
+	Codec string
+	// ErrorBound is the codec parameter the field was sealed at.
+	ErrorBound float64
+	// Ratio is the achieved whole-field compression ratio (uncompressed
+	// bytes over payload bytes), as recorded in the container header.
+	Ratio float64
+	// SampleRatio is the ratio achieved on the block the bound was tuned
+	// on (equal to Ratio for a monolithic seal; zero with FixedBound).
+	SampleRatio float64
+	// Blocks is the number of independently decodable blocks written: 1
+	// means a monolithic (v1) container, more a blocked (v2) one.
+	Blocks int
+	// SampleBlock is the index of the block the bound was tuned on.
+	SampleBlock int
+	// BytesWritten is the size of the container streamed to the writer.
+	BytesWritten int64
+	// Evaluations counts compressor invocations during tuning; CacheHits of
+	// them were served from the client's evaluation cache.
+	Evaluations int
+	CacheHits   int
+	// UsedPrediction is true when a previous call's bound was reused
+	// without retraining.
+	UsedPrediction bool
+	// Elapsed is the tuning wall-clock time (excluding the final seal).
+	Elapsed time.Duration
+}
+
+// Compress tunes the codec's error bound to the client's target ratio,
+// compresses the field at the tuned bound, and streams a self-describing
+// .fraz container to w. Nothing is written unless tuning succeeds: if no
+// bound reaches the target band, Compress fails with an error matching
+// errors.Is(err, ErrInfeasible) whose *InfeasibleError payload carries the
+// closest observed ratio.
+//
+// data is a flat row-major field and shape its extents, slowest dimension
+// first (e.g. {100, 500, 500}). With Blocks(n > 1 or the automatic
+// default), the bound is tuned on one sampled block and all blocks are
+// compressed concurrently into a blocked container; Blocks(1) seals
+// monolithically.
+func (c *Client) Compress(ctx context.Context, w io.Writer, data []float32, shape []int) (*CompressResult, error) {
+	buf, err := newBuffer(data, shape)
+	if err != nil {
+		return nil, err
+	}
+	if c.set.fixedBound > 0 {
+		return c.compressFixed(ctx, w, buf)
+	}
+	if c.tuner == nil {
+		return nil, fmt.Errorf("fraz: Compress requires a target ratio: pass fraz.Ratio (or fraz.FixedBound) to New")
+	}
+	cn, sr, err := c.tuner.SealBlocked(ctx, buf, core.SealOptions{
+		Blocks:          c.set.blocks,
+		Workers:         c.set.workers,
+		Prediction:      c.prediction(),
+		RequireFeasible: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.recordBound(sr.Tuning.ErrorBound)
+	n, err := cn.WriteTo(w)
+	if err != nil {
+		return nil, fmt.Errorf("fraz: writing container: %w", err)
+	}
+	return &CompressResult{
+		Codec:          cn.Header.Codec,
+		ErrorBound:     cn.Header.Bound,
+		Ratio:          cn.Header.Ratio,
+		SampleRatio:    sr.Tuning.AchievedRatio,
+		Blocks:         cn.NumBlocks(),
+		SampleBlock:    sr.SampleBlock,
+		BytesWritten:   n,
+		Evaluations:    sr.Tuning.Iterations,
+		CacheHits:      sr.Tuning.CacheHits,
+		UsedPrediction: sr.Tuning.UsedPrediction,
+		Elapsed:        sr.Tuning.Elapsed,
+	}, nil
+}
+
+// compressFixed seals at the explicit FixedBound parameter, skipping the
+// tuner entirely.
+func (c *Client) compressFixed(ctx context.Context, w io.Writer, buf pressio.Buffer) (*CompressResult, error) {
+	workers := c.set.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numBlocks := c.set.blocks
+	if numBlocks <= 0 {
+		numBlocks = blocks.DefaultCount(buf.Shape, workers)
+	}
+	cn, err := pressio.SealBlocked(ctx, c.comp, buf, c.set.fixedBound, numBlocks, workers)
+	if err != nil {
+		return nil, err
+	}
+	n, err := cn.WriteTo(w)
+	if err != nil {
+		return nil, fmt.Errorf("fraz: writing container: %w", err)
+	}
+	return &CompressResult{
+		Codec:        cn.Header.Codec,
+		ErrorBound:   cn.Header.Bound,
+		Ratio:        cn.Header.Ratio,
+		Blocks:       cn.NumBlocks(),
+		BytesWritten: n,
+	}, nil
+}
+
+func (c *Client) prediction() float64 {
+	if !c.set.reuse {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastBound
+}
+
+func (c *Client) recordBound(bound float64) {
+	if !c.set.reuse {
+		return
+	}
+	c.mu.Lock()
+	c.lastBound = bound
+	c.mu.Unlock()
+}
+
+// DecompressResult couples the reconstructed field with the container
+// metadata it was decoded from.
+type DecompressResult struct {
+	// Data is the reconstructed field, flat in row-major order.
+	Data []float32
+	// Shape is the field's extents, slowest dimension first.
+	Shape []int
+	// Codec, ErrorBound, and Ratio echo the container header: the codec the
+	// payload was compressed with, the bound it was sealed at, and the
+	// ratio it achieved.
+	Codec      string
+	ErrorBound float64
+	Ratio      float64
+	// Version is the container format version (1 monolithic, 2 blocked).
+	Version int
+	// Blocks is the number of independently verified and decoded blocks.
+	Blocks int
+}
+
+// Decompress reads one .fraz container from r and reconstructs the field.
+// Everything needed — codec, bound, shape — comes from the stream's own
+// header; the client's codec plays no part. Streams that are not valid
+// containers fail with ErrCorrupt; headers naming an unregistered codec
+// fail with ErrUnknownCodec.
+func (c *Client) Decompress(ctx context.Context, r io.Reader) ([]float32, []int, error) {
+	res, err := c.DecompressFull(ctx, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Data, res.Shape, nil
+}
+
+// DecompressFull is Decompress plus the container metadata: the codec the
+// stream was sealed with, the tuned bound (an error guarantee when the
+// codec is error-bounded), the achieved ratio, and the block layout.
+func (c *Client) DecompressFull(ctx context.Context, r io.Reader) (*DecompressResult, error) {
+	return decompress(ctx, r, c.set.workers)
+}
+
+func decompress(ctx context.Context, r io.Reader, workers int) (*DecompressResult, error) {
+	var cn container.Container
+	if _, err := cn.ReadFrom(r); err != nil {
+		return nil, wrapStreamErr(err)
+	}
+	buf, err := pressio.OpenBlocked(ctx, cn, workers)
+	if err != nil {
+		return nil, wrapStreamErr(err)
+	}
+	return &DecompressResult{
+		Data:       buf.Data,
+		Shape:      []int(buf.Shape),
+		Codec:      cn.Header.Codec,
+		ErrorBound: cn.Header.Bound,
+		Ratio:      cn.Header.Ratio,
+		Version:    int(cn.Header.Version),
+		Blocks:     cn.NumBlocks(),
+	}, nil
+}
+
+// TuneResult is the outcome of tuning one field without sealing it.
+type TuneResult struct {
+	// Codec is the tuned codec's name.
+	Codec string
+	// ErrorBound is the recommended codec parameter.
+	ErrorBound float64
+	// Ratio is the compression ratio achieved at ErrorBound.
+	Ratio float64
+	// CompressedSize is the compressed size in bytes at ErrorBound.
+	CompressedSize int
+	// Feasible reports whether Ratio lies inside the acceptance band. An
+	// infeasible result still describes the closest observed
+	// configuration; Err turns it into an ErrInfeasible error.
+	Feasible bool
+	// UsedPrediction is true when a previous call's bound was reused
+	// without retraining.
+	UsedPrediction bool
+	// Evaluations counts compressor invocations; CacheHits of them were
+	// served from the client's evaluation cache.
+	Evaluations int
+	CacheHits   int
+	// Elapsed is the tuning wall-clock time.
+	Elapsed time.Duration
+
+	target    float64
+	tolerance float64
+}
+
+// Err returns nil for a feasible result and an error matching
+// errors.Is(err, ErrInfeasible) — with the closest observed configuration
+// in its *InfeasibleError — otherwise.
+func (r *TuneResult) Err() error {
+	return tuneCore(*r).Check()
+}
+
+func tuneResult(res core.Result) *TuneResult {
+	return &TuneResult{
+		Codec:          res.Compressor,
+		ErrorBound:     res.ErrorBound,
+		Ratio:          res.AchievedRatio,
+		CompressedSize: res.CompressedSize,
+		Feasible:       res.Feasible,
+		UsedPrediction: res.UsedPrediction,
+		Evaluations:    res.Iterations,
+		CacheHits:      res.CacheHits,
+		Elapsed:        res.Elapsed,
+		target:         res.TargetRatio,
+		tolerance:      res.Tolerance,
+	}
+}
+
+// tuneCore rebuilds the slice of core.Result that Result.Check needs from a
+// public TuneResult.
+func tuneCore(r TuneResult) core.Result {
+	return core.Result{
+		Compressor:     r.Codec,
+		TargetRatio:    r.target,
+		Tolerance:      r.tolerance,
+		ErrorBound:     r.ErrorBound,
+		AchievedRatio:  r.Ratio,
+		CompressedSize: r.CompressedSize,
+		Feasible:       r.Feasible,
+	}
+}
+
+// Tune searches the codec's error-bound range for the client's target ratio
+// without compressing a container: the fixed-ratio search alone, for
+// callers that apply the bound through their own pipeline. Unlike Compress,
+// an infeasible outcome is returned as data — Feasible false, with the
+// closest observed configuration — because a caller inspecting a search
+// result can act on "how close did it get"; use TuneResult.Err (or
+// Compress) where only an in-band result is acceptable.
+func (c *Client) Tune(ctx context.Context, data []float32, shape []int) (*TuneResult, error) {
+	if c.tuner == nil {
+		return nil, fmt.Errorf("fraz: Tune requires a target ratio: pass fraz.Ratio to New")
+	}
+	buf, err := newBuffer(data, shape)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.tuner.TuneWithPrediction(ctx, buf, c.prediction())
+	if err != nil {
+		return nil, err
+	}
+	if res.Feasible {
+		c.recordBound(res.ErrorBound)
+	}
+	return tuneResult(res), nil
+}
+
+// Series describes one field's time series through a lazy provider, so a
+// whole dataset never needs to be resident at once. At is called with step
+// indices 0..Steps-1 and returns the field's data and shape at that step.
+type Series struct {
+	// Name labels the series in results, e.g. "Hurricane/CLOUDf".
+	Name string
+	// Steps is the number of time-steps.
+	Steps int
+	// At returns the field at time-step i.
+	At func(i int) (data []float32, shape []int, err error)
+}
+
+// SeriesResult aggregates the tuning of one field across its time-steps.
+type SeriesResult struct {
+	// Name echoes the series label.
+	Name string
+	// Steps holds one result per time-step, in order.
+	Steps []TuneResult
+	// Retrains counts the steps that required a full search because the
+	// previous step's bound missed the band (the first step always does).
+	Retrains int
+	// ConvergedSteps counts steps whose final ratio landed in the band.
+	ConvergedSteps int
+	// Evaluations totals the compressor invocations across all steps;
+	// CacheHits of them were served from the client's evaluation cache.
+	Evaluations int
+	CacheHits   int
+	// Elapsed is the total wall-clock tuning time.
+	Elapsed time.Duration
+}
+
+// TuneSeries tunes every time-step of one field, reusing each step's bound
+// as the next step's prediction and retraining only when the data drifts
+// out of the acceptance band (the paper's Algorithm 3, inner loop).
+func (c *Client) TuneSeries(ctx context.Context, s Series) (*SeriesResult, error) {
+	if c.tuner == nil {
+		return nil, fmt.Errorf("fraz: TuneSeries requires a target ratio: pass fraz.Ratio to New")
+	}
+	res, err := c.tuner.TuneSeries(ctx, coreSeries(s))
+	if err != nil {
+		return nil, err
+	}
+	return seriesResult(res), nil
+}
+
+// TuneFields tunes several field series concurrently, bounded by Workers
+// (the paper's Algorithm 3, outer loop). Results are positional: result i
+// belongs to series[i].
+func (c *Client) TuneFields(ctx context.Context, series []Series) ([]*SeriesResult, error) {
+	if c.tuner == nil {
+		return nil, fmt.Errorf("fraz: TuneFields requires a target ratio: pass fraz.Ratio to New")
+	}
+	cs := make([]core.Series, len(series))
+	for i, s := range series {
+		cs[i] = coreSeries(s)
+	}
+	res, err := c.tuner.TuneFields(ctx, cs)
+	out := make([]*SeriesResult, len(res))
+	for i := range res {
+		out[i] = seriesResult(res[i])
+	}
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func coreSeries(s Series) core.Series {
+	return core.Series{
+		Field: s.Name,
+		Steps: s.Steps,
+		At: func(i int) (pressio.Buffer, error) {
+			data, shape, err := s.At(i)
+			if err != nil {
+				return pressio.Buffer{}, err
+			}
+			return newBuffer(data, shape)
+		},
+	}
+}
+
+func seriesResult(res core.SeriesResult) *SeriesResult {
+	out := &SeriesResult{
+		Name:           res.Field,
+		Retrains:       res.Retrains,
+		ConvergedSteps: res.ConvergedSteps,
+		Evaluations:    res.TotalIterations,
+		CacheHits:      res.CacheHits,
+		Elapsed:        res.Elapsed,
+	}
+	out.Steps = make([]TuneResult, len(res.Steps))
+	for i, st := range res.Steps {
+		out.Steps[i] = *tuneResult(st.Result)
+	}
+	return out
+}
+
+// Compress is the one-shot form of Client.Compress: it builds a throwaway
+// client from the options (Codec selects the compressor, default
+// DefaultCodec) and streams one tuned .fraz container to w.
+//
+//	_, err := fraz.Compress(ctx, f, data, []int{100, 500, 500},
+//		fraz.Ratio(10), fraz.Codec("zfp:accuracy"))
+func Compress(ctx context.Context, w io.Writer, data []float32, shape []int, opts ...Option) (*CompressResult, error) {
+	set := defaultSettings()
+	set.codec = DefaultCodec
+	for _, opt := range opts {
+		if err := opt(&set); err != nil {
+			return nil, err
+		}
+	}
+	c, err := newClient(set)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compress(ctx, w, data, shape)
+}
+
+// Decompress is the one-shot inverse: it reads one .fraz container from r
+// and reconstructs the field and its shape. No options are needed — the
+// stream header carries the codec, bound, and shape.
+func Decompress(ctx context.Context, r io.Reader) ([]float32, []int, error) {
+	res, err := decompress(ctx, r, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Data, res.Shape, nil
+}
+
+// DecompressFull is the one-shot form of Client.DecompressFull, returning
+// the container metadata alongside the reconstructed field. Options other
+// than Workers are ignored.
+func DecompressFull(ctx context.Context, r io.Reader, opts ...Option) (*DecompressResult, error) {
+	set := defaultSettings()
+	for _, opt := range opts {
+		if err := opt(&set); err != nil {
+			return nil, err
+		}
+	}
+	return decompress(ctx, r, set.workers)
+}

@@ -46,11 +46,14 @@
 package container
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
+	"slices"
 
 	"fraz/internal/grid"
 )
@@ -307,23 +310,29 @@ func (w *writer) u64(v uint64)   { w.buf = binary.LittleEndian.AppendUint64(w.bu
 func (w *writer) f64(v float64)  { w.u64(math.Float64bits(v)) }
 func (w *writer) str(s string)   { w.u8(uint8(len(s))); w.bytes([]byte(s)) }
 
-// Encode serialises the container. The header (and, for a blocked
-// container, the block index) is validated first, so a Container assembled
-// by hand fails here rather than producing a stream Decode would reject.
-// The version written follows the presence of a block index: nil Blocks
-// encodes as version 1, non-nil as version 2.
-func (c Container) Encode() ([]byte, error) {
+// WriteTo streams the encoded container to w without staging the whole
+// archive in memory: the header (and, for a blocked container, the block
+// index) is assembled in a small buffer pre-sized from EncodedSize, and the
+// payload — by far the bulk of the stream — is handed to w directly. The
+// header and index are validated first, so a Container assembled by hand
+// fails here rather than producing a stream ReadFrom would reject. The
+// version written follows the presence of a block index: nil Blocks encodes
+// as version 1, non-nil as version 2.
+//
+// WriteTo implements io.WriterTo; the returned count is the number of bytes
+// written, which equals EncodedSize on success.
+func (c Container) WriteTo(dst io.Writer) (int64, error) {
 	if err := c.Header.validate(); err != nil {
-		return nil, err
+		return 0, err
 	}
 	version := uint16(Version)
 	if c.Blocks != nil {
 		if err := c.validateBlocks(); err != nil {
-			return nil, err
+			return 0, err
 		}
 		version = VersionBlocked
 	}
-	w := writer{buf: make([]byte, 0, c.EncodedSize())}
+	w := writer{buf: make([]byte, 0, c.EncodedSize()-len(c.Payload))}
 	w.bytes(magic[:])
 	w.u16(version)
 	w.u8(uint8(c.Header.DType))
@@ -341,189 +350,273 @@ func (c Container) Encode() ([]byte, error) {
 			w.u64(b.Length)
 			w.u32(b.CRC)
 		}
-		w.bytes(c.Payload)
-		return w.buf, nil
+	} else {
+		w.u64(uint64(len(c.Payload)))
+		w.u32(crc32.ChecksumIEEE(c.Payload))
 	}
-	w.u64(uint64(len(c.Payload)))
-	w.u32(crc32.ChecksumIEEE(c.Payload))
-	w.bytes(c.Payload)
-	return w.buf, nil
+	n, err := dst.Write(w.buf)
+	written := int64(n)
+	if err != nil {
+		return written, err
+	}
+	n, err = dst.Write(c.Payload)
+	written += int64(n)
+	return written, err
 }
 
-// reader consumes header fields from a buffer with a sticky error: after the
-// first failure every subsequent read returns zero values, and the caller
-// checks r.err once at the end (the bitstream-style discipline).
-type reader struct {
-	buf []byte
-	pos int
-	err error
+// Encode serialises the container into one byte slice, pre-sized by
+// EncodedSize. It is WriteTo into memory; prefer WriteTo when the stream
+// goes to a file or socket anyway.
+func (c Container) Encode() ([]byte, error) {
+	buf := bytes.NewBuffer(make([]byte, 0, c.EncodedSize()))
+	if _, err := c.WriteTo(buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
-func (r *reader) fail(err error) {
-	if r.err == nil {
-		r.err = err
+// payloadChunk bounds how much payload memory a single read step commits to.
+// A hostile header can declare any payload length; reading (and allocating)
+// in chunks means memory grows only as fast as bytes actually arrive, so a
+// short stream claiming a 2^60-byte payload fails after one chunk instead of
+// attempting a giant allocation up front.
+const payloadChunk = 1 << 20
+
+// streamReader consumes header fields from an io.Reader with a sticky error:
+// after the first failure every subsequent read returns zero values, and the
+// caller checks s.err once at the end (the bitstream-style discipline the
+// byte-slice decoder used, lifted onto a stream). It counts consumed bytes
+// so ReadFrom can report them.
+type streamReader struct {
+	r       io.Reader
+	n       int64
+	err     error
+	scratch [8]byte
+}
+
+func (s *streamReader) fail(err error) {
+	if s.err == nil {
+		s.err = err
 	}
 }
 
-func (r *reader) take(n int) []byte {
-	if r.err != nil {
-		return nil
+// read fills p from the stream, mapping a premature end of stream to
+// ErrTruncated. It reports whether the read succeeded.
+func (s *streamReader) read(p []byte) bool {
+	if s.err != nil {
+		return false
 	}
-	if n < 0 || r.pos+n > len(r.buf) || r.pos+n < r.pos {
-		r.fail(fmt.Errorf("%w: need %d bytes at offset %d, have %d", ErrTruncated, n, r.pos, len(r.buf)-r.pos))
-		return nil
+	n, err := io.ReadFull(s.r, p)
+	s.n += int64(n)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			s.fail(fmt.Errorf("%w: need %d bytes at offset %d, stream ended after %d", ErrTruncated, len(p), s.n-int64(n), n))
+		} else {
+			s.fail(err)
+		}
+		return false
 	}
-	p := r.buf[r.pos : r.pos+n]
-	r.pos += n
-	return p
+	return true
 }
 
-func (r *reader) u8() uint8 {
-	p := r.take(1)
-	if p == nil {
+func (s *streamReader) u8() uint8 {
+	if !s.read(s.scratch[:1]) {
 		return 0
 	}
-	return p[0]
+	return s.scratch[0]
 }
 
-func (r *reader) u16() uint16 {
-	p := r.take(2)
-	if p == nil {
+func (s *streamReader) u16() uint16 {
+	if !s.read(s.scratch[:2]) {
 		return 0
 	}
-	return binary.LittleEndian.Uint16(p)
+	return binary.LittleEndian.Uint16(s.scratch[:2])
 }
 
-func (r *reader) u32() uint32 {
-	p := r.take(4)
-	if p == nil {
+func (s *streamReader) u32() uint32 {
+	if !s.read(s.scratch[:4]) {
 		return 0
 	}
-	return binary.LittleEndian.Uint32(p)
+	return binary.LittleEndian.Uint32(s.scratch[:4])
 }
 
-func (r *reader) u64() uint64 {
-	p := r.take(8)
-	if p == nil {
+func (s *streamReader) u64() uint64 {
+	if !s.read(s.scratch[:8]) {
 		return 0
 	}
-	return binary.LittleEndian.Uint64(p)
+	return binary.LittleEndian.Uint64(s.scratch[:8])
 }
 
-func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (s *streamReader) f64() float64 { return math.Float64frombits(s.u64()) }
 
-func (r *reader) str() string {
-	n := int(r.u8())
-	p := r.take(n)
-	if p == nil {
+func (s *streamReader) str() string {
+	n := int(s.u8())
+	if n == 0 || s.err != nil {
+		return ""
+	}
+	p := make([]byte, n)
+	if !s.read(p) {
 		return ""
 	}
 	return string(p)
 }
 
-// Decode parses a stream produced by Encode, verifying the magic, version,
-// header validity, and payload CRC (per block for a blocked stream). The
-// payload is copied, so the input buffer may be reused.
-func Decode(data []byte) (Container, error) {
-	r := reader{buf: data}
-	var m [4]byte
-	copy(m[:], r.take(4))
-	if r.err == nil && m != magic {
-		return Container{}, ErrBadMagic
+// appendPayload reads length payload bytes onto dst in bounded chunks,
+// feeding each chunk to sum as it arrives so the CRC is verified
+// incrementally — no second pass over the payload. Chunks start at
+// payloadChunk and grow with the bytes already received (exponential
+// trust): a hostile header can never make the reader allocate more than
+// about twice what the stream actually delivered, while an honest large
+// payload converges to a handful of doubling reads instead of thousands of
+// fixed-size ones.
+func (s *streamReader) appendPayload(dst []byte, length uint64, sum *crc32Digest) []byte {
+	if s.err == nil && length > uint64(math.MaxInt-len(dst)) {
+		s.fail(fmt.Errorf("%w: payload length %d overflows", ErrHeader, length))
 	}
-	var c Container
-	c.Header.Version = r.u16()
-	if r.err == nil && (c.Header.Version == 0 || c.Header.Version > maxVersion) {
-		return Container{}, fmt.Errorf("%w: %d (this build reads <= %d)", ErrVersion, c.Header.Version, maxVersion)
-	}
-	c.Header.DType = DType(r.u8())
-	rank := int(r.u8())
-	if r.err == nil && (rank < 1 || rank > 4) {
-		return Container{}, fmt.Errorf("%w: rank %d (want 1..4)", ErrHeader, rank)
-	}
-	c.Header.Codec = r.str()
-	c.Header.Bound = r.f64()
-	c.Header.Ratio = r.f64()
-	if r.err == nil {
-		c.Header.Shape = make(grid.Dims, rank)
-		for i := 0; i < rank; i++ {
-			e := r.u64()
-			if r.err == nil && (e == 0 || e > math.MaxInt32) {
-				return Container{}, fmt.Errorf("%w: extent %d in dimension %d", ErrHeader, e, i)
-			}
-			c.Header.Shape[i] = int(e)
+	for length > 0 && s.err == nil {
+		n := payloadChunk
+		if len(dst) > n {
+			n = len(dst)
 		}
+		if length < uint64(n) {
+			n = int(length)
+		}
+		dst = slices.Grow(dst, n)
+		part := dst[len(dst) : len(dst)+n]
+		if !s.read(part) {
+			return dst
+		}
+		sum.write(part)
+		dst = dst[:len(dst)+n]
+		length -= uint64(n)
 	}
-	if c.Header.Version == VersionBlocked {
-		return decodeBlocked(&r, c, data)
-	}
-	payloadLen := r.u64()
-	if r.err == nil && payloadLen > uint64(len(data)) {
-		return Container{}, fmt.Errorf("%w: payload length %d exceeds stream size %d", ErrTruncated, payloadLen, len(data))
-	}
-	sum := r.u32()
-	payload := r.take(int(payloadLen))
-	if r.err != nil {
-		return Container{}, r.err
-	}
-	if r.pos != len(data) {
-		return Container{}, fmt.Errorf("%w: %d trailing bytes after payload", ErrHeader, len(data)-r.pos)
-	}
-	if crc32.ChecksumIEEE(payload) != sum {
-		return Container{}, ErrCorrupt
-	}
-	if err := c.Header.validate(); err != nil {
-		return Container{}, err
-	}
-	c.Payload = append([]byte(nil), payload...)
-	return c, nil
+	return dst
 }
 
-// decodeBlocked parses the version-2 tail of a stream: the block index and
-// the concatenated block payloads, verifying each block's CRC.
-func decodeBlocked(r *reader, c Container, data []byte) (Container, error) {
-	count := r.u32()
-	if r.err == nil {
-		if count == 0 || count > MaxBlocks || (len(c.Header.Shape) > 0 && int(count) > c.Header.Shape[0]) {
-			return Container{}, fmt.Errorf("%w: block count %d for shape %s", ErrHeader, count, c.Header.Shape)
+// crc32Digest accumulates a running CRC-32 (IEEE) over payload chunks.
+type crc32Digest struct{ sum uint32 }
+
+func (d *crc32Digest) write(p []byte) { d.sum = crc32.Update(d.sum, crc32.IEEETable, p) }
+
+// ReadFrom parses one container from r, verifying the magic, version, header
+// validity, and payload CRC (per block for a blocked stream). The payload is
+// read — and its CRC accumulated — incrementally in bounded chunks, so no
+// whole-archive staging buffer is ever allocated and a hostile header cannot
+// demand memory the stream does not back with bytes.
+//
+// ReadFrom implements io.ReaderFrom: it consumes exactly one container and
+// leaves any following bytes unread, returning the byte count consumed. The
+// receiver is only modified on success.
+func (c *Container) ReadFrom(r io.Reader) (int64, error) {
+	s := streamReader{r: r}
+	var m [4]byte
+	s.read(m[:])
+	if s.err == nil && m != magic {
+		return s.n, ErrBadMagic
+	}
+	var out Container
+	out.Header.Version = s.u16()
+	if s.err == nil && (out.Header.Version == 0 || out.Header.Version > maxVersion) {
+		return s.n, fmt.Errorf("%w: %d (this build reads <= %d)", ErrVersion, out.Header.Version, maxVersion)
+	}
+	out.Header.DType = DType(s.u8())
+	rank := int(s.u8())
+	if s.err == nil && (rank < 1 || rank > 4) {
+		return s.n, fmt.Errorf("%w: rank %d (want 1..4)", ErrHeader, rank)
+	}
+	out.Header.Codec = s.str()
+	out.Header.Bound = s.f64()
+	out.Header.Ratio = s.f64()
+	if s.err == nil {
+		out.Header.Shape = make(grid.Dims, rank)
+		for i := 0; i < rank; i++ {
+			e := s.u64()
+			if s.err == nil && (e == 0 || e > math.MaxInt32) {
+				return s.n, fmt.Errorf("%w: extent %d in dimension %d", ErrHeader, e, i)
+			}
+			out.Header.Shape[i] = int(e)
 		}
-		// The index alone needs 20 bytes per block; refuse early rather
-		// than allocating an index the stream cannot possibly hold.
-		if int64(count)*20 > int64(len(data)-r.pos) {
-			return Container{}, fmt.Errorf("%w: %d-block index exceeds stream size", ErrTruncated, count)
+	}
+	// Validate the header before committing to the payload: a stream with a
+	// nonsense header is rejected without reading (or allocating for) the
+	// payload bytes it claims to carry.
+	if s.err == nil {
+		if err := out.Header.validate(); err != nil {
+			return s.n, err
 		}
-		c.Blocks = make([]BlockEntry, count)
 	}
-	var total uint64
-	for i := range c.Blocks {
-		c.Blocks[i].Offset = r.u64()
-		c.Blocks[i].Length = r.u64()
-		c.Blocks[i].CRC = r.u32()
-		total += c.Blocks[i].Length
+	if out.Header.Version == VersionBlocked {
+		return readBlocked(&s, &out, c)
 	}
-	if r.err == nil && total > uint64(len(data)) {
-		return Container{}, fmt.Errorf("%w: payload length %d exceeds stream size %d", ErrTruncated, total, len(data))
+	payloadLen := s.u64()
+	declared := s.u32()
+	var sum crc32Digest
+	out.Payload = s.appendPayload(nil, payloadLen, &sum)
+	if s.err != nil {
+		return s.n, s.err
 	}
-	payload := r.take(int(total))
-	if r.err != nil {
-		return Container{}, r.err
+	if sum.sum != declared {
+		return s.n, ErrCorrupt
 	}
-	if r.pos != len(data) {
-		return Container{}, fmt.Errorf("%w: %d trailing bytes after payload", ErrHeader, len(data)-r.pos)
+	*c = out
+	return s.n, nil
+}
+
+// readBlocked parses the version-2 tail of a stream: the block index and the
+// concatenated block payloads, verifying each block's CRC as its bytes
+// stream past. The index is grown entry by entry, so its memory too is
+// backed by bytes actually read.
+func readBlocked(s *streamReader, out, c *Container) (int64, error) {
+	count := s.u32()
+	if s.err == nil && (count == 0 || count > MaxBlocks || int(count) > out.Header.Shape[0]) {
+		return s.n, fmt.Errorf("%w: block count %d for shape %s", ErrHeader, count, out.Header.Shape)
 	}
-	if err := c.Header.validate(); err != nil {
+	next := uint64(0)
+	for i := 0; i < int(count) && s.err == nil; i++ {
+		b := BlockEntry{Offset: s.u64(), Length: s.u64(), CRC: s.u32()}
+		if s.err != nil {
+			break
+		}
+		if b.Offset != next {
+			return s.n, fmt.Errorf("%w: block %d at offset %d, want %d (entries must be contiguous)", ErrHeader, i, b.Offset, next)
+		}
+		next += b.Length
+		if next < b.Offset {
+			return s.n, fmt.Errorf("%w: block %d length %d overflows", ErrHeader, i, b.Length)
+		}
+		out.Blocks = append(out.Blocks, b)
+	}
+	if s.err != nil {
+		return s.n, s.err
+	}
+	for i, b := range out.Blocks {
+		var sum crc32Digest
+		out.Payload = s.appendPayload(out.Payload, b.Length, &sum)
+		if s.err != nil {
+			return s.n, s.err
+		}
+		if sum.sum != b.CRC {
+			return s.n, fmt.Errorf("%w (block %d)", ErrCorrupt, i)
+		}
+	}
+	*c = *out
+	return s.n, nil
+}
+
+// Decode parses a byte slice produced by Encode: ReadFrom over the slice,
+// plus a check that the container accounts for every byte — a slice is a
+// complete archive, so trailing garbage is an error, unlike the stream case
+// where following bytes belong to the caller. The payload is copied, so the
+// input buffer may be reused.
+func Decode(data []byte) (Container, error) {
+	var c Container
+	br := bytes.NewReader(data)
+	if _, err := c.ReadFrom(br); err != nil {
 		return Container{}, err
 	}
-	c.Payload = payload
-	if err := c.validateBlocks(); err != nil {
-		return Container{}, err
+	if br.Len() > 0 {
+		return Container{}, fmt.Errorf("%w: %d trailing bytes after payload", ErrHeader, br.Len())
 	}
-	for i, b := range c.Blocks {
-		if crc32.ChecksumIEEE(payload[b.Offset:b.Offset+b.Length]) != b.CRC {
-			return Container{}, fmt.Errorf("%w (block %d)", ErrCorrupt, i)
-		}
-	}
-	c.Payload = append([]byte(nil), payload...)
 	return c, nil
 }
 

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInfeasible is the sentinel for tuning runs whose best achieved ratio
+// lies outside the acceptance band. Results carry the same information in
+// Result.Feasible, but a struct field cannot cross an error-returning API
+// boundary: callers that seal, archive, or exit on the outcome need an
+// errors.Is-able failure. Match with errors.Is(err, ErrInfeasible) and
+// recover the closest observed configuration with errors.As on
+// *InfeasibleError.
+var ErrInfeasible = errors.New("fraz: target compression ratio not reachable within the error-bound range")
+
+// InfeasibleError reports an infeasible tuning outcome along with the
+// closest configuration the search observed, so callers can decide whether
+// to relax the tolerance, raise the maximum error, or switch compressors —
+// the decision §V-B3 of the paper explicitly leaves to the user.
+type InfeasibleError struct {
+	// Compressor is the name of the tuned compressor.
+	Compressor string
+	// TargetRatio and Tolerance echo the request.
+	TargetRatio float64
+	Tolerance   float64
+	// ClosestRatio is the achieved ratio nearest the target among all
+	// successful evaluations.
+	ClosestRatio float64
+	// ErrorBound is the bound that produced ClosestRatio.
+	ErrorBound float64
+	// CompressedSize is the compressed size in bytes at ErrorBound.
+	CompressedSize int
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("%v: %s reached %.3g (want %g ± %.0f%%, closest bound %g)",
+		ErrInfeasible, e.Compressor, e.ClosestRatio, e.TargetRatio, e.Tolerance*100, e.ErrorBound)
+}
+
+// Unwrap chains to the sentinel so errors.Is(err, ErrInfeasible) matches.
+func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
+
+// Check returns nil for a feasible result and an *InfeasibleError describing
+// the closest observed configuration otherwise. It is the bridge from the
+// result-struct reporting the tuner uses internally (where an infeasible
+// step is data, not failure — a series keeps tuning past it) to the error
+// discipline of sealing APIs, which must not silently archive a container
+// that misses its ratio contract.
+func (r Result) Check() error {
+	if r.Feasible {
+		return nil
+	}
+	return &InfeasibleError{
+		Compressor:     r.Compressor,
+		TargetRatio:    r.TargetRatio,
+		Tolerance:      r.Tolerance,
+		ClosestRatio:   r.AchievedRatio,
+		ErrorBound:     r.ErrorBound,
+		CompressedSize: r.CompressedSize,
+	}
+}

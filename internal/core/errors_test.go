@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestResultCheck(t *testing.T) {
+	feasible := Result{Feasible: true, AchievedRatio: 10}
+	if err := feasible.Check(); err != nil {
+		t.Fatalf("feasible result Check() = %v, want nil", err)
+	}
+
+	infeasible := Result{
+		Compressor:     "fake",
+		TargetRatio:    100,
+		Tolerance:      0.1,
+		AchievedRatio:  4.2,
+		ErrorBound:     0.5,
+		CompressedSize: 1234,
+	}
+	err := infeasible.Check()
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Check() = %v, want errors.Is ErrInfeasible", err)
+	}
+	var ie *InfeasibleError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Check() = %T, want *InfeasibleError", err)
+	}
+	if ie.ClosestRatio != 4.2 || ie.TargetRatio != 100 || ie.ErrorBound != 0.5 || ie.CompressedSize != 1234 {
+		t.Errorf("InfeasibleError fields not carried over: %+v", ie)
+	}
+}
+
+// TestSealBlockedRequireFeasible asks for a ratio no bound can reach: with
+// RequireFeasible the seal must fail with the infeasible sentinel (and no
+// container), while the default still seals at the closest observed bound.
+func TestSealBlockedRequireFeasible(t *testing.T) {
+	// Ratio saturates at 8 regardless of bound, so a target of 1000 is
+	// unreachable for every region.
+	fake := fakeCompressor{name: "fake", ratioFn: func(bound float64) float64 { return 8 }}
+	tu, err := NewTuner(fake, Config{TargetRatio: 1000, Tolerance: 0.05, Regions: 2, Seed: 1, MaxIterationsPerRegion: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := smallBuffer(64)
+
+	cn, sr, err := tu.SealBlocked(context.Background(), buf, SealOptions{Blocks: 4, RequireFeasible: true})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("RequireFeasible seal err = %v, want ErrInfeasible", err)
+	}
+	var ie *InfeasibleError
+	if !errors.As(err, &ie) || ie.ClosestRatio <= 0 {
+		t.Fatalf("infeasible seal should report the closest observed ratio, got %+v", err)
+	}
+	if cn.Payload != nil {
+		t.Errorf("infeasible seal returned a container")
+	}
+	if sr.Tuning.Feasible || sr.Tuning.Iterations == 0 {
+		t.Errorf("SealResult should carry the tuning outcome, got %+v", sr.Tuning)
+	}
+
+	cn, _, err = tu.SealBlocked(context.Background(), buf, SealOptions{Blocks: 4})
+	if err != nil {
+		t.Fatalf("default seal should fall back to the closest bound: %v", err)
+	}
+	if cn.Payload == nil {
+		t.Errorf("default infeasible seal should still produce a container")
+	}
+}
+
+// TestSealBlockedPrediction seeds the seal with an in-band bound: the tuning
+// step must reuse it instead of training.
+func TestSealBlockedPrediction(t *testing.T) {
+	fake := fakeCompressor{name: "fake", ratioFn: func(bound float64) float64 { return 10 }}
+	tu, err := NewTuner(fake, Config{TargetRatio: 10, Tolerance: 0.1, Regions: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sr, err := tu.SealBlocked(context.Background(), smallBuffer(64), SealOptions{Blocks: 4, Prediction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Tuning.UsedPrediction {
+		t.Errorf("prediction 0.25 lands in band but was not reused: %+v", sr.Tuning)
+	}
+	if sr.Tuning.ErrorBound != 0.25 {
+		t.Errorf("tuned bound = %v, want the predicted 0.25", sr.Tuning.ErrorBound)
+	}
+}

@@ -29,6 +29,15 @@ type SealOptions struct {
 	// Workers bounds the concurrent block compressions. Zero uses the
 	// tuner's Config.Workers, which itself defaults to GOMAXPROCS.
 	Workers int
+	// Prediction, when positive, is an error bound to try before training —
+	// typically the bound the previous time-step sealed at (Algorithm 3's
+	// reuse). If it lands in the acceptance band the search is skipped.
+	Prediction float64
+	// RequireFeasible makes SealBlocked fail with an *InfeasibleError
+	// (matching errors.Is(err, ErrInfeasible)) instead of sealing at the
+	// closest observed bound when the tuned ratio misses the acceptance
+	// band. The returned SealResult still carries the tuning outcome.
+	RequireFeasible bool
 }
 
 // SealResult reports what SealBlocked did: the tuning outcome on the
@@ -83,11 +92,16 @@ func (t *Tuner) SealBlocked(ctx context.Context, buf pressio.Buffer, opts SealOp
 		}
 		sample = pressio.Buffer{Data: sub, Shape: plan[out.SampleBlock].Shape}
 	}
-	res, err := t.TuneBuffer(ctx, sample)
+	res, err := t.TuneWithPrediction(ctx, sample, opts.Prediction)
 	if err != nil {
 		return container.Container{}, SealResult{}, fmt.Errorf("fraz: seal blocked: tuning sample block %d: %w", out.SampleBlock, err)
 	}
 	out.Tuning = res
+	if opts.RequireFeasible {
+		if err := res.Check(); err != nil {
+			return container.Container{}, out, err
+		}
+	}
 
 	cn, err := pressio.SealBlocked(ctx, t.compressor, buf, res.ErrorBound, len(plan), workers)
 	if err != nil {

@@ -30,6 +30,12 @@ import (
 // over the summed block payload sizes (index overhead excluded, matching how
 // Seal reports the monolithic payload ratio).
 func SealBlocked(ctx context.Context, c Compressor, buf Buffer, bound float64, numBlocks, workers int) (container.Container, error) {
+	// The monolithic fallback below never consults ctx (Seal is
+	// synchronous), so honour a cancellation that happened before the call
+	// either way — symmetric with OpenBlocked.
+	if err := ctx.Err(); err != nil {
+		return container.Container{}, err
+	}
 	plan, err := blocks.Plan(buf.Shape, numBlocks)
 	if err != nil {
 		return container.Container{}, fmt.Errorf("pressio: seal blocked with %s: %w", c.Name(), err)
@@ -68,6 +74,11 @@ func SealBlocked(ctx context.Context, c Compressor, buf Buffer, bound float64, n
 // instance the caller holds. Monolithic containers are routed to Open, so
 // OpenBlocked accepts any container.
 func OpenBlocked(ctx context.Context, cn container.Container, workers int) (Buffer, error) {
+	// The monolithic route below never consults ctx (Open is synchronous),
+	// so honour a cancellation that happened before the call either way.
+	if err := ctx.Err(); err != nil {
+		return Buffer{}, err
+	}
 	if cn.Blocks == nil {
 		return Open(cn)
 	}

@@ -1,0 +1,166 @@
+package fraz
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultCodec is the codec the one-shot helpers use when no Codec option
+// is given.
+const DefaultCodec = "sz:abs"
+
+// DefaultTolerance is the default fractional acceptance tolerance around
+// the target ratio (the paper's ε).
+const DefaultTolerance = 0.1
+
+// settings is the resolved option set a Client is built from.
+type settings struct {
+	codec      string
+	ratio      float64
+	tolerance  float64
+	maxError   float64
+	regions    int
+	blocks     int
+	workers    int
+	seed       int64
+	fixedBound float64
+	reuse      bool
+}
+
+func defaultSettings() settings {
+	return settings{tolerance: DefaultTolerance, reuse: true}
+}
+
+// Option configures a Client (or a one-shot Compress/Decompress call).
+// Options validate eagerly: an out-of-range value fails at New, not at the
+// first Compress.
+type Option func(*settings) error
+
+// Codec selects the compressor by registry name, e.g. "sz:abs" or
+// "zfp:accuracy"; Codecs lists the choices. It overrides the name given to
+// New, and is how the one-shot Compress helper picks a codec (default
+// DefaultCodec). Decompression ignores it: the codec always comes from the
+// stream header.
+func Codec(name string) Option {
+	return func(s *settings) error {
+		if name == "" {
+			return fmt.Errorf("fraz: Codec requires a non-empty name")
+		}
+		s.codec = name
+		return nil
+	}
+}
+
+// Ratio sets the target compression ratio ρt the tuner drives the codec to.
+// Required (directly or via New) for Compress and Tune unless FixedBound is
+// used; must be > 1.
+func Ratio(target float64) Option {
+	return func(s *settings) error {
+		if !(target > 1) || math.IsInf(target, 0) || math.IsNaN(target) {
+			return fmt.Errorf("fraz: Ratio must be > 1, got %v", target)
+		}
+		s.ratio = target
+		return nil
+	}
+}
+
+// Tolerance sets ε, the acceptable fractional deviation from the target
+// ratio: an achieved ratio in [ρt(1−ε), ρt(1+ε)] is feasible. Must be in
+// [0, 1); the default is DefaultTolerance.
+func Tolerance(eps float64) Option {
+	return func(s *settings) error {
+		if eps < 0 || eps >= 1 || math.IsNaN(eps) {
+			return fmt.Errorf("fraz: Tolerance must be in [0,1), got %v", eps)
+		}
+		s.tolerance = eps
+		return nil
+	}
+}
+
+// MaxError sets U, the largest error bound the search may recommend — the
+// paper's cap on how much fidelity a fixed-ratio request is allowed to
+// spend. Zero (the default) admits bounds up to the data's value range.
+func MaxError(u float64) Option {
+	return func(s *settings) error {
+		if u < 0 || math.IsNaN(u) {
+			return fmt.Errorf("fraz: MaxError must be >= 0, got %v", u)
+		}
+		s.maxError = u
+		return nil
+	}
+}
+
+// Blocks sets the number of slowest-axis blocks Compress splits the field
+// into: the bound is tuned once on a sampled block and all blocks compress
+// concurrently into a blocked (v2) container. 1 forces a monolithic (v1)
+// container; 0 (the default) picks a block count matched to the worker
+// count and shape.
+func Blocks(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("fraz: Blocks must be >= 0, got %d", n)
+		}
+		s.blocks = n
+		return nil
+	}
+}
+
+// Workers bounds the goroutines used for region-parallel tuning and for
+// block-parallel compression and decompression. Zero (the default) uses
+// GOMAXPROCS.
+func Workers(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("fraz: Workers must be >= 0, got %d", n)
+		}
+		s.workers = n
+		return nil
+	}
+}
+
+// Regions sets K, the number of overlapping error-bound regions searched in
+// parallel. Zero (the default) uses the tuner's default (12).
+func Regions(k int) Option {
+	return func(s *settings) error {
+		if k < 0 {
+			return fmt.Errorf("fraz: Regions must be >= 0, got %d", k)
+		}
+		s.regions = k
+		return nil
+	}
+}
+
+// Seed fixes the search's random seed, making tuning deterministic for a
+// given input and configuration.
+func Seed(seed int64) Option {
+	return func(s *settings) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// FixedBound skips tuning entirely and compresses at the given codec
+// parameter — an explicit error bound, or bits-per-value for "zfp:rate".
+// It is the escape hatch for codec-native workflows (e.g. a fixed-rate
+// baseline) and for re-sealing at a bound found earlier.
+func FixedBound(bound float64) Option {
+	return func(s *settings) error {
+		if !(bound > 0) || math.IsInf(bound, 0) {
+			return fmt.Errorf("fraz: FixedBound must be > 0, got %v", bound)
+		}
+		s.fixedBound = bound
+		return nil
+	}
+}
+
+// ReuseBounds controls whether a Client carries the last feasible error
+// bound from one Compress/Tune call into the next as the starting
+// prediction (the paper's time-step reuse, Algorithm 3). The prediction is
+// only kept when it lands inside the acceptance band on the new data, so
+// correctness never depends on it. Enabled by default.
+func ReuseBounds(enable bool) Option {
+	return func(s *settings) error {
+		s.reuse = enable
+		return nil
+	}
+}

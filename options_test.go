@@ -1,0 +1,56 @@
+package fraz_test
+
+import (
+	"math"
+	"testing"
+
+	"fraz"
+)
+
+// TestOptionValidation pins the fail-fast contract: every out-of-range
+// option value is rejected at New, before any data is touched.
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  fraz.Option
+	}{
+		{"ratio at 1", fraz.Ratio(1)},
+		{"ratio below 1", fraz.Ratio(0.5)},
+		{"ratio NaN", fraz.Ratio(math.NaN())},
+		{"ratio inf", fraz.Ratio(math.Inf(1))},
+		{"negative tolerance", fraz.Tolerance(-0.1)},
+		{"tolerance at 1", fraz.Tolerance(1)},
+		{"negative max error", fraz.MaxError(-1)},
+		{"negative blocks", fraz.Blocks(-1)},
+		{"negative workers", fraz.Workers(-2)},
+		{"negative regions", fraz.Regions(-3)},
+		{"zero fixed bound", fraz.FixedBound(0)},
+		{"negative fixed bound", fraz.FixedBound(-4)},
+		{"empty codec", fraz.Codec("")},
+	}
+	for _, tc := range cases {
+		if _, err := fraz.New("sz:abs", tc.opt); err == nil {
+			t.Errorf("%s: New accepted an invalid option", tc.name)
+		}
+	}
+}
+
+func TestCodecOptionOverridesName(t *testing.T) {
+	c, err := fraz.New("sz:abs", fraz.Codec("zfp:accuracy"), fraz.Ratio(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Codec().Name != "zfp:accuracy" {
+		t.Errorf("Codec option did not override: %q", c.Codec().Name)
+	}
+}
+
+func TestValidOptionsAccepted(t *testing.T) {
+	_, err := fraz.New("sz:abs",
+		fraz.Ratio(12), fraz.Tolerance(0.05), fraz.MaxError(0.1),
+		fraz.Blocks(8), fraz.Workers(4), fraz.Regions(6), fraz.Seed(42),
+		fraz.ReuseBounds(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
