@@ -393,14 +393,18 @@ func BenchmarkRegionAblation(b *testing.B) { runExperiment(b, "regions") }
 // motivation comparison from the paper's introduction.
 func BenchmarkLosslessMotivation(b *testing.B) { runExperiment(b, "lossless") }
 
-// BenchmarkTuneForQualityPSNR measures the future-work extension: tuning the
-// error bound to hit a PSNR target instead of a ratio target.
-func BenchmarkTuneForQualityPSNR(b *testing.B) {
+// BenchmarkTuneFixedPSNR measures the unified quality path: tuning the
+// error bound to hit a PSNR target through the same region-parallel search
+// as the fixed-ratio objective.
+func BenchmarkTuneFixedPSNR(b *testing.B) {
 	c, err := pressio.New("sz:abs")
 	if err != nil {
 		b.Fatal(err)
 	}
-	tu, err := core.NewTuner(c, core.Config{TargetRatio: 10, Seed: 1})
+	tu, err := core.NewTuner(c, core.Config{
+		Objective: core.FixedPSNR(60),
+		Regions:   6, MaxIterationsPerRegion: 16, Seed: 1,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -408,9 +412,7 @@ func BenchmarkTuneForQualityPSNR(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tu.TuneForQuality(context.Background(), buf, core.PSNRMetric(), core.QualityConfig{
-			Target: 60, Tolerance: 2, Regions: 6, MaxIterationsPerRegion: 16, Seed: 1,
-		}); err != nil {
+		if _, err := tu.TuneBuffer(context.Background(), buf); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,9 +1,17 @@
-// Command fraz performs fixed-ratio lossy compression of a single field: it
-// tunes the chosen compressor's error bound until the achieved compression
-// ratio reaches the requested target (within the tolerance), then optionally
-// writes a self-describing .fraz container. It is a thin shell over the
-// public fraz package — every capability here is available to any Go
-// program through the same API.
+// Command fraz performs target-driven lossy compression of a single field:
+// it tunes the chosen compressor's error bound until the achieved value of
+// the selected objective — compression ratio by default (-ratio), or a
+// quality target (-psnr, -ssim, -target-max-error) — lands in the
+// acceptance band, then optionally writes a self-describing .fraz
+// container. It is a thin shell over the public fraz package — every
+// capability here is available to any Go program through the same API.
+//
+// Quality-targeted archives record the objective, target, band, and
+// achieved value in the container header; `-decompress x.fraz -verify`
+// recomputes the promise and exits non-zero if the archive misses it:
+//
+//	fraz -dataset Hurricane -field TCf -psnr 60 -out tcf.fraz
+//	fraz -decompress tcf.fraz -verify -dataset Hurricane -field TCf
 //
 // The field can come from a raw little-endian float32 file (-in, with -dims)
 // or from one of the built-in synthetic SDRBench stand-ins (-dataset/-field).
@@ -73,7 +81,11 @@ func run(args []string, out io.Writer) error {
 		scaleName  = fs.String("scale", "small", "synthetic dataset scale: tiny, small, medium")
 		compressor = fs.String("compressor", fraz.DefaultCodec, "compressor to tune: "+strings.Join(codecNames(), ", "))
 		ratio      = fs.Float64("ratio", 10, "target compression ratio")
-		tolerance  = fs.Float64("tolerance", 0.1, "acceptable fractional deviation from the target ratio")
+		psnr       = fs.Float64("psnr", 0, "tune to this reconstruction PSNR in dB instead of a ratio")
+		ssim       = fs.Float64("ssim", 0, "tune to this mid-slice SSIM instead of a ratio")
+		maxErrTgt  = fs.Float64("target-max-error", 0, "tune to this measured maximum pointwise error instead of a ratio")
+		tolerance  = fs.Float64("tolerance", 0.1, "acceptance half-width: fractional for -ratio/-psnr, absolute for -ssim/-target-max-error")
+		verify     = fs.Bool("verify", false, "with -decompress: recompute the archive's recorded objective and exit non-zero if it misses the stored band (quality objectives need the original field via -in or -dataset)")
 		maxError   = fs.Float64("max-error", 0, "maximum allowed compression error U (0 = value range of the data)")
 		regions    = fs.Int("regions", 12, "number of overlapping error-bound search regions")
 		blocksN    = fs.Int("blocks", 0, "split the field into N slowest-axis blocks, tune on one sampled block, and compress the blocks in parallel into a blocked (v2) container (0 or 1 = monolithic)")
@@ -88,20 +100,35 @@ func run(args []string, out io.Writer) error {
 	if *decompress != "" {
 		// Every decompression parameter comes from the container header, so
 		// any other flag the user set would be silently ignored — reject it
-		// instead of letting them believe it took effect.
+		// instead of letting them believe it took effect. -verify is the
+		// exception: it re-measures the archive's promise, and quality
+		// promises need the original field, so the input flags are legal
+		// alongside it.
+		allowed := map[string]bool{"decompress": true, "out": true, "verify": true}
+		if *verify {
+			for _, name := range []string{"in", "dims", "dataset", "field", "timestep", "scale"} {
+				allowed[name] = true
+			}
+		}
 		var extra []string
 		fs.Visit(func(f *flag.Flag) {
-			if f.Name != "decompress" && f.Name != "out" {
+			if !allowed[f.Name] {
 				extra = append(extra, "-"+f.Name)
 			}
 		})
 		if len(extra) > 0 {
 			return fmt.Errorf("-decompress reads the codec, bound, and shape from the container header; remove %s", strings.Join(extra, ", "))
 		}
-		return runDecompress(*decompress, *outPath, out)
+		ref := refLoader{in: *inPath, dims: *dims, dataset: *dsName, field: *fieldName, timeStep: *timeStep, scale: *scaleName}
+		return runDecompress(*decompress, *outPath, *verify, ref, out)
 	}
 
 	data, shape, label, err := loadInput(*inPath, *dims, *dsName, *fieldName, *timeStep, *scaleName)
+	if err != nil {
+		return err
+	}
+
+	target, targetDesc, err := selectTarget(fs, *ratio, *psnr, *ssim, *maxErrTgt)
 	if err != nil {
 		return err
 	}
@@ -110,15 +137,18 @@ func run(args []string, out io.Writer) error {
 	if blocks <= 1 {
 		blocks = 1 // 0 and 1 both mean a monolithic (v1) container
 	}
-	client, err := fraz.New(*compressor,
-		fraz.Ratio(*ratio),
-		fraz.Tolerance(*tolerance),
+	opts := []fraz.Option{
+		target,
 		fraz.MaxError(*maxError),
 		fraz.Regions(*regions),
 		fraz.Blocks(blocks),
 		fraz.Workers(*workers),
 		fraz.Seed(*seed),
-	)
+	}
+	if flagWasSet(fs, "tolerance") {
+		opts = append(opts, fraz.Tolerance(*tolerance))
+	}
+	client, err := fraz.New(*compressor, opts...)
 	if err != nil {
 		return err
 	}
@@ -150,14 +180,17 @@ func run(args []string, out io.Writer) error {
 		w = tmp
 	}
 
-	printTuningHeader(out, label, shape, len(data), client.Codec(), *ratio, *tolerance)
+	printTuningHeader(out, label, shape, len(data), client.Codec(), targetDesc)
 	res, err := client.Compress(context.Background(), w, data, []int(shape))
 	var infeasible *fraz.InfeasibleError
 	if errors.As(err, &infeasible) {
 		// Report how close the search got and exit non-zero: an archive
-		// that misses its ratio contract must not look like success to
-		// scripts. The deferred cleanup discards the temporary file.
+		// that misses its contract must not look like success to scripts.
+		// The deferred cleanup discards the temporary file.
 		fmt.Fprintf(out, "recommended bound: %g (closest observed)\n", infeasible.ErrorBound)
+		if infeasible.Objective != "" && infeasible.Objective != "ratio" {
+			fmt.Fprintf(out, "achieved %s:  %.4g (want %g)\n", infeasible.Objective, infeasible.ClosestValue, infeasible.Target)
+		}
 		fmt.Fprintf(out, "achieved ratio:   %.2f\n", infeasible.ClosestRatio)
 		fmt.Fprintf(out, "feasible:         false\n")
 		printInfeasibleNote(out)
@@ -190,6 +223,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "recommended bound: %g\n", res.ErrorBound)
 		fmt.Fprintf(out, "achieved ratio:   %.2f (compressed %.2f MB)\n", res.Ratio, float64(res.BytesWritten)/1e6)
 	}
+	if res.Objective != "ratio" {
+		fmt.Fprintf(out, "achieved %s:%s%.4g (target %g, recorded in the container header)\n",
+			res.Objective, strings.Repeat(" ", max(1, 9-len(res.Objective))), res.AchievedValue, res.Target)
+	}
 	fmt.Fprintf(out, "feasible:         true\n")
 	fmt.Fprintf(out, "evaluations:      %d in %v (%s)\n", res.Evaluations, res.Elapsed,
 		report.Savings(res.CacheHits, res.Evaluations-res.CacheHits))
@@ -200,25 +237,87 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// flagWasSet reports whether the user passed the named flag explicitly.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// selectTarget maps the mutually exclusive target flags onto one objective
+// option and a human-readable description of the request.
+func selectTarget(fs *flag.FlagSet, ratio, psnr, ssim, maxErrTgt float64) (fraz.Option, string, error) {
+	type candidate struct {
+		flag string
+		set  bool
+		opt  fraz.Option
+		desc string
+	}
+	candidates := []candidate{
+		{"psnr", flagWasSet(fs, "psnr"), fraz.TargetPSNR(psnr), fmt.Sprintf("PSNR %.2f dB", psnr)},
+		{"ssim", flagWasSet(fs, "ssim"), fraz.TargetSSIM(ssim), fmt.Sprintf("SSIM %.4f", ssim)},
+		{"target-max-error", flagWasSet(fs, "target-max-error"), fraz.TargetMaxError(maxErrTgt), fmt.Sprintf("max error %g", maxErrTgt)},
+	}
+	var chosen []candidate
+	for _, c := range candidates {
+		if c.set {
+			chosen = append(chosen, c)
+		}
+	}
+	if len(chosen) > 1 || (len(chosen) == 1 && flagWasSet(fs, "ratio")) {
+		var names []string
+		if flagWasSet(fs, "ratio") {
+			names = append(names, "-ratio")
+		}
+		for _, c := range chosen {
+			names = append(names, "-"+c.flag)
+		}
+		return nil, "", fmt.Errorf("pick one tuning target; got %s", strings.Join(names, ", "))
+	}
+	if len(chosen) == 1 {
+		return chosen[0].opt, chosen[0].desc, nil
+	}
+	return fraz.Ratio(ratio), fmt.Sprintf("ratio %.2f", ratio), nil
+}
+
 // printTuningHeader writes the report lines shared by the monolithic and
 // blocked compression paths.
-func printTuningHeader(out io.Writer, label string, shape grid.Dims, values int, ci fraz.CodecInfo, ratio, tolerance float64) {
+func printTuningHeader(out io.Writer, label string, shape grid.Dims, values int, ci fraz.CodecInfo, targetDesc string) {
 	fmt.Fprintf(out, "input:            %s (%s, %d values, %.2f MB)\n", label, shape, values, float64(4*values)/1e6)
 	fmt.Fprintf(out, "compressor:       %s (%s)\n", ci.Name, ci.BoundName)
-	fmt.Fprintf(out, "target ratio:     %.2f (+/- %.0f%%)\n", ratio, tolerance*100)
+	fmt.Fprintf(out, "target:           %s\n", targetDesc)
 }
 
 // printInfeasibleNote explains an out-of-band result and how to remedy it.
 func printInfeasibleNote(out io.Writer) {
-	fmt.Fprintf(out, "note: the target ratio was not reachable within the error-bound range;\n")
-	fmt.Fprintf(out, "      the closest observed ratio is reported. Consider relaxing -tolerance,\n")
-	fmt.Fprintf(out, "      raising -max-error, or switching -compressor.\n")
+	fmt.Fprintf(out, "note: the target was not reachable within the error-bound range;\n")
+	fmt.Fprintf(out, "      the closest observed configuration is reported. Consider relaxing\n")
+	fmt.Fprintf(out, "      -tolerance, raising -max-error, or switching -compressor.\n")
+}
+
+// refLoader carries the input flags a -verify run uses to load the
+// reference (original) field.
+type refLoader struct {
+	in, dims, dataset, field string
+	timeStep                 int
+	scale                    string
+}
+
+func (r refLoader) provided() bool { return r.in != "" || r.dataset != "" }
+
+func (r refLoader) load() ([]float32, grid.Dims, string, error) {
+	return loadInput(r.in, r.dims, r.dataset, r.field, r.timeStep, r.scale)
 }
 
 // runDecompress reverses a .fraz container: every parameter needed — codec,
 // bound, shape — is read from the container header, so the only inputs are
-// the file itself and an optional raw float32 output path.
-func runDecompress(inPath, outPath string, out io.Writer) error {
+// the file itself, an optional raw float32 output path, and (with -verify)
+// the reference field the archive's promise is re-measured against.
+func runDecompress(inPath, outPath string, verify bool, ref refLoader, out io.Writer) error {
 	f, err := os.Open(inPath)
 	if err != nil {
 		return err
@@ -233,6 +332,10 @@ func runDecompress(inPath, outPath string, out io.Writer) error {
 		inPath, res.Version, res.Codec, shape, res.ErrorBound, res.Ratio)
 	if res.Version == 2 {
 		fmt.Fprintf(out, "blocks:           %d (independently verified and decoded in parallel)\n", res.Blocks)
+	}
+	if res.Objective != nil {
+		fmt.Fprintf(out, "objective:        %s target %g (±%g), achieved %.6g at seal time\n",
+			res.Objective.Name, res.Objective.Target, res.Objective.Tolerance, res.Objective.Achieved)
 	}
 	fmt.Fprintf(out, "reconstructed:    %d values (%s, %.2f MB)\n", len(res.Data), shape, float64(4*len(res.Data))/1e6)
 	if ci, ok := fraz.LookupCodec(res.Codec); ok {
@@ -249,6 +352,54 @@ func runDecompress(inPath, outPath string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote %d bytes to %s\n", 4*len(res.Data), outPath)
 	}
+	if verify {
+		return runVerify(res, ref, out)
+	}
+	return nil
+}
+
+// runVerify recomputes the archive's recorded objective and fails (non-zero
+// exit through main) if the re-measured value misses the stored band. An
+// archive without an objective extension promised only its ratio, which is
+// re-derived from the payload and field sizes.
+func runVerify(res *fraz.DecompressResult, ref refLoader, out io.Writer) error {
+	if res.Objective == nil {
+		// Pre-extension (or plain fixed-ratio) archive: the promise is the
+		// recorded ratio; recompute it from the actual sizes.
+		actual := float64(4*len(res.Data)) / float64(res.CompressedBytes)
+		fmt.Fprintf(out, "verify:           ratio %.4f recorded, %.4f recomputed from sizes\n", res.Ratio, actual)
+		if res.Ratio <= 0 || actual/res.Ratio < 0.99 || actual/res.Ratio > 1.01 {
+			return fmt.Errorf("verify failed: recorded ratio %.4f, recomputed %.4f", res.Ratio, actual)
+		}
+		fmt.Fprintf(out, "verify:           OK\n")
+		return nil
+	}
+	rec := *res.Objective
+	obj, err := fraz.ObjectiveByName(rec.Name, rec.Target)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if !ref.provided() {
+		return fmt.Errorf("verify: re-measuring %s needs the original field; pass -in or -dataset/-field alongside -verify", rec.Name)
+	}
+	orig, origShape, label, err := ref.load()
+	if err != nil {
+		return fmt.Errorf("verify: loading reference: %w", err)
+	}
+	if !origShape.Equal(grid.Dims(res.Shape)) {
+		return fmt.Errorf("verify: reference %s has shape %s, archive holds %s", label, origShape, grid.Dims(res.Shape))
+	}
+	measured, err := obj.Measure(orig, res.Data, res.Shape, res.CompressedBytes)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	fmt.Fprintf(out, "verify:           %s measured %.6g against %s (band %g ± %g)\n",
+		rec.Name, measured, label, rec.Target, rec.Tolerance)
+	if !rec.InBand(measured) {
+		return fmt.Errorf("verify failed: %s %.6g outside the promised band %g ± %g",
+			rec.Name, measured, rec.Target, rec.Tolerance)
+	}
+	fmt.Fprintf(out, "verify:           OK\n")
 	return nil
 }
 

@@ -334,3 +334,147 @@ func TestParseScale(t *testing.T) {
 		t.Errorf("unknown scale should fail")
 	}
 }
+
+func TestPSNRTargetCompressVerifyRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality tuning compresses and decompresses repeatedly")
+	}
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "psnr.fraz")
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "Hurricane", "-field", "TCf", "-scale", "tiny",
+		"-psnr", "60", "-regions", "4", "-seed", "1", "-out", outFile,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"target:           PSNR 60.00 dB", "achieved psnr", "feasible:         true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The archive records the objective.
+	enc, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := container.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn.Header.Objective.Name != "psnr" || cn.Header.Objective.Target != 60 {
+		t.Fatalf("header objective = %+v", cn.Header.Objective)
+	}
+
+	// -verify against the same reference passes...
+	out.Reset()
+	err = run([]string{
+		"-decompress", outFile, "-verify",
+		"-dataset", "Hurricane", "-field", "TCf", "-scale", "tiny",
+	}, &out)
+	if err != nil {
+		t.Fatalf("verify failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verify:           OK") {
+		t.Errorf("verify output missing OK:\n%s", out.String())
+	}
+	// ...and against a different field fails.
+	out.Reset()
+	err = run([]string{
+		"-decompress", outFile, "-verify",
+		"-dataset", "Hurricane", "-field", "Pf", "-scale", "tiny",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "verify failed") {
+		t.Errorf("verify against the wrong field: err = %v", err)
+	}
+	// Quality verification without a reference is an explicit error.
+	out.Reset()
+	if err := run([]string{"-decompress", outFile, "-verify"}, &out); err == nil {
+		t.Errorf("verify without a reference should fail")
+	}
+}
+
+func TestSSIMTargetCompress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality tuning compresses and decompresses repeatedly")
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "Hurricane", "-field", "TCf", "-scale", "tiny",
+		"-ssim", "0.9", "-regions", "4", "-seed", "1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "achieved ssim") {
+		t.Errorf("output missing achieved ssim:\n%s", out.String())
+	}
+}
+
+func TestConflictingTargetsRejected(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "Hurricane", "-field", "TCf", "-scale", "tiny",
+		"-psnr", "60", "-ssim", "0.9",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "pick one tuning target") {
+		t.Errorf("two quality targets: err = %v", err)
+	}
+	err = run([]string{
+		"-dataset", "Hurricane", "-field", "TCf", "-scale", "tiny",
+		"-ratio", "10", "-psnr", "60",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "pick one tuning target") {
+		t.Errorf("-ratio plus -psnr: err = %v", err)
+	}
+}
+
+func TestVerifyRatioArchiveNeedsNoReference(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "ratio.fraz")
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "NYX", "-field", "temperature", "-scale", "tiny",
+		"-ratio", "8", "-regions", "4", "-seed", "2", "-out", outFile,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-decompress", outFile, "-verify"}, &out); err != nil {
+		t.Fatalf("ratio archive verify: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verify:           OK") {
+		t.Errorf("ratio verify output:\n%s", out.String())
+	}
+}
+
+func TestDecompressStillRejectsUnrelatedFlags(t *testing.T) {
+	var out strings.Builder
+	// Without -verify, input flags stay rejected.
+	err := run([]string{"-decompress", "x.fraz", "-dataset", "NYX"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-dataset") {
+		t.Errorf("err = %v, want rejection naming -dataset", err)
+	}
+	// Even with -verify, tuning flags are rejected.
+	err = run([]string{"-decompress", "x.fraz", "-verify", "-ratio", "10"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-ratio") {
+		t.Errorf("err = %v, want rejection naming -ratio", err)
+	}
+}
+
+// TestExplicitZeroQualityTargetRejected pins that `-psnr 0` is an invalid
+// target, not a silent fall-through to the default ratio.
+func TestExplicitZeroQualityTargetRejected(t *testing.T) {
+	for _, flag := range []string{"-psnr", "-ssim", "-target-max-error"} {
+		var out strings.Builder
+		err := run([]string{
+			"-dataset", "Hurricane", "-field", "TCf", "-scale", "tiny",
+			flag, "0",
+		}, &out)
+		if err == nil || strings.Contains(out.String(), "target:           ratio") {
+			t.Errorf("%s 0: err = %v, output:\n%s", flag, err, out.String())
+		}
+	}
+}

@@ -7,7 +7,10 @@
 // MGARD) are parameterised by an error bound. FRaZ closes the gap: it
 // searches the bound space with a parallel global optimizer until the
 // achieved ratio lands inside the requested band, for any codec behind a
-// generic adapter layer.
+// generic adapter layer. This implementation generalises the search to any
+// of four objectives — fixed ratio, fixed PSNR, fixed SSIM, fixed measured
+// max-error — answering the paper's future-work call for tuning to "the
+// quality of a scientist's analysis result".
 //
 // # Usage
 //
@@ -22,19 +25,34 @@
 //		// *fraz.InfeasibleError reports the closest observed ratio.
 //	}
 //
+// Quality targets use the same constructor through the Objective API —
+// Ratio is sugar for Target(FixedRatio(r)):
+//
+//	c, err := fraz.New("sz:abs", fraz.TargetPSNR(60))          // ≥ ~60 dB, as cheap as possible
+//	c, err := fraz.New("zfp:accuracy", fraz.TargetSSIM(0.95))  // Baker-style visual criterion
+//	c, err := fraz.New("sz:abs", fraz.Target(fraz.FixedMaxError(100).WithTolerance(5)))
+//
+// Ratio and PSNR bands are fractional (target·(1±ε)); SSIM and max-error
+// bands are absolute (target±ε). Quality-targeted archives record the
+// objective, target, band, and achieved value in the container header, and
+// a holder of the original data can re-verify the promise (see
+// ObjectiveByName and Objective.Measure, or `fraz -decompress x.fraz
+// -verify`).
+//
 // Decompression needs no configuration — the container header carries the
-// codec, tuned bound, achieved ratio, and shape:
+// codec, tuned bound, achieved ratio, shape, and (for quality-targeted
+// archives) the recorded objective:
 //
 //	data, shape, err := fraz.Decompress(ctx, f)
 //
 // One-shot helpers (fraz.Compress, fraz.Decompress) cover single fields;
 // Client adds tuning without sealing (Tune, TuneSeries, TuneFields — the
 // paper's time-step and field parallelism) and carries the last feasible
-// bound across calls as the next search's starting prediction. Codec
-// discovery goes through fraz.Codecs, which describes each registered
-// back end's capabilities (bound semantics, error-boundedness, supported
-// ranks). Failures are errors.Is-able: ErrInfeasible, ErrUnknownCodec,
-// ErrCorrupt.
+// bound across calls as the next search's starting prediction, for every
+// objective. Codec discovery goes through fraz.Codecs, which describes each
+// registered back end's capabilities (bound semantics, error-boundedness,
+// supported ranks). Failures are errors.Is-able: ErrInfeasible,
+// ErrUnknownCodec, ErrCorrupt.
 //
 // # API stability
 //
@@ -49,11 +67,13 @@
 //
 // # Implementation layout
 //
-//   - internal/core      — the FRaZ autotuner and parallel orchestrator, plus
-//     the blocked sealing path (tune on a sampled block, compress all blocks
-//     concurrently)
+//   - internal/core      — the FRaZ autotuner and parallel orchestrator: the
+//     objective-generic search (ratio/PSNR/SSIM/max-error through one
+//     region-parallel loop) plus the blocked sealing path (tune on a sampled
+//     block, compress all blocks concurrently)
 //   - internal/pressio   — the generic codec layer (libpressio analogue): codec
-//     registry with capabilities, the shared evaluation cache, and the
+//     registry with capabilities, the shared evaluation cache (compress-only
+//     and full round-trip entries, bounded with FIFO eviction), and the
 //     block-parallel SealBlocked/OpenBlocked pipeline
 //   - internal/container — the self-describing .fraz on-disk container format
 //     (v1 monolithic payload, v2 block index + independently-decodable

@@ -1,0 +1,101 @@
+// The quality example shows the Objective API: instead of fixing a storage
+// budget (a compression ratio), fix the *quality* of the reconstruction —
+// a PSNR floor for numerical analysis, an SSIM level for visual analysis —
+// and let the tuner find the cheapest codec setting that delivers it. The
+// achieved value is recorded in the .fraz container header, so the archive
+// itself carries the promise and anyone holding the original can re-verify
+// it later (as `fraz -decompress x.fraz -verify` does).
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"fraz"
+	"fraz/internal/dataset"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// One time-step of the synthetic NYX temperature field.
+	nyx, err := dataset.New("NYX", dataset.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, shape, err := nyx.Generate("temperature", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("field:            NYX/temperature %v (%.2f MB)\n", shape, float64(4*len(data))/1e6)
+
+	// 1. A PSNR target: "give me at least ~60 dB, as cheaply as possible".
+	//    TargetPSNR(60) accepts anything in 60·(1±5%) = [57, 63] dB and,
+	//    among acceptable bounds, picks the one with the highest ratio.
+	psnrClient, err := fraz.New("sz:abs", fraz.TargetPSNR(60), fraz.Seed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var archive bytes.Buffer
+	res, err := psnrClient.Compress(ctx, &archive, data, []int(shape))
+	if errors.Is(err, fraz.ErrInfeasible) {
+		var ie *fraz.InfeasibleError
+		errors.As(err, &ie)
+		log.Fatalf("60 dB not reachable; closest %s %.4g", ie.Objective, ie.ClosestValue)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("psnr target:      60 dB -> achieved %.2f dB at ratio %.2f (bound %g, %d evaluations)\n",
+		res.AchievedValue, res.Ratio, res.ErrorBound, res.Evaluations)
+
+	// 2. The archive is self-describing about its promise: decode it and
+	//    re-measure the objective against the original, exactly what
+	//    `fraz -verify` does.
+	dec, err := fraz.DecompressFull(ctx, &archive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := dec.Objective
+	fmt.Printf("header records:   objective=%s target=%g band=±%g achieved=%.4g\n",
+		rec.Name, rec.Target, rec.Tolerance, rec.Achieved)
+	obj, err := fraz.ObjectiveByName(rec.Name, rec.Target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured, err := obj.Measure(data, dec.Data, dec.Shape, dec.CompressedBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-verified:      %.4g dB, in band: %v\n", measured, rec.InBand(measured))
+
+	// 3. An SSIM target with a custom band: visual-quality criteria like
+	//    Baker et al.'s climate threshold are stated in SSIM, an absolute
+	//    [0,1] scale, so its tolerance is absolute too. (Had the codec not
+	//    been able to degrade that far — transform codecs saturate — the
+	//    call would fail with ErrInfeasible and the closest observed SSIM.)
+	ssimOpt := fraz.Target(fraz.FixedSSIM(0.97).WithTolerance(0.02))
+	var archive2 bytes.Buffer
+	res2, err := fraz.Compress(ctx, &archive2, data, []int(shape),
+		fraz.Codec("zfp:accuracy"), ssimOpt, fraz.Seed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ssim target:      0.97 ± 0.02 -> achieved %.4f at ratio %.2f (%s)\n",
+		res2.AchievedValue, res2.Ratio, res2.Codec)
+
+	// 4. A measured max-error target: unlike MaxError (which merely caps the
+	//    search), TargetMaxError drives the *measured* pointwise error to
+	//    the budget, spending all the fidelity the analysis can tolerate.
+	var archive3 bytes.Buffer
+	res3, err := fraz.Compress(ctx, &archive3, data, []int(shape),
+		fraz.TargetMaxError(0.5), fraz.Seed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max-error target: 0.5 -> measured %.4g at ratio %.2f\n",
+		res3.AchievedValue, res3.Ratio)
+}

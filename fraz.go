@@ -16,17 +16,18 @@ import (
 )
 
 // Client is the configured entry point to the framework: one codec, one
-// fixed-ratio target, and the tuning/parallelism knobs set through
-// functional options. A Client is safe for concurrent use; it shares one
-// evaluation cache across all of its tuning runs, and (unless disabled with
-// ReuseBounds) carries the last feasible error bound from one call into the
-// next as the starting prediction, the paper's time-step reuse.
+// tuning objective (a fixed ratio, PSNR, SSIM, or max-error target), and
+// the tuning/parallelism knobs set through functional options. A Client is
+// safe for concurrent use; it shares one evaluation cache across all of its
+// tuning runs, and (unless disabled with ReuseBounds) carries the last
+// feasible error bound from one call into the next as the starting
+// prediction, the paper's time-step reuse.
 type Client struct {
 	set  settings
 	info CodecInfo
 	comp pressio.Compressor
 
-	// tuner is nil when the client was built without a Ratio (a
+	// tuner is nil when the client was built without a tuning target (a
 	// decompress-only or FixedBound-only client).
 	tuner *core.Tuner
 
@@ -42,8 +43,14 @@ type Client struct {
 //		fraz.Ratio(12), fraz.Tolerance(0.05),
 //		fraz.MaxError(1e-2), fraz.Blocks(8), fraz.Workers(4))
 //
-// Compress and Tune additionally require a Ratio (or FixedBound); plain
-// Decompress needs neither.
+// Quality targets go through the same constructor:
+//
+//	c, err := fraz.New("sz:abs", fraz.TargetPSNR(60))
+//	c, err := fraz.New("zfp:accuracy", fraz.TargetSSIM(0.95))
+//
+// Compress and Tune additionally require a target — Ratio, TargetPSNR,
+// TargetSSIM, TargetMaxError, or Target (or FixedBound to skip tuning);
+// plain Decompress needs none.
 func New(codec string, opts ...Option) (*Client, error) {
 	set := defaultSettings()
 	set.codec = codec
@@ -65,15 +72,18 @@ func newClient(set settings) (*Client, error) {
 		return nil, wrapStreamErr(err)
 	}
 	c := &Client{set: set, info: info, comp: comp}
-	if set.ratio > 0 {
+	if set.objective.Name != "" {
+		obj := set.objective
+		if set.tolSet {
+			obj.Tolerance = set.tolerance
+		}
 		tuner, err := core.NewTuner(comp, core.Config{
-			TargetRatio: set.ratio,
-			Tolerance:   set.tolerance,
-			MaxError:    set.maxError,
-			Regions:     set.regions,
-			Workers:     set.workers,
-			Seed:        set.seed,
-			Cache:       pressio.NewCache(),
+			Objective: obj,
+			MaxError:  set.maxError,
+			Regions:   set.regions,
+			Workers:   set.workers,
+			Seed:      set.seed,
+			Cache:     pressio.NewCache(),
 		})
 		if err != nil {
 			return nil, err
@@ -114,6 +124,13 @@ func newBuffer(data []float32, shape []int) (pressio.Buffer, error) {
 type CompressResult struct {
 	// Codec is the codec name recorded in the container header.
 	Codec string
+	// Objective names the tuning objective the bound was searched for
+	// ("ratio", "psnr", "ssim", "max-error"), Target its requested value,
+	// and AchievedValue the whole-field value actually achieved (recorded
+	// in the container header; equal to Ratio for the ratio objective).
+	Objective     string
+	Target        float64
+	AchievedValue float64
 	// ErrorBound is the codec parameter the field was sealed at.
 	ErrorBound float64
 	// Ratio is the achieved whole-field compression ratio (uncompressed
@@ -140,18 +157,21 @@ type CompressResult struct {
 	Elapsed time.Duration
 }
 
-// Compress tunes the codec's error bound to the client's target ratio,
-// compresses the field at the tuned bound, and streams a self-describing
-// .fraz container to w. Nothing is written unless tuning succeeds: if no
-// bound reaches the target band, Compress fails with an error matching
+// Compress tunes the codec's error bound to the client's objective — the
+// target ratio, or a quality target (PSNR, SSIM, max-error) — compresses
+// the field at the tuned bound, and streams a self-describing .fraz
+// container to w. Nothing is written unless tuning succeeds: if no bound
+// reaches the acceptance band, Compress fails with an error matching
 // errors.Is(err, ErrInfeasible) whose *InfeasibleError payload carries the
-// closest observed ratio.
+// closest observed configuration.
 //
 // data is a flat row-major field and shape its extents, slowest dimension
 // first (e.g. {100, 500, 500}). With Blocks(n > 1 or the automatic
-// default), the bound is tuned on one sampled block and all blocks are
-// compressed concurrently into a blocked container; Blocks(1) seals
-// monolithically.
+// default), a ratio-targeted bound is tuned on one sampled block and all
+// blocks are compressed concurrently into a blocked container; Blocks(1)
+// seals monolithically, as do quality objectives always (see Blocks).
+// Quality-targeted archives additionally record the objective name, target,
+// band, and achieved value in the container header.
 func (c *Client) Compress(ctx context.Context, w io.Writer, data []float32, shape []int) (*CompressResult, error) {
 	buf, err := newBuffer(data, shape)
 	if err != nil {
@@ -161,7 +181,7 @@ func (c *Client) Compress(ctx context.Context, w io.Writer, data []float32, shap
 		return c.compressFixed(ctx, w, buf)
 	}
 	if c.tuner == nil {
-		return nil, fmt.Errorf("fraz: Compress requires a target ratio: pass fraz.Ratio (or fraz.FixedBound) to New")
+		return nil, fmt.Errorf("fraz: Compress requires a tuning target: pass fraz.Ratio, fraz.TargetPSNR, fraz.TargetSSIM, fraz.TargetMaxError, or fraz.FixedBound to New")
 	}
 	cn, sr, err := c.tuner.SealBlocked(ctx, buf, core.SealOptions{
 		Blocks:          c.set.blocks,
@@ -179,6 +199,9 @@ func (c *Client) Compress(ctx context.Context, w io.Writer, data []float32, shap
 	}
 	return &CompressResult{
 		Codec:          cn.Header.Codec,
+		Objective:      sr.Tuning.Objective,
+		Target:         sr.Tuning.Target,
+		AchievedValue:  sr.AchievedValue,
 		ErrorBound:     cn.Header.Bound,
 		Ratio:          cn.Header.Ratio,
 		SampleRatio:    sr.Tuning.AchievedRatio,
@@ -238,6 +261,24 @@ func (c *Client) recordBound(bound float64) {
 	c.mu.Unlock()
 }
 
+// ObjectiveRecord echoes the objective extension of a container header: the
+// tuning objective an archive was sealed for, its target, the absolute
+// half-width of the acceptance band, and the value the archive's bound
+// actually achieved. Rebuild the objective with ObjectiveByName to
+// re-measure the promise against a reference field.
+type ObjectiveRecord struct {
+	Name      string
+	Target    float64
+	Tolerance float64
+	Achieved  float64
+}
+
+// InBand reports whether a value lies inside the recorded acceptance band
+// [Target−Tolerance, Target+Tolerance].
+func (o ObjectiveRecord) InBand(v float64) bool {
+	return v >= o.Target-o.Tolerance && v <= o.Target+o.Tolerance
+}
+
 // DecompressResult couples the reconstructed field with the container
 // metadata it was decoded from.
 type DecompressResult struct {
@@ -251,6 +292,14 @@ type DecompressResult struct {
 	Codec      string
 	ErrorBound float64
 	Ratio      float64
+	// Objective is the archive's recorded tuning promise, nil when the
+	// archive predates the extension or was sealed for a plain ratio
+	// target (whose promise lives in Ratio).
+	Objective *ObjectiveRecord
+	// CompressedBytes is the size of the compressed payload (the container's
+	// payload area, excluding header and index overhead) — the denominator
+	// of the recorded ratio.
+	CompressedBytes int
 	// Version is the container format version (1 monolithic, 2 blocked).
 	Version int
 	// Blocks is the number of independently verified and decoded blocks.
@@ -286,29 +335,46 @@ func decompress(ctx context.Context, r io.Reader, workers int) (*DecompressResul
 	if err != nil {
 		return nil, wrapStreamErr(err)
 	}
-	return &DecompressResult{
-		Data:       buf.Data,
-		Shape:      []int(buf.Shape),
-		Codec:      cn.Header.Codec,
-		ErrorBound: cn.Header.Bound,
-		Ratio:      cn.Header.Ratio,
-		Version:    int(cn.Header.Version),
-		Blocks:     cn.NumBlocks(),
-	}, nil
+	res := &DecompressResult{
+		Data:            buf.Data,
+		Shape:           []int(buf.Shape),
+		Codec:           cn.Header.Codec,
+		ErrorBound:      cn.Header.Bound,
+		Ratio:           cn.Header.Ratio,
+		CompressedBytes: len(cn.Payload),
+		Version:         int(cn.Header.Version),
+		Blocks:          cn.NumBlocks(),
+	}
+	if o := cn.Header.Objective; o.Name != "" {
+		res.Objective = &ObjectiveRecord{
+			Name:      o.Name,
+			Target:    o.Target,
+			Tolerance: o.Tolerance,
+			Achieved:  o.Achieved,
+		}
+	}
+	return res, nil
 }
 
 // TuneResult is the outcome of tuning one field without sealing it.
 type TuneResult struct {
 	// Codec is the tuned codec's name.
 	Codec string
+	// Objective names the tuning objective, Target its requested value, and
+	// AchievedValue the value reached at ErrorBound (equal to Ratio for the
+	// ratio objective).
+	Objective     string
+	Target        float64
+	AchievedValue float64
 	// ErrorBound is the recommended codec parameter.
 	ErrorBound float64
-	// Ratio is the compression ratio achieved at ErrorBound.
+	// Ratio is the compression ratio achieved at ErrorBound, whatever the
+	// objective.
 	Ratio float64
 	// CompressedSize is the compressed size in bytes at ErrorBound.
 	CompressedSize int
-	// Feasible reports whether Ratio lies inside the acceptance band. An
-	// infeasible result still describes the closest observed
+	// Feasible reports whether AchievedValue lies inside the acceptance
+	// band. An infeasible result still describes the closest observed
 	// configuration; Err turns it into an ErrInfeasible error.
 	Feasible bool
 	// UsedPrediction is true when a previous call's bound was reused
@@ -321,8 +387,8 @@ type TuneResult struct {
 	// Elapsed is the tuning wall-clock time.
 	Elapsed time.Duration
 
-	target    float64
-	tolerance float64
+	targetRatio float64
+	tolerance   float64
 }
 
 // Err returns nil for a feasible result and an error matching
@@ -335,6 +401,9 @@ func (r *TuneResult) Err() error {
 func tuneResult(res core.Result) *TuneResult {
 	return &TuneResult{
 		Codec:          res.Compressor,
+		Objective:      res.Objective,
+		Target:         res.Target,
+		AchievedValue:  res.AchievedValue,
 		ErrorBound:     res.ErrorBound,
 		Ratio:          res.AchievedRatio,
 		CompressedSize: res.CompressedSize,
@@ -343,7 +412,7 @@ func tuneResult(res core.Result) *TuneResult {
 		Evaluations:    res.Iterations,
 		CacheHits:      res.CacheHits,
 		Elapsed:        res.Elapsed,
-		target:         res.TargetRatio,
+		targetRatio:    res.TargetRatio,
 		tolerance:      res.Tolerance,
 	}
 }
@@ -353,7 +422,10 @@ func tuneResult(res core.Result) *TuneResult {
 func tuneCore(r TuneResult) core.Result {
 	return core.Result{
 		Compressor:     r.Codec,
-		TargetRatio:    r.target,
+		Objective:      r.Objective,
+		Target:         r.Target,
+		AchievedValue:  r.AchievedValue,
+		TargetRatio:    r.targetRatio,
 		Tolerance:      r.tolerance,
 		ErrorBound:     r.ErrorBound,
 		AchievedRatio:  r.Ratio,
@@ -371,7 +443,7 @@ func tuneCore(r TuneResult) core.Result {
 // Compress) where only an in-band result is acceptable.
 func (c *Client) Tune(ctx context.Context, data []float32, shape []int) (*TuneResult, error) {
 	if c.tuner == nil {
-		return nil, fmt.Errorf("fraz: Tune requires a target ratio: pass fraz.Ratio to New")
+		return nil, fmt.Errorf("fraz: Tune requires a tuning target: pass fraz.Ratio, fraz.TargetPSNR, fraz.TargetSSIM, fraz.TargetMaxError, or fraz.Target to New")
 	}
 	buf, err := newBuffer(data, shape)
 	if err != nil {
@@ -423,7 +495,7 @@ type SeriesResult struct {
 // out of the acceptance band (the paper's Algorithm 3, inner loop).
 func (c *Client) TuneSeries(ctx context.Context, s Series) (*SeriesResult, error) {
 	if c.tuner == nil {
-		return nil, fmt.Errorf("fraz: TuneSeries requires a target ratio: pass fraz.Ratio to New")
+		return nil, fmt.Errorf("fraz: TuneSeries requires a tuning target: pass fraz.Ratio (or another Target option) to New")
 	}
 	res, err := c.tuner.TuneSeries(ctx, coreSeries(s))
 	if err != nil {
@@ -437,7 +509,7 @@ func (c *Client) TuneSeries(ctx context.Context, s Series) (*SeriesResult, error
 // belongs to series[i].
 func (c *Client) TuneFields(ctx context.Context, series []Series) ([]*SeriesResult, error) {
 	if c.tuner == nil {
-		return nil, fmt.Errorf("fraz: TuneFields requires a target ratio: pass fraz.Ratio to New")
+		return nil, fmt.Errorf("fraz: TuneFields requires a tuning target: pass fraz.Ratio (or another Target option) to New")
 	}
 	cs := make([]core.Series, len(series))
 	for i, s := range series {

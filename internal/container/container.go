@@ -14,12 +14,28 @@
 //	0       4     magic "FRZ\x01"
 //	4       2     format version (1 = monolithic, 2 = blocked)
 //	6       1     dtype (0 = float32)
-//	7       1     rank (1..4)
+//	7       1     flags (bit 7: objective extension present) | rank (1..4)
 //	8       1     codec name length L (1..255)
 //	9       L     codec name (e.g. "sz:abs")
 //	...     8     tuned bound (IEEE-754 float64)
 //	...     8     achieved ratio (IEEE-754 float64)
 //	...     8×R   shape extents, slowest dimension first (uint64 each)
+//
+// When bit 7 of the rank byte is set, an objective extension follows the
+// shape extents — a v2-compatible extension recording *what the archive
+// promised*: the tuning objective the bound was searched for, its target,
+// the absolute half-width of the acceptance band, and the value actually
+// achieved. It is orthogonal to the payload layout (both v1 and v2 streams
+// may carry it); streams without it are byte-for-byte what earlier builds
+// wrote, and this build still reads those. Earlier builds reject extended
+// streams (they see an out-of-range rank) rather than silently dropping the
+// promise:
+//
+//	...     1     objective name length Q (1..255)
+//	...     Q     objective name (e.g. "psnr", "ssim", "max-error")
+//	...     8     objective target (IEEE-754 float64)
+//	...     8     acceptance band half-width (IEEE-754 float64, absolute)
+//	...     8     achieved value (IEEE-754 float64)
 //
 // A version-1 stream then carries one monolithic payload:
 //
@@ -114,6 +130,30 @@ var (
 	ErrHeader = errors.New("container: invalid header field")
 )
 
+// objectiveFlag is the bit set on the rank byte when the header carries an
+// objective extension. Builds without the extension reject the resulting
+// out-of-range rank, so an archive's promise is never silently dropped.
+const objectiveFlag = 0x80
+
+// Objective records what an archive promised: the tuning objective its
+// bound was searched for, the requested target, the absolute half-width of
+// the acceptance band, and the value the tuned bound actually achieved.
+// A zero Name means no objective was recorded (fixed-ratio archives keep
+// the promise in the Bound/Ratio fields and stay byte-compatible with
+// earlier builds).
+type Objective struct {
+	// Name is the objective's registered name, e.g. "psnr".
+	Name string
+	// Target is the requested objective value.
+	Target float64
+	// Tolerance is the absolute half-width of the acceptance band around
+	// Target (already resolved from fractional semantics, so readers need
+	// not know how the band was specified).
+	Tolerance float64
+	// Achieved is the objective value measured at the sealed bound.
+	Achieved float64
+}
+
 // Header carries the metadata needed to decompress a payload without any
 // out-of-band knowledge.
 type Header struct {
@@ -131,6 +171,9 @@ type Header struct {
 	// Shape is the logical shape of the uncompressed data, slowest
 	// dimension first.
 	Shape grid.Dims
+	// Objective optionally records the tuning objective the archive was
+	// sealed for (zero Name = none recorded).
+	Objective Objective
 }
 
 // BlockEntry locates one block's payload inside a blocked container.
@@ -283,12 +326,32 @@ func (h Header) validate() error {
 	if err := h.Shape.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrHeader, err)
 	}
+	if h.Objective.Name != "" {
+		o := h.Objective
+		if len(o.Name) > 255 {
+			return fmt.Errorf("%w: objective name length %d (want 1..255)", ErrHeader, len(o.Name))
+		}
+		if math.IsNaN(o.Target) || math.IsInf(o.Target, 0) {
+			return fmt.Errorf("%w: objective target %v", ErrHeader, o.Target)
+		}
+		if math.IsNaN(o.Tolerance) || math.IsInf(o.Tolerance, 0) || o.Tolerance < 0 {
+			return fmt.Errorf("%w: objective tolerance %v", ErrHeader, o.Tolerance)
+		}
+		// Achieved may legitimately be ±Inf (a lossless reconstruction has
+		// infinite PSNR); only NaN is meaningless.
+		if math.IsNaN(o.Achieved) {
+			return fmt.Errorf("%w: objective achieved value is NaN", ErrHeader)
+		}
+	}
 	return nil
 }
 
 // EncodedSize returns the exact byte length Encode will produce.
 func (c Container) EncodedSize() int {
 	header := 4 + 2 + 1 + 1 + 1 + len(c.Header.Codec) + 8 + 8 + 8*c.Header.Shape.NDims()
+	if c.Header.Objective.Name != "" {
+		header += 1 + len(c.Header.Objective.Name) + 8 + 8 + 8
+	}
 	if c.Blocks != nil {
 		return header + 4 + 20*len(c.Blocks) + len(c.Payload)
 	}
@@ -336,12 +399,22 @@ func (c Container) WriteTo(dst io.Writer) (int64, error) {
 	w.bytes(magic[:])
 	w.u16(version)
 	w.u8(uint8(c.Header.DType))
-	w.u8(uint8(c.Header.Shape.NDims()))
+	rankByte := uint8(c.Header.Shape.NDims())
+	if c.Header.Objective.Name != "" {
+		rankByte |= objectiveFlag
+	}
+	w.u8(rankByte)
 	w.str(c.Header.Codec)
 	w.f64(c.Header.Bound)
 	w.f64(c.Header.Ratio)
 	for _, e := range c.Header.Shape {
 		w.u64(uint64(e))
+	}
+	if c.Header.Objective.Name != "" {
+		w.str(c.Header.Objective.Name)
+		w.f64(c.Header.Objective.Target)
+		w.f64(c.Header.Objective.Tolerance)
+		w.f64(c.Header.Objective.Achieved)
 	}
 	if c.Blocks != nil {
 		w.u32(uint32(len(c.Blocks)))
@@ -520,7 +593,9 @@ func (c *Container) ReadFrom(r io.Reader) (int64, error) {
 		return s.n, fmt.Errorf("%w: %d (this build reads <= %d)", ErrVersion, out.Header.Version, maxVersion)
 	}
 	out.Header.DType = DType(s.u8())
-	rank := int(s.u8())
+	rankByte := s.u8()
+	hasObjective := rankByte&objectiveFlag != 0
+	rank := int(rankByte &^ objectiveFlag)
 	if s.err == nil && (rank < 1 || rank > 4) {
 		return s.n, fmt.Errorf("%w: rank %d (want 1..4)", ErrHeader, rank)
 	}
@@ -536,6 +611,15 @@ func (c *Container) ReadFrom(r io.Reader) (int64, error) {
 			}
 			out.Header.Shape[i] = int(e)
 		}
+	}
+	if hasObjective {
+		out.Header.Objective.Name = s.str()
+		if s.err == nil && out.Header.Objective.Name == "" {
+			return s.n, fmt.Errorf("%w: objective flag set but name empty", ErrHeader)
+		}
+		out.Header.Objective.Target = s.f64()
+		out.Header.Objective.Tolerance = s.f64()
+		out.Header.Objective.Achieved = s.f64()
 	}
 	// Validate the header before committing to the payload: a stream with a
 	// nonsense header is rejected without reading (or allocating for) the
@@ -622,6 +706,10 @@ func Decode(data []byte) (Container, error) {
 
 // String summarises the header for logs and CLI output.
 func (h Header) String() string {
-	return fmt.Sprintf(".fraz v%d codec=%s dtype=%s shape=%s bound=%g ratio=%.2f",
+	s := fmt.Sprintf(".fraz v%d codec=%s dtype=%s shape=%s bound=%g ratio=%.2f",
 		h.Version, h.Codec, h.DType, h.Shape, h.Bound, h.Ratio)
+	if h.Objective.Name != "" {
+		s += fmt.Sprintf(" objective=%s target=%g achieved=%g", h.Objective.Name, h.Objective.Target, h.Objective.Achieved)
+	}
+	return s
 }

@@ -401,3 +401,143 @@ func FuzzBlockedContainerRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// TestObjectiveExtensionRoundTrip pins the v2-compatible objective header
+// extension: an objective recorded on a monolithic or blocked container
+// survives Encode/Decode and streaming ReadFrom, and shows up in String.
+func TestObjectiveExtensionRoundTrip(t *testing.T) {
+	obj := Objective{Name: "psnr", Target: 60, Tolerance: 3, Achieved: 61.2}
+	for _, blocked := range []bool{false, true} {
+		c := sample(t)
+		if blocked {
+			c = sampleBlocked(t)
+		}
+		c.Header.Objective = obj
+		enc, err := c.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) != c.EncodedSize() {
+			t.Errorf("blocked=%v: encoded %d bytes, EncodedSize says %d", blocked, len(enc), c.EncodedSize())
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Header.Objective != obj {
+			t.Errorf("blocked=%v: objective round trip = %+v, want %+v", blocked, dec.Header.Objective, obj)
+		}
+		if !bytes.Equal(dec.Payload, c.Payload) {
+			t.Errorf("blocked=%v: payload corrupted by objective extension", blocked)
+		}
+		if s := dec.Header.String(); !strings.Contains(s, "objective=psnr") {
+			t.Errorf("String() omits the objective: %q", s)
+		}
+	}
+}
+
+// TestObjectiveExtensionByteCompat pins that containers WITHOUT an objective
+// still encode byte-for-byte what the pre-extension format produced: the
+// rank byte carries no flag and no extension bytes appear, so fixed-ratio
+// archives stay readable by earlier builds.
+func TestObjectiveExtensionByteCompat(t *testing.T) {
+	c := sample(t)
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[7] != 3 {
+		t.Errorf("rank byte = %#x, want plain rank 3 with no objective flag", enc[7])
+	}
+	// Reconstruct the documented pre-extension layout by hand and compare.
+	var want []byte
+	want = append(want, 'F', 'R', 'Z', 0x01)
+	want = append(want, 1, 0) // version 1
+	want = append(want, 0)    // dtype
+	want = append(want, 3)    // rank
+	want = append(want, byte(len("sz:abs")))
+	want = append(want, "sz:abs"...)
+	want = binary.LittleEndian.AppendUint64(want, math.Float64bits(1e-3))
+	want = binary.LittleEndian.AppendUint64(want, math.Float64bits(11.7))
+	for _, e := range []uint64{4, 8, 16} {
+		want = binary.LittleEndian.AppendUint64(want, e)
+	}
+	want = binary.LittleEndian.AppendUint64(want, uint64(len(c.Payload)))
+	want = binary.LittleEndian.AppendUint32(want, crc32.ChecksumIEEE(c.Payload))
+	want = append(want, c.Payload...)
+	if !bytes.Equal(enc, want) {
+		t.Errorf("no-objective encoding drifted from the pre-extension layout:\n got %x\nwant %x", enc, want)
+	}
+}
+
+// TestObjectiveExtensionHandAssembled decodes a hand-assembled extended
+// stream against the documented layout, independent of Encode.
+func TestObjectiveExtensionHandAssembled(t *testing.T) {
+	payload := []byte{9, 8, 7}
+	var enc []byte
+	enc = append(enc, 'F', 'R', 'Z', 0x01)
+	enc = append(enc, 1, 0)        // version 1
+	enc = append(enc, 0)           // dtype float32
+	enc = append(enc, 0x80|1)      // objective flag | rank 1
+	enc = append(enc, 2, 's', 'z') // codec "sz"
+	enc = binary.LittleEndian.AppendUint64(enc, math.Float64bits(0.5))
+	enc = binary.LittleEndian.AppendUint64(enc, math.Float64bits(4))
+	enc = binary.LittleEndian.AppendUint64(enc, 16) // shape
+	enc = append(enc, byte(len("ssim")))
+	enc = append(enc, "ssim"...)
+	enc = binary.LittleEndian.AppendUint64(enc, math.Float64bits(0.95))
+	enc = binary.LittleEndian.AppendUint64(enc, math.Float64bits(0.02))
+	enc = binary.LittleEndian.AppendUint64(enc, math.Float64bits(0.961))
+	enc = binary.LittleEndian.AppendUint64(enc, uint64(len(payload)))
+	enc = binary.LittleEndian.AppendUint32(enc, crc32.ChecksumIEEE(payload))
+	enc = append(enc, payload...)
+
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Objective{Name: "ssim", Target: 0.95, Tolerance: 0.02, Achieved: 0.961}
+	if dec.Header.Objective != want {
+		t.Errorf("decoded objective = %+v, want %+v", dec.Header.Objective, want)
+	}
+	if !dec.Header.Shape.Equal(grid.MustDims(16)) {
+		t.Errorf("rank bits misparsed: shape %v", dec.Header.Shape)
+	}
+
+	// Truncating inside the extension is ErrTruncated, not a misparse.
+	if _, err := Decode(enc[:20]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated extension: err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestObjectiveValidation rejects malformed objective headers at encode time.
+func TestObjectiveValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		obj  Objective
+	}{
+		{"NaN target", Objective{Name: "psnr", Target: math.NaN()}},
+		{"Inf target", Objective{Name: "psnr", Target: math.Inf(1)}},
+		{"negative tolerance", Objective{Name: "psnr", Target: 60, Tolerance: -1}},
+		{"NaN achieved", Objective{Name: "psnr", Target: 60, Achieved: math.NaN()}},
+		{"overlong name", Objective{Name: strings.Repeat("x", 256), Target: 60}},
+	}
+	for _, tc := range cases {
+		c := sample(t)
+		c.Header.Objective = tc.obj
+		if _, err := c.Encode(); !errors.Is(err, ErrHeader) {
+			t.Errorf("%s: Encode err = %v, want ErrHeader", tc.name, err)
+		}
+	}
+	// An infinite achieved value (lossless PSNR) is legal.
+	c := sample(t)
+	c.Header.Objective = Objective{Name: "psnr", Target: 60, Tolerance: 3, Achieved: math.Inf(1)}
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatalf("infinite achieved value rejected: %v", err)
+	}
+	dec, err := Decode(enc)
+	if err != nil || !math.IsInf(dec.Header.Objective.Achieved, 1) {
+		t.Errorf("infinite achieved round trip = %+v, %v", dec.Header.Objective, err)
+	}
+}

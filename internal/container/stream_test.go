@@ -29,12 +29,24 @@ func randomContainer(t *testing.T, r *rand.Rand) Container {
 	r.Read(payload)
 	bound := r.Float64() * 10
 	ratio := r.Float64() * 100
+	// An objective extension rides along on a third of the containers, so
+	// every downstream property test covers extended headers too.
+	var obj Objective
+	if r.Intn(3) == 0 {
+		obj = Objective{
+			Name:      "psnr",
+			Target:    20 + r.Float64()*80,
+			Tolerance: r.Float64() * 5,
+			Achieved:  20 + r.Float64()*80,
+		}
+	}
 
 	if r.Intn(2) == 0 {
 		c, err := New(string(codec), bound, ratio, shape, payload)
 		if err != nil {
 			t.Fatal(err)
 		}
+		c.Header.Objective = obj
 		return c
 	}
 	n := 1 + r.Intn(shape[0])
@@ -47,13 +59,15 @@ func randomContainer(t *testing.T, r *rand.Rand) Container {
 	if err != nil {
 		t.Fatal(err)
 	}
+	c.Header.Objective = obj
 	return c
 }
 
 func containersEqual(a, b Container) bool {
 	if a.Header.Version != b.Header.Version || a.Header.Codec != b.Header.Codec ||
 		a.Header.Bound != b.Header.Bound || a.Header.Ratio != b.Header.Ratio ||
-		a.Header.DType != b.Header.DType || !a.Header.Shape.Equal(b.Header.Shape) {
+		a.Header.DType != b.Header.DType || !a.Header.Shape.Equal(b.Header.Shape) ||
+		a.Header.Objective != b.Header.Objective {
 		return false
 	}
 	if !bytes.Equal(a.Payload, b.Payload) || len(a.Blocks) != len(b.Blocks) {

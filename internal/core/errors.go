@@ -5,14 +5,14 @@ import (
 	"fmt"
 )
 
-// ErrInfeasible is the sentinel for tuning runs whose best achieved ratio
+// ErrInfeasible is the sentinel for tuning runs whose best achieved value
 // lies outside the acceptance band. Results carry the same information in
 // Result.Feasible, but a struct field cannot cross an error-returning API
 // boundary: callers that seal, archive, or exit on the outcome need an
 // errors.Is-able failure. Match with errors.Is(err, ErrInfeasible) and
 // recover the closest observed configuration with errors.As on
 // *InfeasibleError.
-var ErrInfeasible = errors.New("fraz: target compression ratio not reachable within the error-bound range")
+var ErrInfeasible = errors.New("fraz: tuning objective not reachable within the error-bound range")
 
 // InfeasibleError reports an infeasible tuning outcome along with the
 // closest configuration the search observed, so callers can decide whether
@@ -21,21 +21,34 @@ var ErrInfeasible = errors.New("fraz: target compression ratio not reachable wit
 type InfeasibleError struct {
 	// Compressor is the name of the tuned compressor.
 	Compressor string
-	// TargetRatio and Tolerance echo the request.
+	// Objective names the tuned objective ("ratio", "psnr", ...) and Target
+	// its requested value.
+	Objective string
+	Target    float64
+	// TargetRatio echoes Target for the fixed-ratio objective (zero
+	// otherwise); Tolerance is the objective's acceptance half-width
+	// (fractional for ratio/PSNR, absolute for SSIM/max-error).
 	TargetRatio float64
 	Tolerance   float64
-	// ClosestRatio is the achieved ratio nearest the target among all
-	// successful evaluations.
+	// ClosestValue is the achieved objective value nearest the target among
+	// all successful evaluations; ClosestRatio is the compression ratio at
+	// the same bound (they coincide for the fixed-ratio objective).
+	ClosestValue float64
 	ClosestRatio float64
-	// ErrorBound is the bound that produced ClosestRatio.
+	// ErrorBound is the bound that produced ClosestValue.
 	ErrorBound float64
 	// CompressedSize is the compressed size in bytes at ErrorBound.
 	CompressedSize int
 }
 
 func (e *InfeasibleError) Error() string {
-	return fmt.Sprintf("%v: %s reached %.3g (want %g ± %.0f%%, closest bound %g)",
-		ErrInfeasible, e.Compressor, e.ClosestRatio, e.TargetRatio, e.Tolerance*100, e.ErrorBound)
+	switch e.Objective {
+	case "", "ratio":
+		return fmt.Sprintf("%v: %s reached ratio %.3g (want %g ± %.0f%%, closest bound %g)",
+			ErrInfeasible, e.Compressor, e.ClosestRatio, e.TargetRatio, e.Tolerance*100, e.ErrorBound)
+	}
+	return fmt.Sprintf("%v: %s reached %s %.4g (want %g, closest bound %g)",
+		ErrInfeasible, e.Compressor, e.Objective, e.ClosestValue, e.Target, e.ErrorBound)
 }
 
 // Unwrap chains to the sentinel so errors.Is(err, ErrInfeasible) matches.
@@ -53,8 +66,11 @@ func (r Result) Check() error {
 	}
 	return &InfeasibleError{
 		Compressor:     r.Compressor,
+		Objective:      r.Objective,
+		Target:         r.Target,
 		TargetRatio:    r.TargetRatio,
 		Tolerance:      r.Tolerance,
+		ClosestValue:   r.AchievedValue,
 		ClosestRatio:   r.AchievedRatio,
 		ErrorBound:     r.ErrorBound,
 		CompressedSize: r.CompressedSize,

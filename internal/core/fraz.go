@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"fraz/internal/grid"
+	"fraz/internal/metrics"
 	"fraz/internal/optim"
 	"fraz/internal/parallel"
 	"fraz/internal/pressio"
@@ -54,10 +55,18 @@ var Gamma = 0.8 * math.MaxFloat64
 
 // Config controls a Tuner.
 type Config struct {
-	// TargetRatio is ρt, the requested compression ratio. Required > 1.
+	// Objective is the quantity the search drives the error bound toward.
+	// The zero value selects FixedRatio(TargetRatio) with Tolerance, the
+	// paper's fixed-ratio objective; any other objective makes TargetRatio
+	// and Tolerance below irrelevant (the objective carries its own target
+	// and band).
+	Objective Objective
+	// TargetRatio is ρt, the requested compression ratio. Required > 1 when
+	// no Objective is given.
 	TargetRatio float64
 	// Tolerance is ε, the fractional half-width of the acceptance band
-	// [ρt(1−ε), ρt(1+ε)]. Zero selects DefaultTolerance.
+	// [ρt(1−ε), ρt(1+ε)]. Zero selects DefaultTolerance. Only consulted when
+	// no Objective is given.
 	Tolerance float64
 	// MaxError is U, the maximum allowed compression error. When zero, the
 	// default upper bound is used: the value range of the data, which is the
@@ -113,6 +122,12 @@ type Evaluation struct {
 	Ratio float64
 	// CompressedSize is the compressed size in bytes.
 	CompressedSize int
+	// Value is the tuned objective's achieved value at ErrorBound (equal to
+	// Ratio for the fixed-ratio objective).
+	Value float64
+	// Report carries the full quality metrics when the objective required a
+	// compress+decompress round trip; nil for compress-only evaluations.
+	Report *metrics.Report
 }
 
 // RegionResult summarises the search within one error-bound region.
@@ -130,16 +145,25 @@ type RegionResult struct {
 type Result struct {
 	// Compressor is the name of the tuned compressor.
 	Compressor string
-	// TargetRatio and Tolerance echo the request.
+	// Objective names the tuned objective ("ratio", "psnr", "ssim",
+	// "max-error") and Target its requested value.
+	Objective string
+	Target    float64
+	// TargetRatio echoes Target for the fixed-ratio objective (zero
+	// otherwise); Tolerance is the objective's acceptance half-width
+	// (fractional for ratio/PSNR, absolute for SSIM/max-error).
 	TargetRatio float64
 	Tolerance   float64
 	// ErrorBound is the recommended error bound setting.
 	ErrorBound float64
-	// AchievedRatio is ρr at the recommended bound.
+	// AchievedValue is the objective's value at ErrorBound (equal to
+	// AchievedRatio for the fixed-ratio objective).
+	AchievedValue float64
+	// AchievedRatio is ρr at the recommended bound, whatever the objective.
 	AchievedRatio float64
 	// CompressedSize is the compressed size at the recommended bound.
 	CompressedSize int
-	// Feasible is true when the achieved ratio lies in the acceptance band.
+	// Feasible is true when the achieved value lies in the acceptance band.
 	Feasible bool
 	// Iterations is the total number of compressor invocations performed.
 	Iterations int
@@ -191,6 +215,7 @@ func Cutoff(target, tolerance float64) float64 {
 type Tuner struct {
 	compressor pressio.Compressor
 	cfg        Config
+	obj        Objective
 	cache      *pressio.Cache
 }
 
@@ -199,11 +224,22 @@ func NewTuner(c pressio.Compressor, cfg Config) (*Tuner, error) {
 	if c == nil {
 		return nil, fmt.Errorf("%w: nil compressor", ErrBadConfig)
 	}
-	if !(cfg.TargetRatio > 1) || math.IsNaN(cfg.TargetRatio) || math.IsInf(cfg.TargetRatio, 0) {
-		return nil, fmt.Errorf("%w: target ratio must be > 1, got %v", ErrBadConfig, cfg.TargetRatio)
+	obj := cfg.Objective
+	if obj.Name == "" {
+		// Legacy fixed-ratio configuration: TargetRatio/Tolerance stand in
+		// for an explicit FixedRatio objective.
+		if !(cfg.TargetRatio > 1) || math.IsNaN(cfg.TargetRatio) || math.IsInf(cfg.TargetRatio, 0) {
+			return nil, fmt.Errorf("%w: target ratio must be > 1, got %v", ErrBadConfig, cfg.TargetRatio)
+		}
+		if cfg.Tolerance < 0 || cfg.Tolerance >= 1 || math.IsNaN(cfg.Tolerance) {
+			return nil, fmt.Errorf("%w: tolerance must be in [0,1), got %v", ErrBadConfig, cfg.Tolerance)
+		}
+		obj = FixedRatio(cfg.TargetRatio)
+		obj.Tolerance = cfg.Tolerance
 	}
-	if cfg.Tolerance < 0 || cfg.Tolerance >= 1 {
-		return nil, fmt.Errorf("%w: tolerance must be in [0,1), got %v", ErrBadConfig, cfg.Tolerance)
+	obj = obj.WithDefaults()
+	if err := obj.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	if cfg.MaxError < 0 {
 		return nil, fmt.Errorf("%w: max error must be >= 0, got %v", ErrBadConfig, cfg.MaxError)
@@ -212,11 +248,22 @@ func NewTuner(c pressio.Compressor, cfg Config) (*Tuner, error) {
 	if cache == nil {
 		cache = pressio.NewCache()
 	}
-	return &Tuner{compressor: c, cfg: cfg.withDefaults(), cache: cache}, nil
+	cfg = cfg.withDefaults()
+	cfg.Objective = obj
+	if obj.Name == "ratio" {
+		// Keep the legacy fields coherent with the objective, whichever way
+		// the caller configured it.
+		cfg.TargetRatio = obj.Target
+		cfg.Tolerance = obj.Tolerance
+	}
+	return &Tuner{compressor: c, cfg: cfg, obj: obj, cache: cache}, nil
 }
 
 // Compressor returns the compressor being tuned.
 func (t *Tuner) Compressor() pressio.Compressor { return t.compressor }
+
+// Objective returns the resolved objective the tuner searches for.
+func (t *Tuner) Objective() Objective { return t.obj }
 
 // Cache returns the evaluation cache the tuner records compressor
 // evaluations in (the one from Config.Cache, or the private default).
@@ -260,6 +307,39 @@ func (t *Tuner) TuneBuffer(ctx context.Context, buf pressio.Buffer) (Result, err
 	return t.TuneWithPrediction(ctx, buf, 0)
 }
 
+// measure returns the single black-box evaluation the search performs for
+// the tuner's objective: a cached compression for the fixed-ratio objective,
+// a cached compress+decompress round trip (with the full metric report) for
+// quality objectives. Either way the returned Evaluation carries the bound
+// the measurement actually ran at and the objective's achieved Value.
+func (t *Tuner) measure(eval *pressio.Evaluator) func(bound float64) (Evaluation, error) {
+	if !t.obj.NeedsReport {
+		return func(bound float64) (Evaluation, error) {
+			ratio, size, evaluated, err := eval.Ratio(bound)
+			if err != nil {
+				return Evaluation{}, err
+			}
+			ev := Evaluation{ErrorBound: evaluated, Ratio: ratio, CompressedSize: size}
+			ev.Value = t.obj.Achieved(ev)
+			return ev, nil
+		}
+	}
+	return func(bound float64) (Evaluation, error) {
+		rep, evaluated, err := eval.Full(bound)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		ev := Evaluation{
+			ErrorBound:     evaluated,
+			Ratio:          rep.CompressionRatio,
+			CompressedSize: rep.CompressedBytes,
+			Report:         &rep,
+		}
+		ev.Value = t.obj.Achieved(ev)
+		return ev, nil
+	}
+}
+
 // TuneWithPrediction implements the worker-task algorithm (Algorithm 1): if
 // a prediction (a previously successful error bound) is provided it is tried
 // first, and only if it misses the acceptance band does the region-parallel
@@ -269,28 +349,32 @@ func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, pred
 	if !t.compressor.SupportsShape(buf.Shape) {
 		return Result{}, fmt.Errorf("fraz: compressor %s does not support shape %v", t.compressor.Name(), buf.Shape)
 	}
+	if !t.obj.SupportsRank(buf.Shape.NDims()) {
+		return Result{}, fmt.Errorf("fraz: objective %s is not measurable on shape %v (needs rank %d..%d)",
+			t.obj.Name, buf.Shape, t.obj.MinRank, t.obj.MaxRank)
+	}
 	res := Result{
 		Compressor:  t.compressor.Name(),
+		Objective:   t.obj.Name,
+		Target:      t.obj.Target,
 		TargetRatio: t.cfg.TargetRatio,
-		Tolerance:   t.cfg.Tolerance,
+		Tolerance:   t.obj.Tolerance,
 	}
 	// One evaluator per tuning run: the buffer fingerprint is computed once
 	// and every region search below shares the memoised evaluations.
 	eval := pressio.NewEvaluator(t.cache, t.compressor, buf)
+	measure := t.measure(eval)
 
 	if prediction > 0 {
-		ratio, size, evaluated, err := eval.Ratio(prediction)
+		ev, err := measure(prediction)
 		res.Iterations++
 		if err != nil {
 			// A compressor failure at the predicted bound is not the same
 			// as "the prediction missed the band": record it so series
 			// reporting can tell the two apart, then retrain as usual.
 			res.PredictionErr = fmt.Errorf("fraz: prediction evaluation at bound %v: %w", prediction, err)
-		} else if InBand(ratio, t.cfg.TargetRatio, t.cfg.Tolerance) {
-			res.ErrorBound = evaluated
-			res.AchievedRatio = ratio
-			res.CompressedSize = size
-			res.Feasible = true
+		} else if t.obj.InBand(ev.Value) {
+			res.fill(ev, true)
 			res.UsedPrediction = true
 			res.CacheHits, res.CacheMisses = eval.Stats()
 			res.Elapsed = time.Since(start)
@@ -302,25 +386,35 @@ func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, pred
 	if err != nil {
 		return Result{}, err
 	}
-	regions, err := parallel.SplitRegions(lo, hi, t.cfg.Regions, t.cfg.Overlap)
+	// Quality metrics respond to the order of magnitude of the bound rather
+	// than its absolute value, so their objectives search in log space: the
+	// regions partition [ln lo, ln hi] and every candidate is exponentiated
+	// before being handed to the compressor. The ratio search stays linear,
+	// as in the paper.
+	sLo, sHi := lo, hi
+	if t.obj.LogSpace {
+		sLo, sHi = math.Log(lo), math.Log(hi)
+	}
+	regions, err := parallel.SplitRegions(sLo, sHi, t.cfg.Regions, t.cfg.Overlap)
 	if err != nil {
 		return Result{}, err
 	}
 
-	cutoff := Cutoff(t.cfg.TargetRatio, t.cfg.Tolerance)
+	cutoff := t.obj.SearchCutoff()
 	tasks := make([]parallel.Task[RegionResult], len(regions))
 	for i, region := range regions {
 		i, region := i, region
 		tasks[i] = func(taskCtx context.Context) (RegionResult, bool, error) {
-			rr := t.searchRegion(taskCtx, eval, region, cutoff, t.cfg.Seed+int64(i))
+			rr := t.searchRegion(taskCtx, measure, region, cutoff, t.cfg.Seed+int64(i))
 			return rr, rr.Acceptable, rr.Err
 		}
 	}
 	outcomes := parallel.RunUntilAcceptable(ctx, t.cfg.Workers, tasks)
 
-	// Collect region results and pick the recommendation: the first
-	// acceptable region if any, otherwise the evaluation whose ratio is
-	// closest to the target (Algorithm 2, lines 17–26).
+	// Collect region results and pick the recommendation: among in-band
+	// evaluations the closest to the target (Algorithm 2, lines 17–26) — or,
+	// for PreferRatio objectives, the highest-ratio in-band one — otherwise
+	// the evaluation whose value is closest to the target.
 	var best *Evaluation
 	bestDist := math.Inf(1)
 	feasible := false
@@ -334,15 +428,21 @@ func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, pred
 		}
 		for i := range rr.Evaluations {
 			ev := rr.Evaluations[i]
-			d := math.Abs(ev.Ratio - t.cfg.TargetRatio)
-			better := d < bestDist
-			// Prefer feasible evaluations over infeasible ones.
-			if feasible && !InBand(ev.Ratio, t.cfg.TargetRatio, t.cfg.Tolerance) {
+			d := math.Abs(ev.Value - t.obj.Target)
+			inBand := t.obj.InBand(ev.Value)
+			var better bool
+			switch {
+			case feasible && !inBand:
 				better = false
-			}
-			if !feasible && InBand(ev.Ratio, t.cfg.TargetRatio, t.cfg.Tolerance) {
+			case !feasible && inBand:
 				better = true
 				feasible = true
+			case feasible && t.obj.PreferRatio:
+				// Both in band: the quality is already good enough, so take
+				// the size win.
+				better = ev.Ratio > best.Ratio
+			default:
+				better = d < bestDist
 			}
 			if better {
 				bestDist = d
@@ -355,35 +455,46 @@ func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, pred
 		res.Elapsed = time.Since(start)
 		return res, fmt.Errorf("fraz: no successful compressor evaluation (compressor %s)", t.compressor.Name())
 	}
-	res.ErrorBound = best.ErrorBound
-	res.AchievedRatio = best.Ratio
-	res.CompressedSize = best.CompressedSize
-	res.Feasible = InBand(best.Ratio, t.cfg.TargetRatio, t.cfg.Tolerance)
+	res.fill(*best, t.obj.InBand(best.Value))
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// fill copies one chosen evaluation into the result.
+func (r *Result) fill(ev Evaluation, feasible bool) {
+	r.ErrorBound = ev.ErrorBound
+	r.AchievedValue = ev.Value
+	r.AchievedRatio = ev.Ratio
+	r.CompressedSize = ev.CompressedSize
+	r.Feasible = feasible
 }
 
 // searchRegion runs the cutoff-modified global minimiser within one region.
 // Evaluations go through the shared evaluator, so bounds already measured by
 // an overlapping region (or an earlier tuning run on the same data) are
-// served from the cache instead of re-compressing.
-func (t *Tuner) searchRegion(ctx context.Context, eval *pressio.Evaluator, region parallel.Region, cutoff float64, seed int64) RegionResult {
+// served from the cache instead of re-compressing (or re-round-tripping, for
+// quality objectives).
+func (t *Tuner) searchRegion(ctx context.Context, measure func(float64) (Evaluation, error), region parallel.Region, cutoff float64, seed int64) RegionResult {
 	rr := RegionResult{Region: region, Started: true}
 	// rr.Iterations counts evaluations (cached or not), not optimizer
 	// steps: once the region is cancelled the objective short-circuits
 	// without compressing, and those steps must not be billed.
-	objective := func(e float64) float64 {
+	objective := func(x float64) float64 {
 		if ctx.Err() != nil {
 			// Cancelled: report the clamp so the optimizer loses interest.
 			return Gamma
 		}
 		rr.Iterations++
-		ratio, size, evaluated, err := eval.Ratio(e)
-		if err != nil {
+		bound := x
+		if t.obj.LogSpace {
+			bound = math.Exp(x)
+		}
+		ev, err := measure(bound)
+		if err != nil || math.IsNaN(ev.Value) {
 			return Gamma
 		}
-		rr.Evaluations = append(rr.Evaluations, Evaluation{ErrorBound: evaluated, Ratio: ratio, CompressedSize: size})
-		return Loss(ratio, t.cfg.TargetRatio, Gamma)
+		rr.Evaluations = append(rr.Evaluations, ev)
+		return t.obj.Loss(ev.Value)
 	}
 	optRes, err := optim.FindGlobalMin(objective, optim.Options{
 		Lower:         region.Lower,
@@ -400,7 +511,7 @@ func (t *Tuner) searchRegion(ctx context.Context, eval *pressio.Evaluator, regio
 	// Record the best evaluation observed in this region.
 	bestDist := math.Inf(1)
 	for _, ev := range rr.Evaluations {
-		if d := math.Abs(ev.Ratio - t.cfg.TargetRatio); d < bestDist {
+		if d := math.Abs(ev.Value - t.obj.Target); d < bestDist {
 			bestDist = d
 			rr.Best = ev
 		}
@@ -519,15 +630,15 @@ func (t *Tuner) TuneFields(ctx context.Context, series []Series) ([]SeriesResult
 }
 
 // ClosestObserved returns, among all evaluations of a result's regions, the
-// ones sorted by distance to the target ratio. It is a reporting helper used
-// by the CLI to explain infeasible requests.
+// ones sorted by distance to the objective's target. It is a reporting
+// helper used by the CLI to explain infeasible requests.
 func ClosestObserved(res Result) []Evaluation {
 	var all []Evaluation
 	for _, rr := range res.Regions {
 		all = append(all, rr.Evaluations...)
 	}
 	sort.Slice(all, func(i, j int) bool {
-		return math.Abs(all[i].Ratio-res.TargetRatio) < math.Abs(all[j].Ratio-res.TargetRatio)
+		return math.Abs(all[i].Value-res.Target) < math.Abs(all[j].Value-res.Target)
 	})
 	return all
 }

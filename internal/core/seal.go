@@ -53,6 +53,10 @@ type SealResult struct {
 	// AchievedRatio is the whole-field compression ratio of the sealed
 	// container (the ratio recorded in its header).
 	AchievedRatio float64
+	// AchievedValue is the whole-field value of the tuned objective (the
+	// value recorded in the container's objective extension; for the
+	// fixed-ratio objective it equals AchievedRatio).
+	AchievedValue float64
 }
 
 // SealBlocked tunes the error bound on one sampled block of the buffer and
@@ -77,6 +81,16 @@ func (t *Tuner) SealBlocked(ctx context.Context, buf pressio.Buffer, opts SealOp
 	numBlocks := opts.Blocks
 	if numBlocks <= 0 {
 		numBlocks = blocks.DefaultCount(buf.Shape, workers)
+	}
+	if t.obj.NeedsReport {
+		// Quality objectives tune — and seal — the whole field monolithically.
+		// PSNR and SSIM are global statistics, so a sampled block's quality
+		// does not bound the field's; and independently compressing blocks
+		// shifts transform alignment and prediction contexts, changing the
+		// reconstruction the promise was measured on. A monolithic seal makes
+		// the archived payload byte-identical to the tuned evaluation, so the
+		// recorded achieved value is exact.
+		numBlocks = 1
 	}
 	plan, err := blocks.Plan(buf.Shape, numBlocks)
 	if err != nil {
@@ -109,5 +123,20 @@ func (t *Tuner) SealBlocked(ctx context.Context, buf pressio.Buffer, opts SealOp
 	}
 	out.Blocks = cn.NumBlocks()
 	out.AchievedRatio = cn.Header.Ratio
+	if t.obj.Name != "ratio" {
+		// Record the archive's promise in the container header. The tuning
+		// evaluation compressed the same whole field at the same bound the
+		// seal just did, so the tuned achieved value is exactly what a
+		// verifier recomputes from the archive.
+		out.AchievedValue = res.AchievedValue
+		cn.Header.Objective = container.Objective{
+			Name:      t.obj.Name,
+			Target:    t.obj.Target,
+			Tolerance: t.obj.HalfWidth(),
+			Achieved:  out.AchievedValue,
+		}
+	} else {
+		out.AchievedValue = cn.Header.Ratio
+	}
 	return cn, out, nil
 }

@@ -212,6 +212,9 @@ func Run(name string, cfg Config) ([]*report.Table, error) {
 	case "blocks":
 		t, err := BlockedThroughput(cfg)
 		return wrap(t, err)
+	case "objectives":
+		t, err := Objectives(cfg)
+		return wrap(t, err)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
@@ -227,9 +230,10 @@ func wrap(t *report.Table, err error) ([]*report.Table, error) {
 // Names lists the available experiment identifiers. The fig*/table* entries
 // correspond to the paper's evaluation; "iters", "regions", and "lossless"
 // back specific claims made in its text (§V-B1, §V-C/Fig. 5, and §I),
-// "cache" charts the evaluations saved by the shared evaluation cache, and
+// "cache" charts the evaluations saved by the shared evaluation cache,
 // "blocks" measures the blocked (v2) seal/open path against the monolithic
-// one.
+// one, and "objectives" compares convergence cost across the four tuning
+// objectives (ratio, PSNR, SSIM, max-error).
 func Names() []string {
-	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "regions", "lossless", "cache", "blocks"}
+	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "regions", "lossless", "cache", "blocks", "objectives"}
 }

@@ -45,8 +45,8 @@ func TestDefaultConfig(t *testing.T) {
 
 func TestNamesAndRunDispatch(t *testing.T) {
 	names := Names()
-	if len(names) != 14 {
-		t.Errorf("expected 14 experiments, got %d", len(names))
+	if len(names) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(names))
 	}
 	if _, err := Run("bogus", quickConfig()); err == nil {
 		t.Errorf("unknown experiment should fail")
@@ -338,4 +338,13 @@ func TestLosslessMotivation(t *testing.T) {
 	if lossyWins < 4 {
 		t.Errorf("error-bounded lossy compression should beat lossless on most fields, won %d/5", lossyWins)
 	}
+}
+
+func TestObjectivesExperiment(t *testing.T) {
+	tab, err := Objectives(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick config: one codec, four objectives.
+	checkTable(t, tab, 4)
 }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"fraz/internal/core"
+	"fraz/internal/dataset"
+	"fraz/internal/grid"
+	"fraz/internal/report"
+)
+
+// Objectives compares the unified tuner across its four objectives on one
+// representative field: how many compressor evaluations each target costs to
+// converge, what it achieves, and what fraction of evaluations the shared
+// cache absorbed. It substantiates the framework's answer to the paper's
+// §VII future work — one search loop, many acceptance criteria — and makes
+// the cost asymmetry visible: quality objectives pay a compress+decompress
+// round trip per evaluation where the ratio objective pays a compression.
+func Objectives(cfg Config) (*report.Table, error) {
+	d, err := dataset.New("Hurricane", cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := fieldBuffer(d, "TCf", 0)
+	if err != nil {
+		return nil, err
+	}
+	vr := grid.ValueRange(buf.Data)
+
+	objectives := []core.Objective{
+		core.FixedRatio(10),
+		core.FixedPSNR(60),
+		core.FixedSSIM(0.9),
+		core.FixedMaxError(0.02 * vr),
+	}
+	codecs := []string{"sz:abs", "zfp:accuracy"}
+	if cfg.Quick {
+		codecs = codecs[:1]
+	}
+
+	tab := report.NewTable("Objectives: convergence cost across tuning targets (Hurricane TCf)",
+		"codec", "objective", "target", "achieved", "achieved_ratio", "iterations", "cache_hits", "feasible", "ms")
+	for _, name := range codecs {
+		for _, obj := range objectives {
+			tu, err := core.NewTuner(mustCompressor(name), core.Config{
+				Objective:              obj,
+				Regions:                6,
+				MaxIterationsPerRegion: 12,
+				Seed:                   cfg.Seed,
+				Workers:                cfg.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := tu.TuneBuffer(context.Background(), buf)
+			if err != nil {
+				return nil, fmt.Errorf("objectives: %s/%s: %w", name, obj.Name, err)
+			}
+			tab.AddRow(name, res.Objective, res.Target, res.AchievedValue, res.AchievedRatio,
+				res.Iterations, res.CacheHits, res.Feasible, res.Elapsed.Milliseconds())
+		}
+	}
+	tab.AddNote("every objective runs the same region-parallel MaxLIPO search; only the measured quantity differs")
+	tab.AddNote("quality objectives (psnr/ssim/max-error) round-trip each evaluation, so their iterations cost more wall-clock than ratio iterations")
+	return tab, nil
+}

@@ -34,6 +34,11 @@ type Report struct {
 	ValueRange float64
 	// ErrorACF is the lag-1 autocorrelation of the pointwise error signal.
 	ErrorACF float64
+	// SSIM is the mean structural similarity of the central 2-D slice. It is
+	// only populated by EvaluateGrid, which knows the data's shape; the
+	// shape-blind Evaluate leaves it NaN, as does any rank for which a 2-D
+	// slice cannot be extracted (1-D and 4-D data).
+	SSIM float64
 }
 
 // String renders the report compactly for logs and experiment tables.
@@ -72,7 +77,43 @@ func Evaluate(original, reconstructed []float32, compressedBytes, elementBytes i
 	rep.ValueRange = grid.ValueRange(original)
 	rep.PSNR = PSNR(original, reconstructed)
 	rep.ErrorACF = ErrorAutocorrelation(original, reconstructed)
+	rep.SSIM = math.NaN()
 	return rep, nil
+}
+
+// EvaluateGrid is Evaluate for shaped data: it additionally fills Report.SSIM
+// with the mean structural similarity of the central 2-D slice (see
+// SliceSSIM). Ranks without a 2-D slice leave SSIM NaN rather than failing,
+// so one evaluation path serves every registered codec and shape.
+func EvaluateGrid(original, reconstructed []float32, shape grid.Dims, compressedBytes int) (Report, error) {
+	rep, err := Evaluate(original, reconstructed, compressedBytes, 4)
+	if err != nil {
+		return Report{}, err
+	}
+	if s, serr := SliceSSIM(original, reconstructed, shape); serr == nil {
+		rep.SSIM = s
+	}
+	return rep, nil
+}
+
+// SliceSSIM computes the SSIM between two fields on their central 2-D slice:
+// the whole field for 2-D data, the middle plane along the slowest axis for
+// 3-D data (the slice-based visual criterion of the paper's Fig. 10 and of
+// Baker et al.'s climate-analysis threshold). Other ranks are an error.
+func SliceSSIM(original, reconstructed []float32, shape grid.Dims) (float64, error) {
+	plane := 0
+	if shape.NDims() == 3 {
+		plane = shape[0] / 2
+	}
+	origSlice, sliceShape, err := grid.Slice2D(original, shape, plane)
+	if err != nil {
+		return 0, err
+	}
+	recSlice, _, err := grid.Slice2D(reconstructed, shape, plane)
+	if err != nil {
+		return 0, err
+	}
+	return SSIM(origSlice, recSlice, sliceShape)
 }
 
 func errorStats(original, reconstructed []float32) (rmse, mse, maxErr float64) {

@@ -270,3 +270,63 @@ func TestPropertyRMSENonNegative(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestEvaluateGridFillsSSIM(t *testing.T) {
+	shape := grid.MustDims(4, 16, 16)
+	data := make([]float32, shape.Len())
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 7))
+	}
+	rep, err := EvaluateGrid(data, data, shape, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.SSIM-1) > 1e-9 {
+		t.Errorf("SSIM of identical data = %v, want 1", rep.SSIM)
+	}
+	if rep.CompressionRatio != float64(4*len(data))/64 {
+		t.Errorf("EvaluateGrid lost the base metrics: %+v", rep)
+	}
+
+	// Ranks without a 2-D slice degrade to NaN instead of failing.
+	oneD, err := EvaluateGrid(data, data, grid.MustDims(len(data)), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(oneD.SSIM) {
+		t.Errorf("1-D SSIM = %v, want NaN", oneD.SSIM)
+	}
+
+	// The shape-blind Evaluate leaves SSIM NaN too.
+	plain, err := Evaluate(data, data, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(plain.SSIM) {
+		t.Errorf("Evaluate SSIM = %v, want NaN", plain.SSIM)
+	}
+}
+
+func TestSliceSSIMSelectsMiddlePlane(t *testing.T) {
+	shape := grid.MustDims(5, 12, 12)
+	orig := make([]float32, shape.Len())
+	rec := make([]float32, shape.Len())
+	for i := range orig {
+		orig[i] = float32(i % 13)
+		rec[i] = orig[i]
+	}
+	// Corrupt a plane far from the middle: the mid-slice SSIM must stay 1.
+	for i := 0; i < 12*12; i++ {
+		rec[i] = -orig[i]
+	}
+	s, err := SliceSSIM(orig, rec, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("mid-slice SSIM = %v, want 1 (corruption is in plane 0)", s)
+	}
+	if _, err := SliceSSIM(orig, rec, grid.MustDims(len(orig))); err == nil {
+		t.Errorf("1-D SliceSSIM should fail")
+	}
+}

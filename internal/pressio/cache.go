@@ -6,6 +6,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"fraz/internal/metrics"
 )
 
 // This file implements the shared compressor-evaluation cache. FRaZ's
@@ -76,6 +78,12 @@ type CacheKey struct {
 	Fingerprint uint64
 	// Bound is the float64 bit pattern of the quantized bound.
 	Bound uint64
+	// Full marks entries that carry the complete compress+decompress metric
+	// report (quality-objective evaluations) rather than just the compressed
+	// size. The two live in separate slots: a full evaluation costs a round
+	// trip a ratio-only entry never paid for, so one must not answer for the
+	// other.
+	Full bool
 }
 
 // CacheEntry is one memoised evaluation: the bound the compressor actually
@@ -89,6 +97,11 @@ type CacheEntry struct {
 	Ratio float64
 	// Size is the compressed size in bytes at Bound.
 	Size int
+	// Report is the full quality report of the compress+decompress round
+	// trip, valid only when HasReport is set (entries recorded through
+	// Evaluator.Full).
+	Report    metrics.Report
+	HasReport bool
 }
 
 // cacheSlot is a single-flight slot: the first requester computes while
@@ -103,24 +116,41 @@ type cacheSlot struct {
 
 // DefaultMaxEntries bounds the cache size. Long-lived tuners on streaming
 // data accumulate entries for fingerprints that never recur, so at capacity
-// the completed entries are swept and the cache restarts cold — a bounded
-// memory footprint traded against an occasional re-warm.
+// the oldest completed entries are evicted first — a bounded memory
+// footprint traded against an occasional re-warm of old bounds.
 const DefaultMaxEntries = 1 << 16
 
 // Cache memoises compressor evaluations. It is safe for concurrent use; the
-// zero value is not ready — use NewCache.
+// zero value is not ready — use NewCache or NewCacheSized.
 type Cache struct {
 	mu      sync.Mutex
 	m       map[CacheKey]*cacheSlot
 	maxSize int
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	// order records completed entries oldest-first for the coarse FIFO
+	// eviction sweep. It may hold stale keys (re-inserted after an earlier
+	// eviction); the sweep drops those as it scans.
+	order     []CacheKey
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // NewCache returns an empty evaluation cache holding at most
 // DefaultMaxEntries completed evaluations.
 func NewCache() *Cache {
-	return &Cache{m: make(map[CacheKey]*cacheSlot), maxSize: DefaultMaxEntries}
+	return NewCacheSized(DefaultMaxEntries)
+}
+
+// NewCacheSized returns an empty evaluation cache holding at most maxEntries
+// completed evaluations (<= 0 selects DefaultMaxEntries). At capacity the
+// oldest completed entries are evicted first, so a long tuning run over
+// streaming fields — whose fingerprints never recur — holds bounded memory
+// no matter how many fields pass through.
+func NewCacheSized(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Cache{m: make(map[CacheKey]*cacheSlot), maxSize: maxEntries}
 }
 
 // do returns the memoised outcome for key, computing it with fn exactly once
@@ -146,13 +176,7 @@ func (c *Cache) do(key CacheKey, fn func() (CacheEntry, error)) (entry CacheEntr
 		return s.entry, true, s.err
 	}
 	if len(c.m) >= c.maxSize {
-		// At capacity: sweep every completed entry (in-flight slots must
-		// stay so their waiters still get answered through the map).
-		for k, old := range c.m {
-			if old.complete {
-				delete(c.m, k)
-			}
-		}
+		c.evictOldestLocked()
 	}
 	s := &cacheSlot{done: make(chan struct{})}
 	c.m[key] = s
@@ -163,18 +187,40 @@ func (c *Cache) do(key CacheKey, fn func() (CacheEntry, error)) (entry CacheEntr
 	s.complete = true
 	if s.err != nil {
 		delete(c.m, key)
+	} else {
+		c.order = append(c.order, key)
 	}
 	c.mu.Unlock()
 	close(s.done)
 	return s.entry, false, s.err
 }
 
-// Stats reports the cumulative hit and miss counts across all users of the
-// cache. A hit is an evaluation served a usable result without invoking the
-// compressor; failed evaluations — including waits on an in-flight
-// evaluation that failed — count as misses.
-func (c *Cache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+// evictOldestLocked frees room for one insertion by deleting completed
+// entries oldest-first (coarse FIFO: insertion order, no access recency).
+// In-flight slots are never evicted — their waiters must still be answered
+// through the map — and stale order entries (keys already replaced by a
+// newer insertion of the same key) are dropped as the sweep passes them.
+// Called with c.mu held.
+func (c *Cache) evictOldestLocked() {
+	for len(c.order) > 0 && len(c.m) >= c.maxSize {
+		k := c.order[0]
+		c.order = c.order[1:]
+		s, ok := c.m[k]
+		if !ok || !s.complete {
+			continue
+		}
+		delete(c.m, k)
+		c.evictions.Add(1)
+	}
+}
+
+// Stats reports the cumulative hit, miss, and eviction counts across all
+// users of the cache. A hit is an evaluation served a usable result without
+// invoking the compressor; failed evaluations — including waits on an
+// in-flight evaluation that failed — count as misses. Evictions count the
+// completed entries discarded by the FIFO sweep to stay under the size cap.
+func (c *Cache) Stats() (hits, misses, evictions uint64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
 }
 
 // Len reports the number of distinct evaluations stored.
@@ -232,6 +278,40 @@ func (e *Evaluator) Ratio(bound float64) (ratio float64, size int, evaluated flo
 		e.misses.Add(1)
 	}
 	return entry.Ratio, entry.Size, entry.Bound, err
+}
+
+// Full evaluates the complete compress+decompress quality report at the
+// given bound, serving repeats from the cache under the same quantized-bound
+// key space as Ratio (with the Full flag set, so a round trip is never
+// answered by a compress-only entry). Quality-objective searches call this
+// at every iteration; without the cache each probe of a revisited bound
+// would redundantly re-run the whole round trip.
+func (e *Evaluator) Full(bound float64) (rep metrics.Report, evaluated float64, err error) {
+	if e.cache == nil {
+		e.misses.Add(1)
+		res, err := Run(e.comp, e.buf, bound)
+		return res.Report, bound, err
+	}
+	key := CacheKey{Codec: e.comp.Name(), Fingerprint: e.fp, Bound: math.Float64bits(QuantizeBound(bound)), Full: true}
+	entry, hit, err := e.cache.do(key, func() (CacheEntry, error) {
+		res, err := Run(e.comp, e.buf, bound)
+		if err != nil {
+			return CacheEntry{}, err
+		}
+		return CacheEntry{
+			Bound:     bound,
+			Ratio:     res.Report.CompressionRatio,
+			Size:      res.Compressed,
+			Report:    res.Report,
+			HasReport: true,
+		}, nil
+	})
+	if hit {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	return entry.Report, entry.Bound, err
 }
 
 // Stats reports this evaluator's own hit and miss counts (a subset of the

@@ -106,7 +106,7 @@ func TestEvaluatorServesRepeatsFromCache(t *testing.T) {
 	if hits, misses := ev.Stats(); hits != 2 || misses != 1 {
 		t.Errorf("evaluator stats = %d hits / %d misses, want 2/1", hits, misses)
 	}
-	if hits, misses := cache.Stats(); hits != 2 || misses != 1 {
+	if hits, misses, _ := cache.Stats(); hits != 2 || misses != 1 {
 		t.Errorf("cache stats = %d hits / %d misses, want 2/1", hits, misses)
 	}
 	if cache.Len() != 1 {
@@ -175,15 +175,14 @@ func TestCacheSingleFlight(t *testing.T) {
 	if got := computed.Load(); got != 1 {
 		t.Errorf("computed %d times, want 1", got)
 	}
-	hits, misses := cache.Stats()
+	hits, misses, _ := cache.Stats()
 	if misses != 1 || hits != callers-1 {
 		t.Errorf("stats = %d hits / %d misses, want %d/1", hits, misses, callers-1)
 	}
 }
 
 func TestCacheBoundedSize(t *testing.T) {
-	cache := NewCache()
-	cache.maxSize = 2
+	cache := NewCacheSized(2)
 	fill := func(fp uint64) {
 		t.Helper()
 		_, _, err := cache.do(CacheKey{Codec: "fake", Fingerprint: fp}, func() (CacheEntry, error) {
@@ -199,12 +198,90 @@ func TestCacheBoundedSize(t *testing.T) {
 			t.Fatalf("cache grew to %d entries with maxSize 2", cache.Len())
 		}
 	}
-	// A swept key is recomputed rather than served stale.
+	if _, _, evictions := cache.Stats(); evictions == 0 {
+		t.Errorf("evictions = 0 after overfilling a 2-entry cache")
+	}
+	// Eviction is FIFO: the most recent insertions survive.
+	if _, hit, _ := cache.do(CacheKey{Codec: "fake", Fingerprint: 10}, func() (CacheEntry, error) {
+		return CacheEntry{}, errors.New("should have been cached")
+	}); !hit {
+		t.Errorf("newest entry was evicted before older ones")
+	}
+	// An evicted key is recomputed rather than served stale.
 	entry, hit, err := cache.do(CacheKey{Codec: "fake", Fingerprint: 1}, func() (CacheEntry, error) {
 		return CacheEntry{Ratio: 42}, nil
 	})
 	if err != nil || hit || entry.Ratio != 42 {
-		t.Errorf("swept key: entry=%+v hit=%v err=%v, want recompute", entry, hit, err)
+		t.Errorf("evicted key: entry=%+v hit=%v err=%v, want recompute", entry, hit, err)
+	}
+}
+
+func TestCacheSizedDefault(t *testing.T) {
+	if c := NewCacheSized(0); c.maxSize != DefaultMaxEntries {
+		t.Errorf("NewCacheSized(0).maxSize = %d, want DefaultMaxEntries", c.maxSize)
+	}
+}
+
+// TestEvaluatorFullCachesReports pins the quality-objective evaluation path:
+// the compress+decompress round trip runs once per quantized bound, repeats
+// are served from the cache, and full entries do not collide with
+// compress-only entries at the same bound.
+func TestEvaluatorFullCachesReports(t *testing.T) {
+	inner, err := New("sz:abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := &countingCompressor{Compressor: inner}
+	buf := testField3D()
+	cache := NewCache()
+	ev := NewEvaluator(cache, comp, buf)
+
+	rep1, q1, err := ev.Full(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.CompressionRatio <= 0 || math.IsNaN(rep1.PSNR) || math.IsNaN(rep1.SSIM) {
+		t.Fatalf("full report incomplete: %+v", rep1)
+	}
+	rep2, q2, err := ev.Full(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1 != rep2 || q1 != q2 {
+		t.Errorf("repeat full evaluation differs")
+	}
+	if got := comp.calls.Load(); got != 1 {
+		t.Errorf("compressor invoked %d times for two Full calls, want 1", got)
+	}
+	// A ratio evaluation at the same bound is a distinct entry (the report
+	// costs a round trip the ratio path never ran), not a collision.
+	if _, _, _, err := ev.Ratio(0.01); err != nil {
+		t.Fatal(err)
+	}
+	if got := comp.calls.Load(); got != 2 {
+		t.Errorf("ratio after full at same bound invoked compressor %d times total, want 2", got)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2 (one full, one ratio)", cache.Len())
+	}
+	if hits, misses := ev.Stats(); hits != 1 || misses != 2 {
+		t.Errorf("evaluator stats = %d/%d, want 1 hit / 2 misses", hits, misses)
+	}
+}
+
+// TestEvaluatorFullNilCache mirrors the nil-cache ratio contract: every call
+// runs the round trip at exactly the requested bound.
+func TestEvaluatorFullNilCache(t *testing.T) {
+	inner, _ := New("sz:abs")
+	comp := &countingCompressor{Compressor: inner}
+	ev := NewEvaluator(nil, comp, testField3D())
+	for i := 0; i < 2; i++ {
+		if _, q, err := ev.Full(0.01); err != nil || q != 0.01 {
+			t.Fatalf("nil-cache Full = bound %v, err %v", q, err)
+		}
+	}
+	if got := comp.calls.Load(); got != 2 {
+		t.Errorf("compressor invoked %d times, want 2", got)
 	}
 }
 
@@ -286,7 +363,7 @@ func TestCacheFailedWaitIsNotAHit(t *testing.T) {
 	<-done
 	<-waiter
 
-	hits, misses := cache.Stats()
+	hits, misses, _ := cache.Stats()
 	if hits != 0 {
 		t.Errorf("hits = %d, want 0 (nothing was served from the cache)", hits)
 	}
@@ -316,7 +393,7 @@ func TestEvaluatorMirrorsFailedWaitAccounting(t *testing.T) {
 	if hits, misses := ev.Stats(); hits != 0 || misses != 2 {
 		t.Errorf("evaluator stats = %d hits / %d misses, want 0/2", hits, misses)
 	}
-	if hits, _ := cache.Stats(); hits != 0 {
+	if hits, _, _ := cache.Stats(); hits != 0 {
 		t.Errorf("cache hits = %d, want 0", hits)
 	}
 }

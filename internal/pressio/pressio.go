@@ -87,7 +87,7 @@ func Run(c Compressor, buf Buffer, bound float64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rep, err := metrics.Evaluate(buf.Data, dec, len(comp), 4)
+	rep, err := metrics.EvaluateGrid(buf.Data, dec, buf.Shape, len(comp))
 	if err != nil {
 		return Result{}, err
 	}

@@ -3,6 +3,8 @@ package fraz
 import (
 	"fmt"
 	"math"
+
+	"fraz/internal/core"
 )
 
 // DefaultCodec is the codec the one-shot helpers use when no Codec option
@@ -16,8 +18,9 @@ const DefaultTolerance = 0.1
 // settings is the resolved option set a Client is built from.
 type settings struct {
 	codec      string
-	ratio      float64
+	objective  core.Objective // zero Name = no tuning target configured
 	tolerance  float64
+	tolSet     bool
 	maxError   float64
 	regions    int
 	blocks     int
@@ -28,7 +31,7 @@ type settings struct {
 }
 
 func defaultSettings() settings {
-	return settings{tolerance: DefaultTolerance, reuse: true}
+	return settings{reuse: true}
 }
 
 // Option configures a Client (or a one-shot Compress/Decompress call).
@@ -51,28 +54,66 @@ func Codec(name string) Option {
 	}
 }
 
-// Ratio sets the target compression ratio ρt the tuner drives the codec to.
-// Required (directly or via New) for Compress and Tune unless FixedBound is
-// used; must be > 1.
-func Ratio(target float64) Option {
+// Target sets the tuning objective: what quantity Compress and Tune drive
+// the codec's parameter toward. Build one with FixedRatio, FixedPSNR,
+// FixedSSIM, or FixedMaxError:
+//
+//	c, err := fraz.New("sz:abs", fraz.Target(fraz.FixedPSNR(60)))
+//
+// Ratio, TargetPSNR, TargetSSIM, and TargetMaxError are sugar for the four
+// built-ins. Options are applied in order, so a later Target (or sugar)
+// replaces an earlier one. Required (directly or via the sugar) for
+// Compress and Tune unless FixedBound is used.
+func Target(obj Objective) Option {
 	return func(s *settings) error {
-		if !(target > 1) || math.IsInf(target, 0) || math.IsNaN(target) {
-			return fmt.Errorf("fraz: Ratio must be > 1, got %v", target)
+		if obj.err != nil {
+			return obj.err
 		}
-		s.ratio = target
+		if obj.obj.Name == "" {
+			return fmt.Errorf("fraz: Target requires an objective built by FixedRatio, FixedPSNR, FixedSSIM, or FixedMaxError")
+		}
+		s.objective = obj.obj
 		return nil
 	}
 }
 
-// Tolerance sets ε, the acceptable fractional deviation from the target
-// ratio: an achieved ratio in [ρt(1−ε), ρt(1+ε)] is feasible. Must be in
-// [0, 1); the default is DefaultTolerance.
+// Ratio sets the target compression ratio ρt the tuner drives the codec to:
+// sugar for Target(FixedRatio(target)). Must be > 1.
+func Ratio(target float64) Option {
+	return Target(FixedRatio(target))
+}
+
+// TargetPSNR tunes to a reconstruction PSNR of db decibels: sugar for
+// Target(FixedPSNR(db)).
+func TargetPSNR(db float64) Option {
+	return Target(FixedPSNR(db))
+}
+
+// TargetSSIM tunes to a mid-slice structural similarity of s: sugar for
+// Target(FixedSSIM(s)).
+func TargetSSIM(s float64) Option {
+	return Target(FixedSSIM(s))
+}
+
+// TargetMaxError tunes to a measured maximum pointwise error of u: sugar
+// for Target(FixedMaxError(u)).
+func TargetMaxError(u float64) Option {
+	return Target(FixedMaxError(u))
+}
+
+// Tolerance sets the acceptance half-width around the objective's target:
+// fractional for ratio and PSNR targets (an achieved value in
+// [target·(1−ε), target·(1+ε)] is feasible), absolute for SSIM and
+// max-error targets (target±ε). Must be in [0, 1); zero selects the
+// objective's default. For absolute bands wider than 1, set the tolerance
+// on the objective itself with Objective.WithTolerance.
 func Tolerance(eps float64) Option {
 	return func(s *settings) error {
 		if eps < 0 || eps >= 1 || math.IsNaN(eps) {
 			return fmt.Errorf("fraz: Tolerance must be in [0,1), got %v", eps)
 		}
 		s.tolerance = eps
+		s.tolSet = eps > 0
 		return nil
 	}
 }
@@ -94,7 +135,11 @@ func MaxError(u float64) Option {
 // into: the bound is tuned once on a sampled block and all blocks compress
 // concurrently into a blocked (v2) container. 1 forces a monolithic (v1)
 // container; 0 (the default) picks a block count matched to the worker
-// count and shape.
+// count and shape. Quality objectives (TargetPSNR/TargetSSIM/
+// TargetMaxError) always seal monolithically regardless of this option:
+// their metrics are global statistics of the whole field, and splitting the
+// payload would change the reconstruction the recorded promise was
+// measured on.
 func Blocks(n int) Option {
 	return func(s *settings) error {
 		if n < 0 {
