@@ -317,7 +317,7 @@ func benchField64MB(b *testing.B) (pressio.Buffer, float64) {
 		}
 		blockedBenchBuffer = buf
 	})
-	return blockedBenchBuffer, grid.ValueRange(blockedBenchBuffer.Data) * 1e-3
+	return blockedBenchBuffer, blockedBenchBuffer.ValueRange() * 1e-3
 }
 
 // BenchmarkSealMonolithic64MB is the single-invocation baseline: one

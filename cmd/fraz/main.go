@@ -73,8 +73,9 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fraz", flag.ContinueOnError)
 	var (
 		decompress = fs.String("decompress", "", "decompress this .fraz container (codec, bound, and shape come from its header)")
-		inPath     = fs.String("in", "", "raw little-endian float32 input file")
+		inPath     = fs.String("in", "", "raw little-endian float input file (element width set by -dtype)")
 		dims       = fs.String("dims", "", "input dimensions, slowest first, e.g. 100x500x500 (required with -in)")
+		dtypeName  = fs.String("dtype", "float32", "element type of the input field: float32 or float64 (raw -in files and -dataset generation)")
 		dsName     = fs.String("dataset", "", "built-in synthetic dataset name (Hurricane, HACC, CESM, EXAALT, NYX)")
 		fieldName  = fs.String("field", "", "field name within the dataset")
 		timeStep   = fs.Int("timestep", 0, "time-step within the dataset")
@@ -106,7 +107,7 @@ func run(args []string, out io.Writer) error {
 		// alongside it.
 		allowed := map[string]bool{"decompress": true, "out": true, "verify": true}
 		if *verify {
-			for _, name := range []string{"in", "dims", "dataset", "field", "timestep", "scale"} {
+			for _, name := range []string{"in", "dims", "dataset", "field", "timestep", "scale", "dtype"} {
 				allowed[name] = true
 			}
 		}
@@ -119,11 +120,29 @@ func run(args []string, out io.Writer) error {
 		if len(extra) > 0 {
 			return fmt.Errorf("-decompress reads the codec, bound, and shape from the container header; remove %s", strings.Join(extra, ", "))
 		}
+		// -dtype is validated even here, and cross-checked against the
+		// archive: the header is authoritative, so a contradictory flag is a
+		// user error, not a conversion request.
+		wide, err := parseDType(*dtypeName)
+		if err != nil {
+			return err
+		}
+		var wantDType string
+		if flagWasSet(fs, "dtype") {
+			wantDType = "float32"
+			if wide {
+				wantDType = "float64"
+			}
+		}
 		ref := refLoader{in: *inPath, dims: *dims, dataset: *dsName, field: *fieldName, timeStep: *timeStep, scale: *scaleName}
-		return runDecompress(*decompress, *outPath, *verify, ref, out)
+		return runDecompress(*decompress, *outPath, *verify, wantDType, ref, out)
 	}
 
-	data, shape, label, err := loadInput(*inPath, *dims, *dsName, *fieldName, *timeStep, *scaleName)
+	wide, err := parseDType(*dtypeName)
+	if err != nil {
+		return err
+	}
+	field, err := loadField(*inPath, *dims, *dsName, *fieldName, *timeStep, *scaleName, wide)
 	if err != nil {
 		return err
 	}
@@ -180,8 +199,8 @@ func run(args []string, out io.Writer) error {
 		w = tmp
 	}
 
-	printTuningHeader(out, label, shape, len(data), client.Codec(), targetDesc)
-	res, err := client.Compress(context.Background(), w, data, []int(shape))
+	printTuningHeader(out, field, client.Codec(), targetDesc)
+	res, err := field.compress(context.Background(), client, w)
 	var infeasible *fraz.InfeasibleError
 	if errors.As(err, &infeasible) {
 		// Report how close the search got and exit non-zero: an archive
@@ -286,8 +305,9 @@ func selectTarget(fs *flag.FlagSet, ratio, psnr, ssim, maxErrTgt float64) (fraz.
 
 // printTuningHeader writes the report lines shared by the monolithic and
 // blocked compression paths.
-func printTuningHeader(out io.Writer, label string, shape grid.Dims, values int, ci fraz.CodecInfo, targetDesc string) {
-	fmt.Fprintf(out, "input:            %s (%s, %d values, %.2f MB)\n", label, shape, values, float64(4*values)/1e6)
+func printTuningHeader(out io.Writer, f inputField, ci fraz.CodecInfo, targetDesc string) {
+	values := f.values()
+	fmt.Fprintf(out, "input:            %s (%s %s, %d values, %.2f MB)\n", f.label, f.shape, f.dtype(), values, float64(f.elemSize()*values)/1e6)
 	fmt.Fprintf(out, "compressor:       %s (%s)\n", ci.Name, ci.BoundName)
 	fmt.Fprintf(out, "target:           %s\n", targetDesc)
 }
@@ -299,8 +319,58 @@ func printInfeasibleNote(out io.Writer) {
 	fmt.Fprintf(out, "      -tolerance, raising -max-error, or switching -compressor.\n")
 }
 
+// inputField is a loaded field at either precision: exactly one of f32 and
+// f64 is non-nil, mirroring the dtype tag a .fraz container records.
+type inputField struct {
+	f32   []float32
+	f64   []float64
+	shape grid.Dims
+	label string
+}
+
+func (f inputField) values() int {
+	if f.f64 != nil {
+		return len(f.f64)
+	}
+	return len(f.f32)
+}
+
+func (f inputField) elemSize() int {
+	if f.f64 != nil {
+		return 8
+	}
+	return 4
+}
+
+func (f inputField) dtype() string {
+	if f.f64 != nil {
+		return "float64"
+	}
+	return "float32"
+}
+
+// compress tunes and seals the field through the client at its own width.
+func (f inputField) compress(ctx context.Context, client *fraz.Client, w io.Writer) (*fraz.CompressResult, error) {
+	if f.f64 != nil {
+		return client.Compress64(ctx, w, f.f64, []int(f.shape))
+	}
+	return client.Compress(ctx, w, f.f32, []int(f.shape))
+}
+
+// parseDType maps the -dtype flag onto the container's element widths.
+func parseDType(s string) (wide bool, err error) {
+	switch strings.ToLower(s) {
+	case "float32", "f32", "":
+		return false, nil
+	case "float64", "f64":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown dtype %q (want float32 or float64)", s)
+	}
+}
+
 // refLoader carries the input flags a -verify run uses to load the
-// reference (original) field.
+// reference (original) field at the width the archive records.
 type refLoader struct {
 	in, dims, dataset, field string
 	timeStep                 int
@@ -309,15 +379,15 @@ type refLoader struct {
 
 func (r refLoader) provided() bool { return r.in != "" || r.dataset != "" }
 
-func (r refLoader) load() ([]float32, grid.Dims, string, error) {
-	return loadInput(r.in, r.dims, r.dataset, r.field, r.timeStep, r.scale)
+func (r refLoader) load(wide bool) (inputField, error) {
+	return loadField(r.in, r.dims, r.dataset, r.field, r.timeStep, r.scale, wide)
 }
 
 // runDecompress reverses a .fraz container: every parameter needed — codec,
 // bound, shape — is read from the container header, so the only inputs are
 // the file itself, an optional raw float32 output path, and (with -verify)
 // the reference field the archive's promise is re-measured against.
-func runDecompress(inPath, outPath string, verify bool, ref refLoader, out io.Writer) error {
+func runDecompress(inPath, outPath string, verify bool, wantDType string, ref refLoader, out io.Writer) error {
 	f, err := os.Open(inPath)
 	if err != nil {
 		return err
@@ -327,9 +397,12 @@ func runDecompress(inPath, outPath string, verify bool, ref refLoader, out io.Wr
 	if err != nil {
 		return fmt.Errorf("%s: %w", inPath, err)
 	}
+	if wantDType != "" && wantDType != res.DType {
+		return fmt.Errorf("%s holds %s data, but -dtype %s was requested; the header is authoritative, so drop the flag", inPath, res.DType, wantDType)
+	}
 	shape := grid.Dims(res.Shape)
-	fmt.Fprintf(out, "container:        %s (.fraz v%d codec=%s shape=%s bound=%g ratio=%.2f)\n",
-		inPath, res.Version, res.Codec, shape, res.ErrorBound, res.Ratio)
+	fmt.Fprintf(out, "container:        %s (.fraz v%d codec=%s dtype=%s shape=%s bound=%g ratio=%.2f)\n",
+		inPath, res.Version, res.Codec, res.DType, shape, res.ErrorBound, res.Ratio)
 	if res.Version == 2 {
 		fmt.Fprintf(out, "blocks:           %d (independently verified and decoded in parallel)\n", res.Blocks)
 	}
@@ -337,7 +410,8 @@ func runDecompress(inPath, outPath string, verify bool, ref refLoader, out io.Wr
 		fmt.Fprintf(out, "objective:        %s target %g (±%g), achieved %.6g at seal time\n",
 			res.Objective.Name, res.Objective.Target, res.Objective.Tolerance, res.Objective.Achieved)
 	}
-	fmt.Fprintf(out, "reconstructed:    %d values (%s, %.2f MB)\n", len(res.Data), shape, float64(4*len(res.Data))/1e6)
+	values, elemSize := decodedValues(res)
+	fmt.Fprintf(out, "reconstructed:    %d values (%s %s, %.2f MB)\n", values, shape, res.DType, float64(elemSize*values)/1e6)
 	if ci, ok := fraz.LookupCodec(res.Codec); ok {
 		switch {
 		case ci.Lossless:
@@ -347,10 +421,16 @@ func runDecompress(inPath, outPath string, verify bool, ref refLoader, out io.Wr
 		}
 	}
 	if outPath != "" {
-		if err := dataset.WriteRaw(outPath, res.Data); err != nil {
-			return err
+		var werr error
+		if res.Data64 != nil {
+			werr = dataset.WriteRaw64(outPath, res.Data64)
+		} else {
+			werr = dataset.WriteRaw(outPath, res.Data)
 		}
-		fmt.Fprintf(out, "wrote %d bytes to %s\n", 4*len(res.Data), outPath)
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(out, "wrote %d bytes to %s\n", elemSize*values, outPath)
 	}
 	if verify {
 		return runVerify(res, ref, out)
@@ -363,10 +443,11 @@ func runDecompress(inPath, outPath string, verify bool, ref refLoader, out io.Wr
 // archive without an objective extension promised only its ratio, which is
 // re-derived from the payload and field sizes.
 func runVerify(res *fraz.DecompressResult, ref refLoader, out io.Writer) error {
+	values, elemSize := decodedValues(res)
 	if res.Objective == nil {
 		// Pre-extension (or plain fixed-ratio) archive: the promise is the
 		// recorded ratio; recompute it from the actual sizes.
-		actual := float64(4*len(res.Data)) / float64(res.CompressedBytes)
+		actual := float64(elemSize*values) / float64(res.CompressedBytes)
 		fmt.Fprintf(out, "verify:           ratio %.4f recorded, %.4f recomputed from sizes\n", res.Ratio, actual)
 		if res.Ratio <= 0 || actual/res.Ratio < 0.99 || actual/res.Ratio > 1.01 {
 			return fmt.Errorf("verify failed: recorded ratio %.4f, recomputed %.4f", res.Ratio, actual)
@@ -382,19 +463,24 @@ func runVerify(res *fraz.DecompressResult, ref refLoader, out io.Writer) error {
 	if !ref.provided() {
 		return fmt.Errorf("verify: re-measuring %s needs the original field; pass -in or -dataset/-field alongside -verify", rec.Name)
 	}
-	orig, origShape, label, err := ref.load()
+	orig, err := ref.load(res.Data64 != nil)
 	if err != nil {
 		return fmt.Errorf("verify: loading reference: %w", err)
 	}
-	if !origShape.Equal(grid.Dims(res.Shape)) {
-		return fmt.Errorf("verify: reference %s has shape %s, archive holds %s", label, origShape, grid.Dims(res.Shape))
+	if !orig.shape.Equal(grid.Dims(res.Shape)) {
+		return fmt.Errorf("verify: reference %s has shape %s, archive holds %s", orig.label, orig.shape, grid.Dims(res.Shape))
 	}
-	measured, err := obj.Measure(orig, res.Data, res.Shape, res.CompressedBytes)
+	var measured float64
+	if res.Data64 != nil {
+		measured, err = obj.Measure64(orig.f64, res.Data64, res.Shape, res.CompressedBytes)
+	} else {
+		measured, err = obj.Measure(orig.f32, res.Data, res.Shape, res.CompressedBytes)
+	}
 	if err != nil {
 		return fmt.Errorf("verify: %w", err)
 	}
 	fmt.Fprintf(out, "verify:           %s measured %.6g against %s (band %g ± %g)\n",
-		rec.Name, measured, label, rec.Target, rec.Tolerance)
+		rec.Name, measured, orig.label, rec.Target, rec.Tolerance)
 	if !rec.InBand(measured) {
 		return fmt.Errorf("verify failed: %s %.6g outside the promised band %g ± %g",
 			rec.Name, measured, rec.Target, rec.Tolerance)
@@ -403,37 +489,59 @@ func runVerify(res *fraz.DecompressResult, ref refLoader, out io.Writer) error {
 	return nil
 }
 
-func loadInput(inPath, dims, dsName, fieldName string, timeStep int, scaleName string) ([]float32, grid.Dims, string, error) {
+// decodedValues reports the value count and element size of a decompressed
+// archive, whichever width it holds.
+func decodedValues(res *fraz.DecompressResult) (values, elemSize int) {
+	if res.Data64 != nil {
+		return len(res.Data64), 8
+	}
+	return len(res.Data), 4
+}
+
+// loadField loads the input field at the requested width: raw files are
+// parsed with the matching element size, synthetic datasets generate
+// natively at either precision.
+func loadField(inPath, dims, dsName, fieldName string, timeStep int, scaleName string, wide bool) (inputField, error) {
 	switch {
 	case inPath != "":
 		shape, err := parseDims(dims)
 		if err != nil {
-			return nil, nil, "", err
+			return inputField{}, err
 		}
-		data, err := dataset.ReadRaw(inPath, shape)
+		f := inputField{shape: shape, label: inPath}
+		if wide {
+			f.f64, err = dataset.ReadRaw64(inPath, shape)
+		} else {
+			f.f32, err = dataset.ReadRaw(inPath, shape)
+		}
 		if err != nil {
-			return nil, nil, "", err
+			return inputField{}, err
 		}
-		return data, shape, inPath, nil
+		return f, nil
 	case dsName != "":
 		if fieldName == "" {
-			return nil, nil, "", fmt.Errorf("-field is required with -dataset")
+			return inputField{}, fmt.Errorf("-field is required with -dataset")
 		}
 		scale, err := parseScale(scaleName)
 		if err != nil {
-			return nil, nil, "", err
+			return inputField{}, err
 		}
 		d, err := dataset.New(dsName, scale)
 		if err != nil {
-			return nil, nil, "", err
+			return inputField{}, err
 		}
-		data, shape, err := d.Generate(fieldName, timeStep)
+		f := inputField{label: fmt.Sprintf("%s/%s t=%d", dsName, fieldName, timeStep)}
+		if wide {
+			f.f64, f.shape, err = d.Generate64(fieldName, timeStep)
+		} else {
+			f.f32, f.shape, err = d.Generate(fieldName, timeStep)
+		}
 		if err != nil {
-			return nil, nil, "", err
+			return inputField{}, err
 		}
-		return data, shape, fmt.Sprintf("%s/%s t=%d", dsName, fieldName, timeStep), nil
+		return f, nil
 	default:
-		return nil, nil, "", fmt.Errorf("either -in or -dataset must be provided")
+		return inputField{}, fmt.Errorf("either -in or -dataset must be provided")
 	}
 }
 

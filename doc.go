@@ -40,10 +40,33 @@
 // -verify`).
 //
 // Decompression needs no configuration — the container header carries the
-// codec, tuned bound, achieved ratio, shape, and (for quality-targeted
-// archives) the recorded objective:
+// codec, tuned bound, achieved ratio, shape, element type, and (for
+// quality-targeted archives) the recorded objective:
 //
 //	data, shape, err := fraz.Decompress(ctx, f)
+//
+// # Precision
+//
+// Every entry point is dtype-generic over float32 and float64 (the Element
+// constraint). The one-shot fraz.Compress infers the width from its
+// argument; Client methods come in typed pairs (Compress/Compress64,
+// Tune/Tune64, Decompress/Decompress64) with generic package-level forms
+// (CompressT, TuneT, DecompressAs) for callers that are themselves generic:
+//
+//	_, err := fraz.Compress(ctx, f, doubles, shape, fraz.Ratio(12)) // doubles is []float64
+//	data, shape, err := fraz.DecompressAs[float64](ctx, f)
+//
+// The element width is recorded in the container's dtype byte:
+//
+//	dtype  element
+//	0      float32 (IEEE-754 single precision)
+//	1      float64 (IEEE-754 double precision)
+//
+// Width is part of the contract, never coerced: decoding a float64 archive
+// through a float32 accessor (or vice versa) is an error, and
+// DecompressFull returns whichever of Data/Data64 the archive holds.
+// Float32 archives written by earlier builds carry dtype 0 and decode
+// byte-identically.
 //
 // One-shot helpers (fraz.Compress, fraz.Decompress) cover single fields;
 // Client adds tuning without sealing (Tune, TuneSeries, TuneFields — the

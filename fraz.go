@@ -105,15 +105,24 @@ func codecNames() []string {
 // Codec returns the descriptor of the codec this client compresses with.
 func (c *Client) Codec() CodecInfo { return c.info }
 
+// Element constrains the element types the framework compresses: IEEE-754
+// single and double precision. The generic entry points (Compress,
+// CompressT, TuneT, DecompressAs) accept either; the element width travels
+// in the .fraz container header, so decompression recovers it without any
+// out-of-band knowledge.
+type Element interface {
+	float32 | float64
+}
+
 // newBuffer validates a (data, shape) pair against the public contract:
 // shape is slowest-dimension-first with 1–4 positive extents whose product
 // is len(data).
-func newBuffer(data []float32, shape []int) (pressio.Buffer, error) {
+func newBuffer[T Element](data []T, shape []int) (pressio.Buffer, error) {
 	dims, err := grid.NewDims(shape...)
 	if err != nil {
 		return pressio.Buffer{}, fmt.Errorf("fraz: invalid shape %v: %w", shape, err)
 	}
-	buf, err := pressio.NewBuffer(data, dims)
+	buf, err := pressio.NewBufferOf(data, dims)
 	if err != nil {
 		return pressio.Buffer{}, fmt.Errorf("fraz: %d values do not fill shape %v", len(data), shape)
 	}
@@ -173,10 +182,31 @@ type CompressResult struct {
 // Quality-targeted archives additionally record the objective name, target,
 // band, and achieved value in the container header.
 func (c *Client) Compress(ctx context.Context, w io.Writer, data []float32, shape []int) (*CompressResult, error) {
+	return CompressT(ctx, c, w, data, shape)
+}
+
+// Compress64 is Compress for double-precision fields. The container records
+// dtype float64, so Decompress64 (or DecompressFull) recovers the data at
+// full precision.
+func (c *Client) Compress64(ctx context.Context, w io.Writer, data []float64, shape []int) (*CompressResult, error) {
+	return CompressT(ctx, c, w, data, shape)
+}
+
+// CompressT is the dtype-generic form of Client.Compress: one type
+// parameter selects single or double precision, and everything below it —
+// tuner, codecs, container — reads the width off the buffer's dtype tag.
+// (Go methods cannot take type parameters, so the generic entry point is a
+// package function over the client.)
+func CompressT[T Element](ctx context.Context, c *Client, w io.Writer, data []T, shape []int) (*CompressResult, error) {
 	buf, err := newBuffer(data, shape)
 	if err != nil {
 		return nil, err
 	}
+	return c.compressBuffer(ctx, w, buf)
+}
+
+// compressBuffer is the dtype-agnostic core of Compress/Compress64.
+func (c *Client) compressBuffer(ctx context.Context, w io.Writer, buf pressio.Buffer) (*CompressResult, error) {
 	if c.set.fixedBound > 0 {
 		return c.compressFixed(ctx, w, buf)
 	}
@@ -282,8 +312,14 @@ func (o ObjectiveRecord) InBand(v float64) bool {
 // DecompressResult couples the reconstructed field with the container
 // metadata it was decoded from.
 type DecompressResult struct {
-	// Data is the reconstructed field, flat in row-major order.
+	// Data is the reconstructed field, flat in row-major order, for a
+	// single-precision archive; nil when the archive holds float64 data
+	// (then Data64 is set — exactly one of the two is non-nil).
 	Data []float32
+	// Data64 is the reconstructed field of a double-precision archive.
+	Data64 []float64
+	// DType names the archived element type: "float32" or "float64".
+	DType string
 	// Shape is the field's extents, slowest dimension first.
 	Shape []int
 	// Codec, ErrorBound, and Ratio echo the container header: the codec the
@@ -307,16 +343,35 @@ type DecompressResult struct {
 }
 
 // Decompress reads one .fraz container from r and reconstructs the field.
-// Everything needed — codec, bound, shape — comes from the stream's own
-// header; the client's codec plays no part. Streams that are not valid
-// containers fail with ErrCorrupt; headers naming an unregistered codec
-// fail with ErrUnknownCodec.
+// Everything needed — codec, bound, shape, element type — comes from the
+// stream's own header; the client's codec plays no part. Streams that are
+// not valid containers fail with ErrCorrupt; headers naming an unregistered
+// codec fail with ErrUnknownCodec. Double-precision archives fail here with
+// a typed-width error — use Decompress64 (or DecompressFull, which carries
+// either width) for those.
 func (c *Client) Decompress(ctx context.Context, r io.Reader) ([]float32, []int, error) {
 	res, err := c.DecompressFull(ctx, r)
 	if err != nil {
 		return nil, nil, err
 	}
+	if res.Data == nil {
+		return nil, nil, fmt.Errorf("fraz: archive holds %s data; use Decompress64 or DecompressFull", res.DType)
+	}
 	return res.Data, res.Shape, nil
+}
+
+// Decompress64 is Decompress for double-precision archives; it fails with a
+// typed-width error on float32 archives so precision is never silently
+// widened.
+func (c *Client) Decompress64(ctx context.Context, r io.Reader) ([]float64, []int, error) {
+	res, err := c.DecompressFull(ctx, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Data64 == nil {
+		return nil, nil, fmt.Errorf("fraz: archive holds %s data; use Decompress or DecompressFull", res.DType)
+	}
+	return res.Data64, res.Shape, nil
 }
 
 // DecompressFull is Decompress plus the container metadata: the codec the
@@ -336,7 +391,9 @@ func decompress(ctx context.Context, r io.Reader, workers int) (*DecompressResul
 		return nil, wrapStreamErr(err)
 	}
 	res := &DecompressResult{
-		Data:            buf.Data,
+		Data:            buf.Float32(),
+		Data64:          buf.Float64(),
+		DType:           buf.DType().String(),
 		Shape:           []int(buf.Shape),
 		Codec:           cn.Header.Codec,
 		ErrorBound:      cn.Header.Bound,
@@ -442,6 +499,16 @@ func tuneCore(r TuneResult) core.Result {
 // result can act on "how close did it get"; use TuneResult.Err (or
 // Compress) where only an in-band result is acceptable.
 func (c *Client) Tune(ctx context.Context, data []float32, shape []int) (*TuneResult, error) {
+	return TuneT(ctx, c, data, shape)
+}
+
+// Tune64 is Tune for double-precision fields.
+func (c *Client) Tune64(ctx context.Context, data []float64, shape []int) (*TuneResult, error) {
+	return TuneT(ctx, c, data, shape)
+}
+
+// TuneT is the dtype-generic form of Client.Tune, mirroring CompressT.
+func TuneT[T Element](ctx context.Context, c *Client, data []T, shape []int) (*TuneResult, error) {
 	if c.tuner == nil {
 		return nil, fmt.Errorf("fraz: Tune requires a tuning target: pass fraz.Ratio, fraz.TargetPSNR, fraz.TargetSSIM, fraz.TargetMaxError, or fraz.Target to New")
 	}
@@ -558,11 +625,13 @@ func seriesResult(res core.SeriesResult) *SeriesResult {
 
 // Compress is the one-shot form of Client.Compress: it builds a throwaway
 // client from the options (Codec selects the compressor, default
-// DefaultCodec) and streams one tuned .fraz container to w.
+// DefaultCodec) and streams one tuned .fraz container to w. It is generic
+// over the element type — pass a []float32 or []float64 field and the
+// container records the width:
 //
 //	_, err := fraz.Compress(ctx, f, data, []int{100, 500, 500},
 //		fraz.Ratio(10), fraz.Codec("zfp:accuracy"))
-func Compress(ctx context.Context, w io.Writer, data []float32, shape []int, opts ...Option) (*CompressResult, error) {
+func Compress[T Element](ctx context.Context, w io.Writer, data []T, shape []int, opts ...Option) (*CompressResult, error) {
 	set := defaultSettings()
 	set.codec = DefaultCodec
 	for _, opt := range opts {
@@ -574,18 +643,37 @@ func Compress(ctx context.Context, w io.Writer, data []float32, shape []int, opt
 	if err != nil {
 		return nil, err
 	}
-	return c.Compress(ctx, w, data, shape)
+	return CompressT(ctx, c, w, data, shape)
 }
 
-// Decompress is the one-shot inverse: it reads one .fraz container from r
-// and reconstructs the field and its shape. No options are needed — the
-// stream header carries the codec, bound, and shape.
+// Decompress is the one-shot inverse for single-precision archives: it
+// reads one .fraz container from r and reconstructs the field and its
+// shape. No options are needed — the stream header carries the codec,
+// bound, shape, and element type. Double-precision archives fail with a
+// typed-width error; use DecompressAs[float64] or DecompressFull.
 func Decompress(ctx context.Context, r io.Reader) ([]float32, []int, error) {
+	return DecompressAs[float32](ctx, r)
+}
+
+// DecompressAs is the dtype-explicit one-shot inverse: the archive's
+// recorded element type must match T, so precision is never silently
+// narrowed or widened.
+func DecompressAs[T Element](ctx context.Context, r io.Reader) ([]T, []int, error) {
 	res, err := decompress(ctx, r, 0)
 	if err != nil {
 		return nil, nil, err
 	}
-	return res.Data, res.Shape, nil
+	var want T
+	if _, ok := any(want).(float32); ok {
+		if res.Data == nil {
+			return nil, nil, fmt.Errorf("fraz: archive holds %s data; use DecompressAs[float64] or DecompressFull", res.DType)
+		}
+		return any(res.Data).([]T), res.Shape, nil
+	}
+	if res.Data64 == nil {
+		return nil, nil, fmt.Errorf("fraz: archive holds %s data; use DecompressAs[float32] or DecompressFull", res.DType)
+	}
+	return any(res.Data64).([]T), res.Shape, nil
 }
 
 // DecompressFull is the one-shot form of Client.DecompressFull, returning

@@ -82,7 +82,7 @@ func Plan(shape grid.Dims, n int) ([]Block, error) {
 
 // Slice returns the block's sub-buffer as a zero-copy subslice of the flat
 // source array, which must hold exactly the plan's source shape.
-func Slice(data []float32, b Block) ([]float32, error) {
+func Slice[T grid.Float](data []T, b Block) ([]T, error) {
 	end := b.Start + b.Len()
 	if b.Start < 0 || end > len(data) {
 		return nil, fmt.Errorf("%w: block %d spans [%d,%d) of %d elements", ErrBadPlan, b.Index, b.Start, end, len(data))
@@ -92,7 +92,7 @@ func Slice(data []float32, b Block) ([]float32, error) {
 
 // Scatter copies a block's decompressed elements back into place in the
 // destination array. src must hold exactly the block's element count.
-func Scatter(dst []float32, b Block, src []float32) error {
+func Scatter[T grid.Float](dst []T, b Block, src []T) error {
 	if len(src) != b.Len() {
 		return fmt.Errorf("%w: block %d holds %d elements, source has %d", ErrBadPlan, b.Index, b.Len(), len(src))
 	}

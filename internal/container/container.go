@@ -13,7 +13,7 @@
 //	offset  size  field
 //	0       4     magic "FRZ\x01"
 //	4       2     format version (1 = monolithic, 2 = blocked)
-//	6       1     dtype (0 = float32)
+//	6       1     dtype (0 = float32, 1 = float64)
 //	7       1     flags (bit 7: objective extension present) | rank (1..4)
 //	8       1     codec name length L (1..255)
 //	9       L     codec name (e.g. "sz:abs")
@@ -93,25 +93,39 @@ const MaxBlocks = 1 << 20
 // files are rejected immediately.
 var magic = [4]byte{'F', 'R', 'Z', 0x01}
 
-// DType enumerates the element types a container can carry. Only float32 is
-// produced today; the byte is reserved so float64 data can be added without
-// a format break.
+// DType enumerates the element types a container can carry.
+//
+//	dtype  element
+//	0      float32 (IEEE-754 single precision)
+//	1      float64 (IEEE-754 double precision)
 type DType uint8
 
-// Float32 is the only element type currently written.
-const Float32 DType = 0
+const (
+	// Float32 marks single-precision payloads. It is the zero value, so
+	// containers built before the dtype was threaded through decode as
+	// float32 — exactly what they hold.
+	Float32 DType = 0
+	// Float64 marks double-precision payloads.
+	Float64 DType = 1
+)
 
 // Size returns the element size in bytes, or 0 for an unknown dtype.
 func (d DType) Size() int {
-	if d == Float32 {
+	switch d {
+	case Float32:
 		return 4
+	case Float64:
+		return 8
 	}
 	return 0
 }
 
 func (d DType) String() string {
-	if d == Float32 {
+	switch d {
+	case Float32:
 		return "float32"
+	case Float64:
+		return "float64"
 	}
 	return fmt.Sprintf("dtype(%d)", uint8(d))
 }
@@ -199,14 +213,14 @@ type Container struct {
 
 // New builds a Container with the current format version, validating the
 // header fields that Encode would otherwise reject later.
-func New(codec string, bound, ratio float64, shape grid.Dims, payload []byte) (Container, error) {
+func New(codec string, bound, ratio float64, dtype DType, shape grid.Dims, payload []byte) (Container, error) {
 	c := Container{
 		Header: Header{
 			Version: Version,
 			Codec:   codec,
 			Bound:   bound,
 			Ratio:   ratio,
-			DType:   Float32,
+			DType:   dtype,
 			Shape:   shape.Clone(),
 		},
 		Payload: payload,
@@ -222,14 +236,14 @@ func New(codec string, bound, ratio float64, shape grid.Dims, payload []byte) (C
 // payload per block of internal/blocks.Plan(shape, len(payloads))). The
 // payloads are concatenated and indexed with per-block CRCs so each one can
 // be verified and decompressed independently.
-func NewBlocked(codec string, bound, ratio float64, shape grid.Dims, payloads [][]byte) (Container, error) {
+func NewBlocked(codec string, bound, ratio float64, dtype DType, shape grid.Dims, payloads [][]byte) (Container, error) {
 	c := Container{
 		Header: Header{
 			Version: VersionBlocked,
 			Codec:   codec,
 			Bound:   bound,
 			Ratio:   ratio,
-			DType:   Float32,
+			DType:   dtype,
 			Shape:   shape.Clone(),
 		},
 	}

@@ -14,7 +14,7 @@ import (
 
 func sample(t *testing.T) Container {
 	t.Helper()
-	c, err := New("sz:abs", 1e-3, 11.7, grid.MustDims(4, 8, 16), []byte{1, 2, 3, 4, 5})
+	c, err := New("sz:abs", 1e-3, 11.7, Float32, grid.MustDims(4, 8, 16), []byte{1, 2, 3, 4, 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestRoundTripEmptyPayload(t *testing.T) {
-	c, err := New("flate:lossless", 0, 1, grid.MustDims(1), nil)
+	c, err := New("flate:lossless", 0, 1, Float32, grid.MustDims(1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestNewValidatesHeader(t *testing.T) {
 		{"nil shape", "sz:abs", 1, 1, nil},
 	}
 	for _, tc := range cases {
-		if _, err := New(tc.codec, tc.bound, tc.ratio, tc.shape, nil); !errors.Is(err, ErrHeader) {
+		if _, err := New(tc.codec, tc.bound, tc.ratio, Float32, tc.shape, nil); !errors.Is(err, ErrHeader) {
 			t.Errorf("%s: err = %v, want ErrHeader", tc.name, err)
 		}
 	}
@@ -168,7 +168,7 @@ func TestHeaderString(t *testing.T) {
 func sampleBlocked(t *testing.T) Container {
 	t.Helper()
 	payloads := [][]byte{{1, 2, 3}, {4, 5}, {6, 7, 8, 9}}
-	c, err := NewBlocked("sz:abs", 1e-3, 11.7, grid.MustDims(6, 8, 16), payloads)
+	c, err := NewBlocked("sz:abs", 1e-3, 11.7, Float32, grid.MustDims(6, 8, 16), payloads)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,10 +233,10 @@ func TestBlockedRejectsTruncation(t *testing.T) {
 func TestNewBlockedValidatesBlockCount(t *testing.T) {
 	// More blocks than slowest-axis rows cannot come from a valid plan.
 	payloads := [][]byte{{1}, {2}, {3}, {4}}
-	if _, err := NewBlocked("sz:abs", 1e-3, 2, grid.MustDims(3, 8), payloads); !errors.Is(err, ErrHeader) {
+	if _, err := NewBlocked("sz:abs", 1e-3, 2, Float32, grid.MustDims(3, 8), payloads); !errors.Is(err, ErrHeader) {
 		t.Errorf("err = %v, want ErrHeader for 4 blocks over 3 rows", err)
 	}
-	if _, err := NewBlocked("sz:abs", 1e-3, 2, grid.MustDims(3, 8), nil); !errors.Is(err, ErrHeader) {
+	if _, err := NewBlocked("sz:abs", 1e-3, 2, Float32, grid.MustDims(3, 8), nil); !errors.Is(err, ErrHeader) {
 		t.Errorf("err = %v, want ErrHeader for zero blocks", err)
 	}
 }
@@ -318,7 +318,7 @@ func FuzzContainerRoundTrip(f *testing.F) {
 		for i := range shape {
 			shape[i] = extent + i
 		}
-		c, err := New(codec, bound, ratio, shape, payload)
+		c, err := New(codec, bound, ratio, Float32, shape, payload)
 		if err != nil {
 			return // invalid header inputs are allowed to be rejected
 		}
@@ -371,7 +371,7 @@ func FuzzBlockedContainerRoundTrip(f *testing.F) {
 			lo, hi := i*len(blob)/n, (i+1)*len(blob)/n
 			payloads[i] = blob[lo:hi]
 		}
-		c, err := NewBlocked(codec, bound, ratio, shape, payloads)
+		c, err := NewBlocked(codec, bound, ratio, Float32, shape, payloads)
 		if err != nil {
 			return // invalid header inputs are allowed to be rejected
 		}

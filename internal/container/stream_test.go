@@ -29,6 +29,10 @@ func randomContainer(t *testing.T, r *rand.Rand) Container {
 	r.Read(payload)
 	bound := r.Float64() * 10
 	ratio := r.Float64() * 100
+	dtype := Float32
+	if r.Intn(2) == 0 {
+		dtype = Float64
+	}
 	// An objective extension rides along on a third of the containers, so
 	// every downstream property test covers extended headers too.
 	var obj Objective
@@ -42,7 +46,7 @@ func randomContainer(t *testing.T, r *rand.Rand) Container {
 	}
 
 	if r.Intn(2) == 0 {
-		c, err := New(string(codec), bound, ratio, shape, payload)
+		c, err := New(string(codec), bound, ratio, dtype, shape, payload)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,7 +59,7 @@ func randomContainer(t *testing.T, r *rand.Rand) Container {
 		lo, hi := i*len(payload)/n, (i+1)*len(payload)/n
 		payloads[i] = payload[lo:hi]
 	}
-	c, err := NewBlocked(string(codec), bound, ratio, shape, payloads)
+	c, err := NewBlocked(string(codec), bound, ratio, dtype, shape, payloads)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,11 +244,11 @@ func FuzzContainerReadFrom(f *testing.F) {
 		}
 		return enc
 	}
-	v1, err := New("sz:abs", 1e-3, 11.7, grid.MustDims(4, 8), []byte{1, 2, 3, 4, 5})
+	v1, err := New("sz:abs", 1e-3, 11.7, Float32, grid.MustDims(4, 8), []byte{1, 2, 3, 4, 5})
 	if err != nil {
 		f.Fatal(err)
 	}
-	v2, err := NewBlocked("zfp:accuracy", 0.5, 4, grid.MustDims(6, 8), [][]byte{{1, 2, 3}, {4, 5}, {}})
+	v2, err := NewBlocked("zfp:accuracy", 0.5, 4, Float32, grid.MustDims(6, 8), [][]byte{{1, 2, 3}, {4, 5}, {}})
 	if err != nil {
 		f.Fatal(err)
 	}

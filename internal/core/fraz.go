@@ -34,7 +34,6 @@ import (
 	"sync"
 	"time"
 
-	"fraz/internal/grid"
 	"fraz/internal/metrics"
 	"fraz/internal/optim"
 	"fraz/internal/parallel"
@@ -277,7 +276,7 @@ func (t *Tuner) Config() Config { return t.cfg }
 // admissible parameter range.
 func (t *Tuner) searchRange(buf pressio.Buffer) (float64, float64, error) {
 	cLo, cHi := t.compressor.BoundRange()
-	vr := grid.ValueRange(buf.Data)
+	vr := buf.ValueRange()
 	if vr <= 0 {
 		vr = 1
 	}

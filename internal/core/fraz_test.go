@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"fraz/internal/container"
 	"fraz/internal/dataset"
 	"fraz/internal/grid"
 	"fraz/internal/pressio"
@@ -29,8 +30,8 @@ func (f fakeCompressor) BoundName() string              { return "fake bound" }
 func (f fakeCompressor) ErrorBounded() bool             { return true }
 func (f fakeCompressor) SupportsShape(s grid.Dims) bool { return s.Validate() == nil }
 func (f fakeCompressor) BoundRange() (float64, float64) { return 1e-12, 1e12 }
-func (f fakeCompressor) Decompress(c []byte, s grid.Dims) ([]float32, error) {
-	return make([]float32, s.Len()), nil
+func (f fakeCompressor) Decompress(c []byte, s grid.Dims, dt container.DType) (pressio.Buffer, error) {
+	return pressio.NewBuffer(make([]float32, s.Len()), s)
 }
 func (f fakeCompressor) Compress(buf pressio.Buffer, bound float64) ([]byte, error) {
 	if f.calls != nil {
@@ -433,8 +434,9 @@ func TestTuneSeriesRetrainsOnRegimeChange(t *testing.T) {
 	}
 	calm := smallBuffer(4096)
 	stormy := smallBuffer(4096)
-	for i := range stormy.Data {
-		stormy.Data[i] *= 1.5
+	stormyData := stormy.Float32()
+	for i := range stormyData {
+		stormyData[i] *= 1.5
 	}
 	series := Series{
 		Field: "synthetic",

@@ -307,8 +307,9 @@ func TestTuneFieldsBoundedCacheMemory(t *testing.T) {
 				// differently, so nothing is shared and the cache would grow
 				// without bound if nothing evicted.
 				buf := smallBuffer(256)
-				for j := range buf.Data {
-					buf.Data[j] += float32(i*100 + step)
+				data := buf.Float32()
+				for j := range data {
+					data[j] += float32(i*100 + step)
 				}
 				return buf, nil
 			},

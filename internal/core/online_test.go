@@ -156,12 +156,13 @@ func TestOnlineTunerWithRealCompressor(t *testing.T) {
 			t.Fatal(err)
 		}
 		// The compressed payload must decompress to within the bound used.
-		dec, err := c.Decompress(res.Compressed, buf.Shape)
+		decBuf, err := c.Decompress(res.Compressed, buf.Shape, buf.DType())
 		if err != nil {
 			t.Fatal(err)
 		}
+		dec := decBuf.Float32()
 		for j := range dec {
-			if diff := math.Abs(float64(dec[j]) - float64(buf.Data[j])); diff > res.Result.ErrorBound+1e-9 {
+			if diff := math.Abs(float64(dec[j]) - float64(buf.Float32()[j])); diff > res.Result.ErrorBound+1e-9 {
 				t.Fatalf("acquisition %d: error %v exceeds bound %v", i, diff, res.Result.ErrorBound)
 			}
 		}

@@ -100,11 +100,11 @@ func (t *Tuner) SealBlocked(ctx context.Context, buf pressio.Buffer, opts SealOp
 	out := SealResult{Blocks: len(plan), SampleBlock: len(plan) / 2}
 	sample := buf
 	if len(plan) > 1 {
-		sub, err := blocks.Slice(buf.Data, plan[out.SampleBlock])
+		sub, err := buf.Slice(plan[out.SampleBlock])
 		if err != nil {
 			return container.Container{}, SealResult{}, fmt.Errorf("fraz: seal blocked: %w", err)
 		}
-		sample = pressio.Buffer{Data: sub, Shape: plan[out.SampleBlock].Shape}
+		sample = sub
 	}
 	res, err := t.TuneWithPrediction(ctx, sample, opts.Prediction)
 	if err != nil {

@@ -71,8 +71,8 @@ func TestSealBlockedRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range buf.Data {
-		if diff := math.Abs(float64(out.Data[i]) - float64(buf.Data[i])); diff > cn.Header.Bound {
+	for i := range buf.Float32() {
+		if diff := math.Abs(float64(out.Float32()[i]) - float64(buf.Float32()[i])); diff > cn.Header.Bound {
 			t.Fatalf("value %d error %v exceeds sealed bound %v", i, diff, cn.Header.Bound)
 		}
 	}

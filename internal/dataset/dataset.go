@@ -62,8 +62,12 @@ type Field struct {
 	Name string
 	// Shape is the per-time-step grid shape of the field.
 	Shape grid.Dims
-	// generator fills a time-step of the field.
-	generate func(dst []float32, shape grid.Dims, t int, rng *rand.Rand)
+	// generate fills a time-step of the field through put(index, value).
+	// Generators compute in double precision natively; Generate stores each
+	// value rounded to float32, Generate64 stores it as computed — either
+	// width fills its own buffer directly, with no transient copy at the
+	// other width.
+	generate func(put func(i int, v float64), shape grid.Dims, t int, rng *rand.Rand)
 }
 
 // Dataset describes a synthetic application dataset.
@@ -142,19 +146,44 @@ func (d Dataset) FieldNames() []string {
 	return names
 }
 
-// Generate produces the named field at the given time-step.
+// Generate produces the named field at the given time-step in single
+// precision — the width the SDRBench originals of these stand-ins ship in.
+// The values are Generate64's rounded to float32, so the two precisions
+// describe the same field.
 func (d Dataset) Generate(field string, timestep int) ([]float32, grid.Dims, error) {
+	var data []float32
+	shape, err := d.generateInto(field, timestep, func(n int) func(int, float64) {
+		data = make([]float32, n)
+		return func(i int, v float64) { data[i] = float32(v) }
+	})
+	return data, shape, err
+}
+
+// Generate64 produces the named field at the given time-step in the double
+// precision the generators compute in natively — the other half of the
+// SDRBench-style workloads (HACC and NYX publish float64 variants).
+func (d Dataset) Generate64(field string, timestep int) ([]float64, grid.Dims, error) {
+	var data []float64
+	shape, err := d.generateInto(field, timestep, func(n int) func(int, float64) {
+		data = make([]float64, n)
+		return func(i int, v float64) { data[i] = v }
+	})
+	return data, shape, err
+}
+
+// generateInto runs the field generator with a sink built for the field's
+// element count, so each precision allocates exactly one buffer.
+func (d Dataset) generateInto(field string, timestep int, sink func(n int) func(int, float64)) (grid.Dims, error) {
 	f, err := d.Field(field)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if timestep < 0 || timestep >= d.TimeSteps {
-		return nil, nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadTimeStep, timestep, d.TimeSteps)
+		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadTimeStep, timestep, d.TimeSteps)
 	}
-	data := make([]float32, f.Shape.Len())
 	rng := rand.New(rand.NewSource(seedFor(d.Name, field, timestep)))
-	f.generate(data, f.Shape, timestep, rng)
-	return data, f.Shape.Clone(), nil
+	f.generate(sink(f.Shape.Len()), f.Shape, timestep, rng)
+	return f.Shape.Clone(), nil
 }
 
 // TotalValues returns the total number of scalar values across all fields
@@ -212,8 +241,8 @@ func hurricane(scale Scale) Dataset {
 // per-field character: temperature/pressure fields are smooth, moisture
 // fields are sparse with sharp plumes, the log10 cloud field has the flat
 // background plus plume structure that produces SZ's spiky ratio behaviour.
-func hurricaneField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
-	return func(dst []float32, shape grid.Dims, t int, rng *rand.Rand) {
+func hurricaneField(name string) func(func(int, float64), grid.Dims, int, *rand.Rand) {
+	return func(put func(int, float64), shape grid.Dims, t int, rng *rand.Rand) {
 		structRng := rand.New(rand.NewSource(fieldSeed("Hurricane", name)))
 		nz, ny, nx := shape[0], shape[1], shape[2]
 		// Vortex centre drifts over time; intensity pulses with a regime
@@ -273,7 +302,7 @@ func hurricaneField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
 					default:
 						v = base + swirl + noise
 					}
-					dst[i] = float32(v)
+					put(i, v)
 					i++
 				}
 			}
@@ -310,10 +339,10 @@ func hacc(scale Scale) Dataset {
 // formation), so positions are locally correlated but globally span the
 // whole box — hard for prediction-based compressors, exactly like real HACC
 // data.
-func haccField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
+func haccField(name string) func(func(int, float64), grid.Dims, int, *rand.Rand) {
 	isVelocity := name == "vx" || name == "vy" || name == "vz"
 	axisPhase := map[string]float64{"x": 0, "y": 2.1, "z": 4.2, "vx": 0, "vy": 2.1, "vz": 4.2}[name]
-	return func(dst []float32, shape grid.Dims, t int, rng *rand.Rand) {
+	return func(put func(int, float64), shape grid.Dims, t int, rng *rand.Rand) {
 		structRng := rand.New(rand.NewSource(fieldSeed("HACC", name)))
 		n := shape[0]
 		box := 256.0
@@ -337,10 +366,9 @@ func haccField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
 				velocity += amps[m] * freqs[m] * math.Cos(freqs[m]*u+phases[m]) * 0.3
 			}
 			if isVelocity {
-				dst[i] = float32(velocity + 20*rng.NormFloat64())
+				put(i, velocity+20*rng.NormFloat64())
 			} else {
-				pos := math.Mod(u*box+displacement+0.05*rng.NormFloat64()+box, box)
-				dst[i] = float32(pos)
+				put(i, math.Mod(u*box+displacement+0.05*rng.NormFloat64()+box, box))
 			}
 		}
 	}
@@ -372,8 +400,8 @@ func cesm(scale Scale) Dataset {
 // cesmField generates lat-lon climate fields: zonal bands plus weather
 // systems that advect eastward over time; cloud-fraction fields are bounded
 // in [0,1] with plateaus, PHIS (surface geopotential) is static topography.
-func cesmField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
-	return func(dst []float32, shape grid.Dims, t int, rng *rand.Rand) {
+func cesmField(name string) func(func(int, float64), grid.Dims, int, *rand.Rand) {
+	return func(put func(int, float64), shape grid.Dims, t int, rng *rand.Rand) {
 		structRng := rand.New(rand.NewSource(fieldSeed("CESM", name)))
 		ny, nx := shape[0], shape[1]
 		drift := float64(t) * 0.03
@@ -400,7 +428,7 @@ func cesmField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
 				default: // CLDHGH, CLDLOW, CLOUD
 					v = clamp01(0.45 + 0.35*band*wave + 0.15*wave + noise)
 				}
-				dst[y*nx+x] = float32(v)
+				put(y*nx+x, v)
 			}
 		}
 	}
@@ -450,9 +478,9 @@ func exaalt(scale Scale) Dataset {
 // exaaltField generates molecular-dynamics coordinates: atoms vibrate
 // thermally around lattice sites; occasionally a defect migrates, shifting a
 // contiguous run of atoms.
-func exaaltField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
+func exaaltField(name string) func(func(int, float64), grid.Dims, int, *rand.Rand) {
 	axis := map[string]float64{"x": 0, "y": 1, "z": 2}[name]
-	return func(dst []float32, shape grid.Dims, t int, rng *rand.Rand) {
+	return func(put func(int, float64), shape grid.Dims, t int, rng *rand.Rand) {
 		structRng := rand.New(rand.NewSource(fieldSeed("EXAALT", name)))
 		n := shape[0]
 		lattice := 3.52 // fcc nickel lattice constant, used by EXAALT studies
@@ -466,7 +494,7 @@ func exaaltField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
 			if i >= defectStart && i < defectStart+defectLen {
 				v += migration
 			}
-			dst[i] = float32(v)
+			put(i, v)
 		}
 	}
 }
@@ -498,8 +526,8 @@ func nyx(scale Scale) Dataset {
 // log-normal with filamentary structure that sharpens over the (few)
 // time-steps; temperature follows density adiabatically; velocities are
 // smooth large-scale flows.
-func nyxField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
-	return func(dst []float32, shape grid.Dims, t int, rng *rand.Rand) {
+func nyxField(name string) func(func(int, float64), grid.Dims, int, *rand.Rand) {
+	return func(put func(int, float64), shape grid.Dims, t int, rng *rand.Rand) {
 		structRng := rand.New(rand.NewSource(fieldSeed("NYX", name)))
 		nz, ny, nx := shape[0], shape[1], shape[2]
 		sharpness := 1.0 + float64(t)*0.4
@@ -537,7 +565,7 @@ func nyxField(name string) func([]float32, grid.Dims, int, *rand.Rand) {
 					default: // velocity_x, velocity_y
 						v = 300*delta/sharpness + 30*noise
 					}
-					dst[i] = float32(v)
+					put(i, v)
 					i++
 				}
 			}

@@ -215,6 +215,9 @@ func Run(name string, cfg Config) ([]*report.Table, error) {
 	case "objectives":
 		t, err := Objectives(cfg)
 		return wrap(t, err)
+	case "precision":
+		t, err := Precision(cfg)
+		return wrap(t, err)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
@@ -232,8 +235,9 @@ func wrap(t *report.Table, err error) ([]*report.Table, error) {
 // back specific claims made in its text (§V-B1, §V-C/Fig. 5, and §I),
 // "cache" charts the evaluations saved by the shared evaluation cache,
 // "blocks" measures the blocked (v2) seal/open path against the monolithic
-// one, and "objectives" compares convergence cost across the four tuning
-// objectives (ratio, PSNR, SSIM, max-error).
+// one, "objectives" compares convergence cost across the four tuning
+// objectives (ratio, PSNR, SSIM, max-error), and "precision" tunes the same
+// fields at float32 versus float64.
 func Names() []string {
-	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "regions", "lossless", "cache", "blocks", "objectives"}
+	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "regions", "lossless", "cache", "blocks", "objectives", "precision"}
 }

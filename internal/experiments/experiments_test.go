@@ -45,8 +45,8 @@ func TestDefaultConfig(t *testing.T) {
 
 func TestNamesAndRunDispatch(t *testing.T) {
 	names := Names()
-	if len(names) != 15 {
-		t.Errorf("expected 15 experiments, got %d", len(names))
+	if len(names) != 16 {
+		t.Errorf("expected 16 experiments, got %d", len(names))
 	}
 	if _, err := Run("bogus", quickConfig()); err == nil {
 		t.Errorf("unknown experiment should fail")
@@ -347,4 +347,23 @@ func TestObjectivesExperiment(t *testing.T) {
 	}
 	// Quick config: one codec, four objectives.
 	checkTable(t, tab, 4)
+}
+
+func TestPrecisionComparesBothWidths(t *testing.T) {
+	tab, err := Precision(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows
+	if len(rows) == 0 || len(rows)%2 != 0 {
+		t.Fatalf("precision table should pair float32/float64 rows, got %d rows", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		if rows[i][1] != "float32" || rows[i+1][1] != "float64" {
+			t.Fatalf("row pair %d dtypes = %v / %v", i/2, rows[i][1], rows[i+1][1])
+		}
+		if rows[i][0] != rows[i+1][0] {
+			t.Fatalf("row pair %d compares different fields: %v vs %v", i/2, rows[i][0], rows[i+1][0])
+		}
+	}
 }

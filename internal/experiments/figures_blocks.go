@@ -7,7 +7,6 @@ import (
 
 	"fraz/internal/container"
 	"fraz/internal/dataset"
-	"fraz/internal/grid"
 	"fraz/internal/pressio"
 	"fraz/internal/report"
 )
@@ -31,7 +30,7 @@ func BlockedThroughput(cfg Config) (*report.Table, error) {
 	}
 	comp := mustCompressor("sz:abs")
 	// A 10^-3 relative bound is the paper's typical operating point.
-	bound := grid.ValueRange(buf.Data) * 1e-3
+	bound := buf.ValueRange() * 1e-3
 
 	workerCounts := []int{1, 2, 4, 8}
 	if cfg.Quick {

@@ -6,7 +6,6 @@ import (
 
 	"fraz/internal/core"
 	"fraz/internal/dataset"
-	"fraz/internal/grid"
 	"fraz/internal/pressio"
 	"fraz/internal/report"
 )
@@ -104,7 +103,7 @@ func LosslessMotivation(cfg Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		vr := grid.ValueRange(buf.Data)
+		vr := buf.ValueRange()
 		if vr <= 0 {
 			vr = 1
 		}

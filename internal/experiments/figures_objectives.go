@@ -6,7 +6,6 @@ import (
 
 	"fraz/internal/core"
 	"fraz/internal/dataset"
-	"fraz/internal/grid"
 	"fraz/internal/report"
 )
 
@@ -26,7 +25,7 @@ func Objectives(cfg Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	vr := grid.ValueRange(buf.Data)
+	vr := buf.ValueRange()
 
 	objectives := []core.Objective{
 		core.FixedRatio(10),

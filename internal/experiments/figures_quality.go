@@ -79,11 +79,11 @@ func ssimPair(a, b pressio.Compressor, buf pressio.Buffer, boundA, boundB float6
 		if err != nil {
 			return math.NaN()
 		}
-		dec, err := c.Decompress(comp, buf.Shape)
+		dec, err := c.Decompress(comp, buf.Shape, buf.DType())
 		if err != nil {
 			return math.NaN()
 		}
-		s, err := sliceSSIM(buf.Data, dec, buf.Shape)
+		s, err := sliceSSIM(buf.Float32(), dec.Float32(), buf.Shape)
 		if err != nil {
 			return math.NaN()
 		}
@@ -93,11 +93,12 @@ func ssimPair(a, b pressio.Compressor, buf pressio.Buffer, boundA, boundB float6
 }
 
 func valueRangeOf(buf pressio.Buffer) float64 {
+	data := buf.Float32()
 	var min, max float32
-	if len(buf.Data) > 0 {
-		min, max = buf.Data[0], buf.Data[0]
+	if len(data) > 0 {
+		min, max = data[0], data[0]
 	}
-	for _, v := range buf.Data {
+	for _, v := range data {
 		if v < min {
 			min = v
 		}
@@ -229,11 +230,11 @@ func Figure10(cfg Config) (*report.Table, error) {
 		if err != nil {
 			return err
 		}
-		dec, err := mustCompressor(full.Compressor).Decompress(comp, buf.Shape)
+		dec, err := mustCompressor(full.Compressor).Decompress(comp, buf.Shape, buf.DType())
 		if err != nil {
 			return err
 		}
-		ssim, err := sliceSSIM(buf.Data, dec, buf.Shape)
+		ssim, err := sliceSSIM(buf.Float32(), dec.Float32(), buf.Shape)
 		if err != nil {
 			return err
 		}

@@ -7,7 +7,6 @@ import (
 
 	"fraz/internal/core"
 	"fraz/internal/dataset"
-	"fraz/internal/grid"
 	"fraz/internal/optim"
 	"fraz/internal/pressio"
 	"fraz/internal/report"
@@ -31,7 +30,7 @@ func Figure3(cfg Config) (*report.Table, error) {
 	if cfg.Quick {
 		points = 30
 	}
-	vr := grid.ValueRange(buf.Data)
+	vr := buf.ValueRange()
 	evals := optim.GridSearch(func(e float64) float64 {
 		ratio, _, err := pressio.Ratio(c, buf, e)
 		if err != nil {
@@ -73,7 +72,7 @@ func Figure4(cfg Config) (*report.Table, error) {
 	if cfg.Quick {
 		points = 24
 	}
-	vr := grid.ValueRange(buf.Data)
+	vr := buf.ValueRange()
 	if vr <= 0 {
 		vr = 1
 	}
@@ -308,7 +307,7 @@ func IterationComparison(cfg Config) (*report.Table, error) {
 
 		// Binary search baseline over the same full range, assuming
 		// (incorrectly in general) that the ratio rises monotonically.
-		vr := grid.ValueRange(buf.Data)
+		vr := buf.ValueRange()
 		if vr <= 0 {
 			vr = 1
 		}

@@ -1,17 +1,32 @@
 // Package grid provides descriptors and iteration helpers for dense
 // N-dimensional arrays of scalar data stored in row-major (C) order.
 //
-// All compressors in this repository operate on flat []float32 buffers
-// whose logical shape is described by a Dims value. The package provides
-// stride computation, bounds-checked indexing, block decomposition (used by
-// the blockwise SZ- and ZFP-like compressors) and plane/slice extraction
-// (used by the image-quality metrics).
+// All compressors in this repository operate on flat []float32 or []float64
+// buffers (the Float constraint) whose logical shape is described by a Dims
+// value. The package provides stride computation, bounds-checked indexing,
+// block decomposition (used by the blockwise SZ- and ZFP-like compressors)
+// and plane/slice extraction (used by the image-quality metrics).
 package grid
 
 import (
 	"errors"
 	"fmt"
+	"unsafe"
 )
+
+// Float constrains the scalar element types the framework compresses:
+// IEEE-754 single and double precision. Every layer between the codec
+// kernels and the public API is generic over (or dispatches on) this
+// constraint, which is what makes float64 data first-class.
+type Float interface {
+	float32 | float64
+}
+
+// ElemSize returns the size in bytes of one element of type T.
+func ElemSize[T Float]() int {
+	var z T
+	return int(unsafe.Sizeof(z))
+}
 
 // Dims describes the logical shape of an N-dimensional array in row-major
 // order: Dims{nz, ny, nx} for 3-D data, Dims{ny, nx} for 2-D, Dims{n} for 1-D.
@@ -206,9 +221,9 @@ func (d Dims) Blocks(edge int) []Block {
 
 // GatherBlock copies the elements of a block from the flat array into dst,
 // which must have length block.Len(). It returns dst for convenience.
-func GatherBlock(data []float32, shape Dims, b Block, dst []float32) []float32 {
+func GatherBlock[T Float](data []T, shape Dims, b Block, dst []T) []T {
 	if dst == nil {
-		dst = make([]float32, b.Len())
+		dst = make([]T, b.Len())
 	}
 	strides := shape.Strides()
 	n := b.Len()
@@ -235,7 +250,7 @@ func GatherBlock(data []float32, shape Dims, b Block, dst []float32) []float32 {
 
 // ScatterBlock writes the elements of src (length block.Len()) into the
 // corresponding positions of the flat array.
-func ScatterBlock(data []float32, shape Dims, b Block, src []float32) {
+func ScatterBlock[T Float](data []T, shape Dims, b Block, src []T) {
 	strides := shape.Strides()
 	n := b.Len()
 	idx := make([]int, len(shape))
@@ -261,10 +276,10 @@ func ScatterBlock(data []float32, shape Dims, b Block, src []float32) {
 // (plane index z), returning the plane data and its 2-D shape. For 2-D input
 // the whole array is returned. It is used by the SSIM and visualization
 // metrics which operate on image slices, as in Fig. 10 of the paper.
-func Slice2D(data []float32, shape Dims, plane int) ([]float32, Dims, error) {
+func Slice2D[T Float](data []T, shape Dims, plane int) ([]T, Dims, error) {
 	switch len(shape) {
 	case 2:
-		out := make([]float32, len(data))
+		out := make([]T, len(data))
 		copy(out, data)
 		return out, shape.Clone(), nil
 	case 3:
@@ -272,7 +287,7 @@ func Slice2D(data []float32, shape Dims, plane int) ([]float32, Dims, error) {
 			return nil, nil, fmt.Errorf("grid: plane %d out of range [0,%d)", plane, shape[0])
 		}
 		n := shape[1] * shape[2]
-		out := make([]float32, n)
+		out := make([]T, n)
 		copy(out, data[plane*n:(plane+1)*n])
 		return out, Dims{shape[1], shape[2]}, nil
 	default:
@@ -282,7 +297,7 @@ func Slice2D(data []float32, shape Dims, plane int) ([]float32, Dims, error) {
 
 // MinMax returns the minimum and maximum of the data. It returns (0, 0) for
 // empty input.
-func MinMax(data []float32) (min, max float32) {
+func MinMax[T Float](data []T) (min, max T) {
 	if len(data) == 0 {
 		return 0, 0
 	}
@@ -299,7 +314,7 @@ func MinMax(data []float32) (min, max float32) {
 }
 
 // ValueRange returns max-min of the data as a float64.
-func ValueRange(data []float32) float64 {
+func ValueRange[T Float](data []T) float64 {
 	min, max := MinMax(data)
 	return float64(max) - float64(min)
 }

@@ -259,7 +259,7 @@ func TestSlice2DErrors(t *testing.T) {
 }
 
 func TestMinMaxAndValueRange(t *testing.T) {
-	if min, max := MinMax(nil); min != 0 || max != 0 {
+	if min, max := MinMax[float32](nil); min != 0 || max != 0 {
 		t.Errorf("empty MinMax = %v,%v", min, max)
 	}
 	data := []float32{3, -2, 7, 0}

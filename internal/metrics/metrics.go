@@ -54,8 +54,9 @@ var ErrLengthMismatch = errors.New("metrics: original and reconstructed lengths 
 // Evaluate computes the full metric report for a compression run.
 // original and reconstructed must have the same length; compressedBytes is
 // the size of the compressed representation; elementBytes is the size of one
-// original element (4 for float32).
-func Evaluate(original, reconstructed []float32, compressedBytes, elementBytes int) (Report, error) {
+// original element (<= 0 selects the size of T: 4 for float32, 8 for
+// float64).
+func Evaluate[T grid.Float](original, reconstructed []T, compressedBytes, elementBytes int) (Report, error) {
 	if len(original) != len(reconstructed) {
 		return Report{}, ErrLengthMismatch
 	}
@@ -63,7 +64,7 @@ func Evaluate(original, reconstructed []float32, compressedBytes, elementBytes i
 		return Report{}, errors.New("metrics: empty input")
 	}
 	if elementBytes <= 0 {
-		elementBytes = 4
+		elementBytes = grid.ElemSize[T]()
 	}
 	rep := Report{
 		OriginalBytes:   len(original) * elementBytes,
@@ -85,8 +86,8 @@ func Evaluate(original, reconstructed []float32, compressedBytes, elementBytes i
 // with the mean structural similarity of the central 2-D slice (see
 // SliceSSIM). Ranks without a 2-D slice leave SSIM NaN rather than failing,
 // so one evaluation path serves every registered codec and shape.
-func EvaluateGrid(original, reconstructed []float32, shape grid.Dims, compressedBytes int) (Report, error) {
-	rep, err := Evaluate(original, reconstructed, compressedBytes, 4)
+func EvaluateGrid[T grid.Float](original, reconstructed []T, shape grid.Dims, compressedBytes int) (Report, error) {
+	rep, err := Evaluate(original, reconstructed, compressedBytes, 0)
 	if err != nil {
 		return Report{}, err
 	}
@@ -100,7 +101,7 @@ func EvaluateGrid(original, reconstructed []float32, shape grid.Dims, compressed
 // the whole field for 2-D data, the middle plane along the slowest axis for
 // 3-D data (the slice-based visual criterion of the paper's Fig. 10 and of
 // Baker et al.'s climate-analysis threshold). Other ranks are an error.
-func SliceSSIM(original, reconstructed []float32, shape grid.Dims) (float64, error) {
+func SliceSSIM[T grid.Float](original, reconstructed []T, shape grid.Dims) (float64, error) {
 	plane := 0
 	if shape.NDims() == 3 {
 		plane = shape[0] / 2
@@ -116,7 +117,7 @@ func SliceSSIM(original, reconstructed []float32, shape grid.Dims) (float64, err
 	return SSIM(origSlice, recSlice, sliceShape)
 }
 
-func errorStats(original, reconstructed []float32) (rmse, mse, maxErr float64) {
+func errorStats[T grid.Float](original, reconstructed []T) (rmse, mse, maxErr float64) {
 	var sum float64
 	for i := range original {
 		d := float64(original[i]) - float64(reconstructed[i])
@@ -132,7 +133,7 @@ func errorStats(original, reconstructed []float32) (rmse, mse, maxErr float64) {
 
 // RMSE returns the root-mean-square error between the two arrays, or NaN if
 // the lengths differ or the input is empty.
-func RMSE(original, reconstructed []float32) float64 {
+func RMSE[T grid.Float](original, reconstructed []T) float64 {
 	if len(original) != len(reconstructed) || len(original) == 0 {
 		return math.NaN()
 	}
@@ -142,7 +143,7 @@ func RMSE(original, reconstructed []float32) float64 {
 
 // MaxAbsError returns the maximum absolute pointwise error, or NaN on
 // length mismatch.
-func MaxAbsError(original, reconstructed []float32) float64 {
+func MaxAbsError[T grid.Float](original, reconstructed []T) float64 {
 	if len(original) != len(reconstructed) || len(original) == 0 {
 		return math.NaN()
 	}
@@ -153,7 +154,7 @@ func MaxAbsError(original, reconstructed []float32) float64 {
 // PSNR returns the peak signal-to-noise ratio in decibels, defined as
 // 20*log10((dmax-dmin)/rmse) following the paper (Section VI-B4). Identical
 // arrays yield +Inf; a constant original field with nonzero error yields -Inf.
-func PSNR(original, reconstructed []float32) float64 {
+func PSNR[T grid.Float](original, reconstructed []T) float64 {
 	if len(original) != len(reconstructed) || len(original) == 0 {
 		return math.NaN()
 	}
@@ -172,7 +173,7 @@ func PSNR(original, reconstructed []float32) float64 {
 // error signal e_i = original_i - reconstructed_i. Values near 0 indicate
 // white (uncorrelated) compression error; values near 1 indicate strongly
 // structured error, which is generally undesirable for post-analysis.
-func ErrorAutocorrelation(original, reconstructed []float32) float64 {
+func ErrorAutocorrelation[T grid.Float](original, reconstructed []T) float64 {
 	n := len(original)
 	if n != len(reconstructed) || n < 2 {
 		return 0
@@ -219,7 +220,7 @@ func BitRate(compressedBytes, numElements int) float64 {
 // of the given shape, using an 8x8 sliding window with stride 4 and the
 // standard constants (K1=0.01, K2=0.03) relative to the original data's
 // dynamic range. For 3-D data use grid.Slice2D to extract a plane first.
-func SSIM(original, reconstructed []float32, shape grid.Dims) (float64, error) {
+func SSIM[T grid.Float](original, reconstructed []T, shape grid.Dims) (float64, error) {
 	if shape.NDims() != 2 {
 		return 0, fmt.Errorf("metrics: SSIM requires 2-D data, got rank %d", shape.NDims())
 	}
@@ -254,7 +255,7 @@ func SSIM(original, reconstructed []float32, shape grid.Dims) (float64, error) {
 	return total / float64(count), nil
 }
 
-func windowSSIM(a, b []float32, width, x0, y0, win int, c1, c2 float64) float64 {
+func windowSSIM[T grid.Float](a, b []T, width, x0, y0, win int, c1, c2 float64) float64 {
 	n := float64(win * win)
 	var meanA, meanB float64
 	for y := y0; y < y0+win; y++ {

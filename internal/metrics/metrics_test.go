@@ -33,7 +33,7 @@ func TestEvaluateErrors(t *testing.T) {
 	if _, err := Evaluate([]float32{1}, []float32{1, 2}, 1, 4); err != ErrLengthMismatch {
 		t.Errorf("expected length mismatch error, got %v", err)
 	}
-	if _, err := Evaluate(nil, nil, 1, 4); err == nil {
+	if _, err := Evaluate[float32](nil, nil, 1, 4); err == nil {
 		t.Errorf("empty input should fail")
 	}
 }
@@ -78,7 +78,7 @@ func TestMaxAbsError(t *testing.T) {
 	if !math.IsNaN(MaxAbsError(orig, orig[:2])) {
 		t.Errorf("length mismatch should return NaN")
 	}
-	if !math.IsNaN(RMSE(nil, nil)) {
+	if !math.IsNaN(RMSE[float32](nil, nil)) {
 		t.Errorf("empty RMSE should return NaN")
 	}
 }

@@ -33,7 +33,22 @@ import (
 	"fraz/internal/quantize"
 )
 
-const magic = 0x4D475231 // "MGR1"
+// magic32 and magic64 identify MGARD-Go streams of float32 and float64
+// data. The element width is part of the magic, so a stream can never be
+// decoded at the wrong precision — and float32 streams keep the exact bytes
+// earlier builds wrote.
+const (
+	magic32 = 0x4D475231 // "MGR1"
+	magic64 = 0x4D475232 // "MGR2"
+)
+
+// magicFor returns the stream magic for element type T.
+func magicFor[T grid.Float]() uint32 {
+	if grid.ElemSize[T]() == 4 {
+		return magic32
+	}
+	return magic64
+}
 
 // unpredictable marks coefficients stored verbatim.
 const unpredictable = int32(1 << 30)
@@ -79,7 +94,7 @@ var ErrCorrupt = errors.New("mgard: corrupt stream")
 var ErrUnsupportedRank = errors.New("mgard: only 2-D and 3-D data are supported")
 
 // Compress compresses the field under the options' norm bound.
-func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
+func Compress[T grid.Float](data []T, shape grid.Dims, opts Options) ([]byte, error) {
 	if err := shape.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
@@ -113,12 +128,12 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
 	codes := make([]int32, len(work))
-	literals := make([]float32, 0)
+	literals := make([]T, 0)
 	for i, c := range work {
 		code, recon, ok := q.Quantize(c, 0)
 		if !ok {
 			codes[i] = unpredictable
-			literals = append(literals, float32(c))
+			literals = append(literals, T(c))
 			continue
 		}
 		codes[i] = code
@@ -134,9 +149,7 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 	writeUint32(&payload, uint32(len(huffBytes)))
 	payload.Write(huffBytes)
 	writeUint32(&payload, uint32(len(literals)))
-	for _, v := range literals {
-		writeUint32(&payload, math.Float32bits(v))
-	}
+	writeLiterals(&payload, literals)
 
 	body := payload.Bytes()
 	var comp bytes.Buffer
@@ -157,7 +170,7 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 	}
 
 	var out bytes.Buffer
-	writeUint32(&out, magic)
+	writeUint32(&out, magicFor[T]())
 	out.WriteByte(byte(opts.Norm))
 	out.WriteByte(dictFlag)
 	out.WriteByte(byte(nd))
@@ -171,11 +184,15 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 
 // Decompress reconstructs the field from a stream produced by Compress. If
 // shape is non-nil it is validated against the header.
-func Decompress(buf []byte, shape grid.Dims) ([]float32, error) {
+func Decompress[T grid.Float](buf []byte, shape grid.Dims) ([]T, error) {
 	if len(buf) < 4+3+8 {
 		return nil, ErrCorrupt
 	}
-	if binary.LittleEndian.Uint32(buf[0:4]) != magic {
+	switch binary.LittleEndian.Uint32(buf[0:4]) {
+	case magicFor[T]():
+	case magic32, magic64:
+		return nil, fmt.Errorf("%w: stream element width does not match caller's %d-byte elements", ErrCorrupt, grid.ElemSize[T]())
+	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	dictFlag := buf[5]
@@ -222,13 +239,9 @@ func Decompress(buf []byte, shape grid.Dims) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	literals := make([]float32, numLit)
-	for i := range literals {
-		v, err := readUint32(rd)
-		if err != nil {
-			return nil, err
-		}
-		literals[i] = math.Float32frombits(v)
+	literals, err := readLiterals[T](rd, int(numLit))
+	if err != nil {
+		return nil, err
 	}
 	codes, err := huffman.Decode(huffBytes)
 	if err != nil {
@@ -259,9 +272,9 @@ func Decompress(buf []byte, shape grid.Dims) ([]float32, error) {
 	levels := numLevels(hdrShape)
 	inverseReconstruct(work, hdrShape, levels)
 
-	out := make([]float32, len(work))
+	out := make([]T, len(work))
 	for i, v := range work {
-		out[i] = float32(v)
+		out[i] = T(v)
 	}
 	return out, nil
 }
@@ -431,6 +444,52 @@ func writeUint64(w *bytes.Buffer, v uint64) {
 	var tmp [8]byte
 	binary.LittleEndian.PutUint64(tmp[:], v)
 	w.Write(tmp[:])
+}
+
+// writeLiterals appends the unpredictable coefficients' raw IEEE-754 bits:
+// 4 bytes per element for float32 streams, 8 for float64, so double-
+// precision coefficients survive the literal path without rounding.
+func writeLiterals[T grid.Float](w *bytes.Buffer, literals []T) {
+	if grid.ElemSize[T]() == 4 {
+		for _, v := range literals {
+			writeUint32(w, math.Float32bits(float32(v)))
+		}
+		return
+	}
+	for _, v := range literals {
+		writeUint64(w, math.Float64bits(float64(v)))
+	}
+}
+
+// readLiterals is the inverse of writeLiterals.
+func readLiterals[T grid.Float](r *bytes.Reader, n int) ([]T, error) {
+	out := make([]T, n)
+	if grid.ElemSize[T]() == 4 {
+		for i := range out {
+			v, err := readUint32(r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = T(math.Float32frombits(v))
+		}
+		return out, nil
+	}
+	for i := range out {
+		v, err := readUint64(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = T(math.Float64frombits(v))
+	}
+	return out, nil
+}
+
+func readUint64(r *bytes.Reader) (uint64, error) {
+	var tmp [8]byte
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return binary.LittleEndian.Uint64(tmp[:]), nil
 }
 
 func readUint32(r *bytes.Reader) (uint32, error) {

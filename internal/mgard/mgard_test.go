@@ -45,7 +45,7 @@ func infRoundTrip(t *testing.T, data []float32, shape grid.Dims, bound float64) 
 	if err != nil {
 		t.Fatalf("Compress: %v", err)
 	}
-	dec, err := Decompress(comp, shape)
+	dec, err := Decompress[float32](comp, shape)
 	if err != nil {
 		t.Fatalf("Decompress: %v", err)
 	}
@@ -130,7 +130,7 @@ func TestL2NormControlsMSE(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dec, err := Decompress(comp, shape)
+		dec, err := Decompress[float32](comp, shape)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +198,7 @@ func TestInvalidOptions(t *testing.T) {
 }
 
 func TestDecompressCorrupt(t *testing.T) {
-	if _, err := Decompress([]byte{0, 1, 2}, nil); err == nil {
+	if _, err := Decompress[float32]([]byte{0, 1, 2}, nil); err == nil {
 		t.Errorf("short buffer should fail")
 	}
 	data, shape := field2D(10, 10, 10)
@@ -208,13 +208,13 @@ func TestDecompressCorrupt(t *testing.T) {
 	}
 	bad := append([]byte(nil), comp...)
 	bad[1] ^= 0xFF
-	if _, err := Decompress(bad, shape); err == nil {
+	if _, err := Decompress[float32](bad, shape); err == nil {
 		t.Errorf("bad magic should fail")
 	}
-	if _, err := Decompress(comp, grid.MustDims(9, 10)); err == nil {
+	if _, err := Decompress[float32](comp, grid.MustDims(9, 10)); err == nil {
 		t.Errorf("shape mismatch should fail")
 	}
-	if _, err := Decompress(comp, nil); err != nil {
+	if _, err := Decompress[float32](comp, nil); err != nil {
 		t.Errorf("nil shape should use header shape: %v", err)
 	}
 }
@@ -265,7 +265,7 @@ func TestPropertyInfinityBoundHolds(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		dec, err := Decompress(comp, shape)
+		dec, err := Decompress[float32](comp, shape)
 		if err != nil {
 			return false
 		}

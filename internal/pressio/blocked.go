@@ -45,7 +45,7 @@ func SealBlocked(ctx context.Context, c Compressor, buf Buffer, bound float64, n
 	}
 	payloads := make([][]byte, len(plan))
 	err = parallel.ForEach(ctx, len(plan), workers, func(ctx context.Context, i int) error {
-		sub, err := blockBuffer(buf, plan[i])
+		sub, err := buf.Slice(plan[i])
 		if err != nil {
 			return err
 		}
@@ -64,7 +64,7 @@ func SealBlocked(ctx context.Context, c Compressor, buf Buffer, bound float64, n
 		total += len(p)
 	}
 	ratio := metrics.CompressionRatio(buf.Bytes(), total)
-	return container.NewBlocked(c.Name(), bound, ratio, buf.Shape, payloads)
+	return container.NewBlocked(c.Name(), bound, ratio, buf.DType(), buf.Shape, payloads)
 }
 
 // OpenBlocked reconstructs the buffer of a blocked (version-2) container,
@@ -82,8 +82,8 @@ func OpenBlocked(ctx context.Context, cn container.Container, workers int) (Buff
 	if cn.Blocks == nil {
 		return Open(cn)
 	}
-	if cn.Header.DType != container.Float32 {
-		return Buffer{}, fmt.Errorf("pressio: cannot decode %s payloads", cn.Header.DType)
+	if err := checkDType(cn.Header.DType); err != nil {
+		return Buffer{}, err
 	}
 	if _, ok := Lookup(cn.Header.Codec); !ok {
 		return Buffer{}, fmt.Errorf("%w: %q (available: %v)", ErrUnknownCompressor, cn.Header.Codec, Names())
@@ -96,7 +96,7 @@ func OpenBlocked(ctx context.Context, cn container.Container, workers int) (Buff
 		return Buffer{}, fmt.Errorf("pressio: open blocked %s container: %d blocks indexed, shape %s splits into %d",
 			cn.Header.Codec, len(cn.Blocks), cn.Header.Shape, len(plan))
 	}
-	data := make([]float32, cn.Header.Shape.Len())
+	out := newZeroBuffer(cn.Header.DType, cn.Header.Shape)
 	err = parallel.ForEach(ctx, len(plan), workers, func(ctx context.Context, i int) error {
 		c, err := New(cn.Header.Codec)
 		if err != nil {
@@ -106,23 +106,14 @@ func OpenBlocked(ctx context.Context, cn container.Container, workers int) (Buff
 		if err != nil {
 			return err
 		}
-		dec, err := c.Decompress(payload, plan[i].Shape)
+		dec, err := c.Decompress(payload, plan[i].Shape, cn.Header.DType)
 		if err != nil {
 			return fmt.Errorf("block %d (%s): %w", i, plan[i].Shape, err)
 		}
-		return blocks.Scatter(data, plan[i], dec)
+		return out.scatterFrom(plan[i], dec)
 	})
 	if err != nil {
 		return Buffer{}, fmt.Errorf("pressio: open blocked %s container: %w", cn.Header.Codec, err)
 	}
-	return NewBuffer(data, cn.Header.Shape)
-}
-
-// blockBuffer views one planned block of the buffer as a Buffer of its own.
-func blockBuffer(buf Buffer, b blocks.Block) (Buffer, error) {
-	sub, err := blocks.Slice(buf.Data, b)
-	if err != nil {
-		return Buffer{}, err
-	}
-	return Buffer{Data: sub, Shape: b.Shape}, nil
+	return out, nil
 }

@@ -51,12 +51,12 @@ func TestSealBlockedLosslessBitExact(t *testing.T) {
 	if !out.Shape.Equal(buf.Shape) {
 		t.Fatalf("opened shape %v, want %v", out.Shape, buf.Shape)
 	}
-	for i := range buf.Data {
-		if out.Data[i] != buf.Data[i] {
-			t.Fatalf("value %d: blocked round trip %v != original %v", i, out.Data[i], buf.Data[i])
+	for i := range buf.Float32() {
+		if out.Float32()[i] != buf.Float32()[i] {
+			t.Fatalf("value %d: blocked round trip %v != original %v", i, out.Float32()[i], buf.Float32()[i])
 		}
-		if out.Data[i] != monoOut.Data[i] {
-			t.Fatalf("value %d: blocked %v != monolithic %v", i, out.Data[i], monoOut.Data[i])
+		if out.Float32()[i] != monoOut.Float32()[i] {
+			t.Fatalf("value %d: blocked %v != monolithic %v", i, out.Float32()[i], monoOut.Float32()[i])
 		}
 	}
 }
@@ -82,8 +82,8 @@ func TestSealBlockedErrorBoundHolds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range buf.Data {
-		if diff := math.Abs(float64(out.Data[i]) - float64(buf.Data[i])); diff > bound {
+	for i := range buf.Float32() {
+		if diff := math.Abs(float64(out.Float32()[i]) - float64(buf.Float32()[i])); diff > bound {
 			t.Fatalf("value %d error %v exceeds bound %v", i, diff, bound)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fraz/internal/container"
 	"fraz/internal/metrics"
 )
 
@@ -40,11 +41,12 @@ func QuantizeBound(bound float64) float64 {
 	return math.Float64frombits(math.Float64bits(bound) &^ (1<<quantDropBits - 1))
 }
 
-// Fingerprint hashes a buffer's shape and contents (FNV-1a over the raw
-// float bits) into the cache-key component that distinguishes datasets. Two
-// buffers with equal fingerprints share cached evaluations, so the hash
-// covers every bit of every value. Data is fed to the hash in chunks so no
-// buffer-sized copy is allocated.
+// Fingerprint hashes a buffer's element type, shape, and contents (FNV-1a
+// over the raw float bits) into the cache-key component that distinguishes
+// datasets. Two buffers with equal fingerprints share cached evaluations, so
+// the hash covers every bit of every value — and the dtype, so a float32
+// field can never answer for the float64 field with the same bit pattern.
+// Data is fed to the hash in chunks so no buffer-sized copy is allocated.
 func Fingerprint(buf Buffer) uint64 {
 	h := fnv.New64a()
 	var scratch [4096]byte
@@ -54,8 +56,25 @@ func Fingerprint(buf Buffer) uint64 {
 		binary.LittleEndian.PutUint64(scratch[n:], uint64(e))
 		n += 8
 	}
+	scratch[n] = uint8(buf.DType())
+	n++
 	h.Write(scratch[:n])
-	data := buf.Data
+	if buf.DType() == container.Float64 {
+		data := buf.Float64()
+		for len(data) > 0 {
+			chunk := data
+			if len(chunk) > len(scratch)/8 {
+				chunk = chunk[:len(scratch)/8]
+			}
+			for i, f := range chunk {
+				binary.LittleEndian.PutUint64(scratch[8*i:], math.Float64bits(f))
+			}
+			h.Write(scratch[:8*len(chunk)])
+			data = data[len(chunk):]
+		}
+		return h.Sum64()
+	}
+	data := buf.Float32()
 	for len(data) > 0 {
 		chunk := data
 		if len(chunk) > len(scratch)/4 {

@@ -429,18 +429,18 @@ func TestSealOpenRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !out.Shape.Equal(buf.Shape) || len(out.Data) != len(buf.Data) {
-		t.Fatalf("opened buffer shape %v with %d values", out.Shape, len(out.Data))
+	if !out.Shape.Equal(buf.Shape) || out.Len() != buf.Len() {
+		t.Fatalf("opened buffer shape %v with %d values", out.Shape, out.Len())
 	}
-	for i := range buf.Data {
-		if diff := math.Abs(float64(out.Data[i]) - float64(buf.Data[i])); diff > bound {
+	for i := range buf.Float32() {
+		if diff := math.Abs(float64(out.Float32()[i]) - float64(buf.Float32()[i])); diff > bound {
 			t.Fatalf("value %d error %v exceeds bound %v", i, diff, bound)
 		}
 	}
 }
 
 func TestOpenRejectsUnknownCodec(t *testing.T) {
-	cn, err := container.New("no-such-codec", 1, 1, grid.MustDims(4), []byte{1})
+	cn, err := container.New("no-such-codec", 1, 1, container.Float32, grid.MustDims(4), []byte{1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -450,7 +450,7 @@ func TestOpenRejectsUnknownCodec(t *testing.T) {
 }
 
 func TestOpenRejectsUnknownDType(t *testing.T) {
-	cn, err := container.New("sz:abs", 1, 1, grid.MustDims(4), []byte{1})
+	cn, err := container.New("sz:abs", 1, 1, container.Float32, grid.MustDims(4), []byte{1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -142,35 +142,37 @@ func Names() []string {
 
 // Seal compresses the buffer at the given bound and wraps the result in a
 // self-describing container carrying the codec name, the bound, the achieved
-// ratio, and the shape — everything Open needs to reverse it.
+// ratio, the element type, and the shape — everything Open needs to reverse
+// it.
 func Seal(c Compressor, buf Buffer, bound float64) (container.Container, error) {
 	comp, err := c.Compress(buf, bound)
 	if err != nil {
 		return container.Container{}, fmt.Errorf("pressio: seal with %s: %w", c.Name(), err)
 	}
 	ratio := metrics.CompressionRatio(buf.Bytes(), len(comp))
-	return container.New(c.Name(), bound, ratio, buf.Shape, comp)
+	return container.New(c.Name(), bound, ratio, buf.DType(), buf.Shape, comp)
 }
 
 // Open routes a decoded container to the codec named in its header and
-// reconstructs the original buffer. It is the inverse of Seal (and, through
-// OpenBlocked, of SealBlocked: blocked containers are detected by their
-// block index and decoded block-parallel) and the only decompression entry
-// point that needs no out-of-band knowledge.
+// reconstructs the original buffer at the element width the header records.
+// It is the inverse of Seal (and, through OpenBlocked, of SealBlocked:
+// blocked containers are detected by their block index and decoded
+// block-parallel) and the only decompression entry point that needs no
+// out-of-band knowledge.
 func Open(cn container.Container) (Buffer, error) {
 	if cn.Blocks != nil {
 		return OpenBlocked(context.Background(), cn, 0)
 	}
-	if cn.Header.DType != container.Float32 {
-		return Buffer{}, fmt.Errorf("pressio: cannot decode %s payloads", cn.Header.DType)
+	if err := checkDType(cn.Header.DType); err != nil {
+		return Buffer{}, err
 	}
 	c, err := New(cn.Header.Codec)
 	if err != nil {
 		return Buffer{}, err
 	}
-	data, err := c.Decompress(cn.Payload, cn.Header.Shape)
+	buf, err := c.Decompress(cn.Payload, cn.Header.Shape, cn.Header.DType)
 	if err != nil {
 		return Buffer{}, fmt.Errorf("pressio: open %s container: %w", cn.Header.Codec, err)
 	}
-	return NewBuffer(data, cn.Header.Shape)
+	return buf, nil
 }

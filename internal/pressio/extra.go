@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 
+	"fraz/internal/container"
 	"fraz/internal/grid"
 	"fraz/internal/sz"
 	"fraz/internal/zfp"
@@ -37,14 +38,17 @@ func (szRelative) Compress(buf Buffer, bound float64) ([]byte, error) {
 	if !(bound > 0) || bound > 1 {
 		return nil, fmt.Errorf("sz:rel: relative bound must be in (0,1], got %v", bound)
 	}
-	vr := grid.ValueRange(buf.Data)
+	vr := buf.ValueRange()
 	if vr <= 0 {
 		vr = 1 // constant field: any positive absolute bound preserves it
 	}
-	return sz.Compress(buf.Data, buf.Shape, sz.Options{ErrorBound: bound * vr})
+	opts := sz.Options{ErrorBound: bound * vr}
+	return compressTyped(buf,
+		func(d []float32, s grid.Dims) ([]byte, error) { return sz.Compress(d, s, opts) },
+		func(d []float64, s grid.Dims) ([]byte, error) { return sz.Compress(d, s, opts) })
 }
-func (szRelative) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
-	return sz.Decompress(comp, shape)
+func (szRelative) Decompress(comp []byte, shape grid.Dims, dt container.DType) (Buffer, error) {
+	return decompressTyped(dt, comp, shape, sz.Decompress[float32], sz.Decompress[float64])
 }
 
 // --- ZFP fixed-precision -------------------------------------------------------
@@ -57,18 +61,32 @@ func (zfpPrecision) ErrorBounded() bool { return false }
 func (zfpPrecision) SupportsShape(shape grid.Dims) bool {
 	return shape.Validate() == nil && shape.NDims() <= 3
 }
+
+// BoundRange is capped at 32 planes — valid for either width — because the
+// registry's range cannot depend on the buffer that arrives later. Doubles
+// therefore top out near float32 resolution in this mode; use zfp:accuracy
+// (whose bound drives the plane cutoff through the exponent, reaching all
+// 64 planes) when float64 data needs tighter fidelity.
 func (zfpPrecision) BoundRange() (float64, float64) { return 1, 32 }
 func (zfpPrecision) Compress(buf Buffer, bound float64) ([]byte, error) {
-	prec := int(math.Round(bound))
-	return zfp.Compress(buf.Data, buf.Shape, zfp.Options{Mode: zfp.ModeFixedPrecision, Precision: prec})
+	opts := zfp.Options{Mode: zfp.ModeFixedPrecision, Precision: int(math.Round(bound))}
+	return compressTyped(buf,
+		func(d []float32, s grid.Dims) ([]byte, error) { return zfp.Compress(d, s, opts) },
+		func(d []float64, s grid.Dims) ([]byte, error) { return zfp.Compress(d, s, opts) })
 }
-func (zfpPrecision) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
-	return zfp.Decompress(comp, shape)
+func (zfpPrecision) Decompress(comp []byte, shape grid.Dims, dt container.DType) (Buffer, error) {
+	return decompressTyped(dt, comp, shape, zfp.Decompress[float32], zfp.Decompress[float64])
 }
 
 // --- lossless DEFLATE baseline --------------------------------------------------
 
-const losslessMagic = 0x4C5A4631 // "LZF1"
+// losslessMagic32 and losslessMagic64 tag the element width of a lossless
+// stream, mirroring the typed magics of the lossy kernels (float32 streams
+// keep the bytes earlier builds wrote).
+const (
+	losslessMagic32 = 0x4C5A4631 // "LZF1"
+	losslessMagic64 = 0x4C5A4632 // "LZF2"
+)
 
 // errLossless is the base error for the lossless baseline codec.
 var errLossless = errors.New("flate:lossless")
@@ -83,10 +101,31 @@ func (losslessFlate) SupportsShape(shape grid.Dims) bool {
 }
 func (losslessFlate) BoundRange() (float64, float64) { return 1e-12, 1e12 }
 func (losslessFlate) Compress(buf Buffer, _ float64) ([]byte, error) {
-	raw := make([]byte, 4+len(buf.Data)*4)
-	binary.LittleEndian.PutUint32(raw[:4], losslessMagic)
-	for i, v := range buf.Data {
-		binary.LittleEndian.PutUint32(raw[4+4*i:], math.Float32bits(v))
+	return compressTyped(buf, losslessCompress[float32], losslessCompress[float64])
+}
+func (losslessFlate) Decompress(comp []byte, shape grid.Dims, dt container.DType) (Buffer, error) {
+	return decompressTyped(dt, comp, shape, losslessDecompress[float32], losslessDecompress[float64])
+}
+
+func losslessMagicFor[T grid.Float]() uint32 {
+	if grid.ElemSize[T]() == 4 {
+		return losslessMagic32
+	}
+	return losslessMagic64
+}
+
+func losslessCompress[T grid.Float](data []T, _ grid.Dims) ([]byte, error) {
+	elem := grid.ElemSize[T]()
+	raw := make([]byte, 4+len(data)*elem)
+	binary.LittleEndian.PutUint32(raw[:4], losslessMagicFor[T]())
+	if elem == 4 {
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(raw[4+4*i:], math.Float32bits(float32(v)))
+		}
+	} else {
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(raw[4+8*i:], math.Float64bits(float64(v)))
+		}
 	}
 	var out bytes.Buffer
 	fw, err := flate.NewWriter(&out, flate.BestCompression)
@@ -101,27 +140,35 @@ func (losslessFlate) Compress(buf Buffer, _ float64) ([]byte, error) {
 	}
 	return out.Bytes(), nil
 }
-func (losslessFlate) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
+
+func losslessDecompress[T grid.Float](comp []byte, shape grid.Dims) ([]T, error) {
 	fr := flate.NewReader(bytes.NewReader(comp))
 	raw, err := io.ReadAll(fr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errLossless, err)
 	}
 	fr.Close()
-	if len(raw) < 4 || binary.LittleEndian.Uint32(raw[:4]) != losslessMagic {
+	if len(raw) < 4 || binary.LittleEndian.Uint32(raw[:4]) != losslessMagicFor[T]() {
 		return nil, fmt.Errorf("%w: bad magic", errLossless)
 	}
 	raw = raw[4:]
-	if len(raw)%4 != 0 {
+	elem := grid.ElemSize[T]()
+	if len(raw)%elem != 0 {
 		return nil, fmt.Errorf("%w: truncated payload", errLossless)
 	}
-	n := len(raw) / 4
+	n := len(raw) / elem
 	if shape != nil && n != shape.Len() {
 		return nil, fmt.Errorf("%w: payload holds %d values, shape %v expects %d", errLossless, n, shape, shape.Len())
 	}
-	out := make([]float32, n)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	out := make([]T, n)
+	if elem == 4 {
+		for i := range out {
+			out[i] = T(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:])))
+		}
+	} else {
+		for i := range out {
+			out[i] = T(math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:])))
+		}
 	}
 	return out, nil
 }

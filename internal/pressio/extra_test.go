@@ -3,6 +3,7 @@ package pressio
 import (
 	"testing"
 
+	"fraz/internal/container"
 	"fraz/internal/grid"
 	"fraz/internal/metrics"
 )
@@ -133,7 +134,7 @@ func TestLosslessDecompressErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Decompress([]byte{1, 2, 3}, grid.MustDims(4)); err == nil {
+	if _, err := c.Decompress([]byte{1, 2, 3}, grid.MustDims(4), container.Float32); err == nil {
 		t.Errorf("garbage input should fail")
 	}
 	buf := testField1D()
@@ -141,14 +142,14 @@ func TestLosslessDecompressErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Decompress(comp, grid.MustDims(3)); err == nil {
+	if _, err := c.Decompress(comp, grid.MustDims(3), container.Float32); err == nil {
 		t.Errorf("shape mismatch should fail")
 	}
-	dec, err := c.Decompress(comp, buf.Shape)
+	dec, err := c.Decompress(comp, buf.Shape, buf.DType())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if metrics.MaxAbsError(buf.Data, dec) != 0 {
+	if metrics.MaxAbsError(buf.Float32(), dec.Float32()) != 0 {
 		t.Errorf("lossless round trip should be exact")
 	}
 }

@@ -6,11 +6,19 @@
 // Each registered compressor exposes exactly one tunable scalar parameter —
 // its error bound (or, for the ZFP fixed-rate baseline, its rate) — which is
 // the dimension FRaZ's autotuner searches over.
+//
+// Buffers are dtype-tagged: a Buffer carries either float32 or float64 data
+// behind one opaque value, and every layer above this package (the tuner,
+// the container seal/open paths, the public API) threads that tag through
+// without caring which width it is. Only the codec kernels — and the
+// adapters in this package that dispatch to them — know the element width.
 package pressio
 
 import (
 	"fmt"
 
+	"fraz/internal/blocks"
+	"fraz/internal/container"
 	"fraz/internal/grid"
 	"fraz/internal/metrics"
 	"fraz/internal/mgard"
@@ -18,32 +26,133 @@ import (
 	"fraz/internal/zfp"
 )
 
-// Buffer couples a flat float32 array with its logical shape.
+// Buffer couples a flat float array — single or double precision — with its
+// logical shape. The element type is carried as a dtype tag plus a typed
+// view over the same backing slice, never a copy; construct one with
+// NewBuffer (float32) or NewBufferOf (either width). The zero Buffer is an
+// empty float32 buffer.
 type Buffer struct {
-	Data  []float32
+	// Shape is the logical shape, slowest dimension first.
 	Shape grid.Dims
+
+	dtype container.DType
+	f32   []float32
+	f64   []float64
 }
 
-// NewBuffer validates and constructs a Buffer.
+// NewBuffer validates and constructs a float32 Buffer. It is NewBufferOf
+// fixed at single precision, kept for the many call sites that predate
+// float64 support.
 func NewBuffer(data []float32, shape grid.Dims) (Buffer, error) {
+	return NewBufferOf(data, shape)
+}
+
+// NewBufferOf validates and constructs a Buffer over float32 or float64
+// data. The data slice is referenced, not copied.
+func NewBufferOf[T grid.Float](data []T, shape grid.Dims) (Buffer, error) {
 	if err := shape.Validate(); err != nil {
 		return Buffer{}, err
 	}
 	if len(data) != shape.Len() {
 		return Buffer{}, fmt.Errorf("pressio: data length %d does not match shape %v", len(data), shape)
 	}
-	return Buffer{Data: data, Shape: shape}, nil
+	switch d := any(data).(type) {
+	case []float32:
+		return Buffer{Shape: shape, dtype: container.Float32, f32: d}, nil
+	case []float64:
+		return Buffer{Shape: shape, dtype: container.Float64, f64: d}, nil
+	}
+	panic("pressio: unreachable element type")
+}
+
+// DType reports the buffer's element type tag.
+func (b Buffer) DType() container.DType { return b.dtype }
+
+// Len reports the number of elements.
+func (b Buffer) Len() int {
+	if b.dtype == container.Float64 {
+		return len(b.f64)
+	}
+	return len(b.f32)
 }
 
 // Bytes returns the uncompressed size of the buffer in bytes.
-func (b Buffer) Bytes() int { return len(b.Data) * 4 }
+func (b Buffer) Bytes() int { return b.Len() * b.dtype.Size() }
+
+// Float32 returns the single-precision view of the data, nil for a float64
+// buffer.
+func (b Buffer) Float32() []float32 { return b.f32 }
+
+// Float64 returns the double-precision view of the data, nil for a float32
+// buffer.
+func (b Buffer) Float64() []float64 { return b.f64 }
+
+// ValueRange returns max-min of the data, whatever its width.
+func (b Buffer) ValueRange() float64 {
+	if b.dtype == container.Float64 {
+		return grid.ValueRange(b.f64)
+	}
+	return grid.ValueRange(b.f32)
+}
+
+// Slice views one planned block of the buffer as a Buffer of its own — a
+// zero-copy subslice at either width, which is what keeps the blocked seal
+// path allocation-free on the way down.
+func (b Buffer) Slice(blk blocks.Block) (Buffer, error) {
+	if b.dtype == container.Float64 {
+		sub, err := blocks.Slice(b.f64, blk)
+		if err != nil {
+			return Buffer{}, err
+		}
+		return Buffer{Shape: blk.Shape, dtype: b.dtype, f64: sub}, nil
+	}
+	sub, err := blocks.Slice(b.f32, blk)
+	if err != nil {
+		return Buffer{}, err
+	}
+	return Buffer{Shape: blk.Shape, dtype: b.dtype, f32: sub}, nil
+}
+
+// scatterFrom copies a decompressed block buffer into place inside b, the
+// write half of the blocked open path.
+func (b Buffer) scatterFrom(blk blocks.Block, src Buffer) error {
+	if src.dtype != b.dtype {
+		return fmt.Errorf("pressio: scatter %s block into %s buffer", src.dtype, b.dtype)
+	}
+	if b.dtype == container.Float64 {
+		return blocks.Scatter(b.f64, blk, src.f64)
+	}
+	return blocks.Scatter(b.f32, blk, src.f32)
+}
+
+// newZeroBuffer allocates an empty buffer of the given dtype and shape. The
+// caller must have validated the dtype with checkDType.
+func newZeroBuffer(dt container.DType, shape grid.Dims) Buffer {
+	if dt == container.Float64 {
+		return Buffer{Shape: shape, dtype: dt, f64: make([]float64, shape.Len())}
+	}
+	return Buffer{Shape: shape, dtype: dt, f32: make([]float32, shape.Len())}
+}
+
+// checkDType is the one place an element-type tag is validated before a
+// decode path commits to it: Open, OpenBlocked, and the per-codec
+// decompression dispatch all report unsupported dtypes through this helper,
+// so the error message cannot drift between them.
+func checkDType(d container.DType) error {
+	if d.Size() == 0 {
+		return fmt.Errorf("pressio: cannot decode %s payloads (this build reads float32 and float64)", d)
+	}
+	return nil
+}
 
 // Compressor is the generic error-bounded compressor interface FRaZ tunes.
 //
 // Implementations must be safe for concurrent use: the tuner's
 // region-parallel search and the blocked seal path both invoke Compress on
 // one instance from multiple goroutines (all registered codecs are
-// stateless, which satisfies this for free).
+// stateless, which satisfies this for free). Compress reads the element
+// width off the buffer's tag; Decompress is told it explicitly — the
+// container header carries it — and returns a buffer tagged the same way.
 type Compressor interface {
 	// Name identifies the compressor and mode, e.g. "sz:abs" or
 	// "zfp:accuracy".
@@ -61,8 +170,44 @@ type Compressor interface {
 	BoundRange() (lo, hi float64)
 	// Compress compresses the buffer with the tunable parameter set to bound.
 	Compress(buf Buffer, bound float64) ([]byte, error)
-	// Decompress reconstructs data previously compressed by this compressor.
-	Decompress(comp []byte, shape grid.Dims) ([]float32, error)
+	// Decompress reconstructs data previously compressed by this compressor
+	// at the given element width.
+	Decompress(comp []byte, shape grid.Dims, dtype container.DType) (Buffer, error)
+}
+
+// compressTyped routes a buffer to the kernel closure matching its element
+// width. It is the compress half of the adapter boilerplate every codec
+// would otherwise repeat.
+func compressTyped(buf Buffer,
+	f32 func([]float32, grid.Dims) ([]byte, error),
+	f64 func([]float64, grid.Dims) ([]byte, error)) ([]byte, error) {
+	if buf.dtype == container.Float64 {
+		return f64(buf.f64, buf.Shape)
+	}
+	return f32(buf.f32, buf.Shape)
+}
+
+// decompressTyped routes a decode to the kernel matching the requested
+// dtype and wraps the result in a buffer tagged with it.
+func decompressTyped(dt container.DType, comp []byte, shape grid.Dims,
+	f32 func([]byte, grid.Dims) ([]float32, error),
+	f64 func([]byte, grid.Dims) ([]float64, error)) (Buffer, error) {
+	switch dt {
+	case container.Float32:
+		data, err := f32(comp, shape)
+		if err != nil {
+			return Buffer{}, err
+		}
+		return NewBufferOf(data, shape)
+	case container.Float64:
+		data, err := f64(comp, shape)
+		if err != nil {
+			return Buffer{}, err
+		}
+		return NewBufferOf(data, shape)
+	default:
+		return Buffer{}, checkDType(dt)
+	}
 }
 
 // Result captures one compression run: the parameter used, the achieved
@@ -74,6 +219,18 @@ type Result struct {
 	Report     metrics.Report
 }
 
+// Evaluate computes the full quality report between an original buffer and
+// its reconstruction, dispatching on the shared element width.
+func Evaluate(orig, dec Buffer, compressedBytes int) (metrics.Report, error) {
+	if orig.dtype != dec.dtype {
+		return metrics.Report{}, fmt.Errorf("pressio: evaluate %s reconstruction against %s original", dec.dtype, orig.dtype)
+	}
+	if orig.dtype == container.Float64 {
+		return metrics.EvaluateGrid(orig.f64, dec.f64, orig.Shape, compressedBytes)
+	}
+	return metrics.EvaluateGrid(orig.f32, dec.f32, orig.Shape, compressedBytes)
+}
+
 // Run compresses, decompresses, and evaluates the buffer with the given
 // bound, returning the full result. It is the convenience used by the
 // experiment harness; FRaZ's inner loop uses Ratio instead, which skips the
@@ -83,11 +240,11 @@ func Run(c Compressor, buf Buffer, bound float64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	dec, err := c.Decompress(comp, buf.Shape)
+	dec, err := c.Decompress(comp, buf.Shape, buf.dtype)
 	if err != nil {
 		return Result{}, err
 	}
-	rep, err := metrics.EvaluateGrid(buf.Data, dec, buf.Shape, len(comp))
+	rep, err := Evaluate(buf, dec, len(comp))
 	if err != nil {
 		return Result{}, err
 	}
@@ -119,10 +276,13 @@ func (szCompressor) SupportsShape(shape grid.Dims) bool {
 }
 func (szCompressor) BoundRange() (float64, float64) { return 1e-12, 1e12 }
 func (szCompressor) Compress(buf Buffer, bound float64) ([]byte, error) {
-	return sz.Compress(buf.Data, buf.Shape, sz.Options{ErrorBound: bound})
+	opts := sz.Options{ErrorBound: bound}
+	return compressTyped(buf,
+		func(d []float32, s grid.Dims) ([]byte, error) { return sz.Compress(d, s, opts) },
+		func(d []float64, s grid.Dims) ([]byte, error) { return sz.Compress(d, s, opts) })
 }
-func (szCompressor) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
-	return sz.Decompress(comp, shape)
+func (szCompressor) Decompress(comp []byte, shape grid.Dims, dt container.DType) (Buffer, error) {
+	return decompressTyped(dt, comp, shape, sz.Decompress[float32], sz.Decompress[float64])
 }
 
 // --- ZFP adapters -----------------------------------------------------------
@@ -137,10 +297,13 @@ func (zfpAccuracy) SupportsShape(shape grid.Dims) bool {
 }
 func (zfpAccuracy) BoundRange() (float64, float64) { return 1e-12, 1e12 }
 func (zfpAccuracy) Compress(buf Buffer, bound float64) ([]byte, error) {
-	return zfp.Compress(buf.Data, buf.Shape, zfp.Options{Mode: zfp.ModeAccuracy, Tolerance: bound})
+	opts := zfp.Options{Mode: zfp.ModeAccuracy, Tolerance: bound}
+	return compressTyped(buf,
+		func(d []float32, s grid.Dims) ([]byte, error) { return zfp.Compress(d, s, opts) },
+		func(d []float64, s grid.Dims) ([]byte, error) { return zfp.Compress(d, s, opts) })
 }
-func (zfpAccuracy) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
-	return zfp.Decompress(comp, shape)
+func (zfpAccuracy) Decompress(comp []byte, shape grid.Dims, dt container.DType) (Buffer, error) {
+	return decompressTyped(dt, comp, shape, zfp.Decompress[float32], zfp.Decompress[float64])
 }
 
 type zfpFixedRate struct{}
@@ -153,10 +316,13 @@ func (zfpFixedRate) SupportsShape(shape grid.Dims) bool {
 }
 func (zfpFixedRate) BoundRange() (float64, float64) { return 1, 32 }
 func (zfpFixedRate) Compress(buf Buffer, bound float64) ([]byte, error) {
-	return zfp.Compress(buf.Data, buf.Shape, zfp.Options{Mode: zfp.ModeFixedRate, Rate: bound})
+	opts := zfp.Options{Mode: zfp.ModeFixedRate, Rate: bound}
+	return compressTyped(buf,
+		func(d []float32, s grid.Dims) ([]byte, error) { return zfp.Compress(d, s, opts) },
+		func(d []float64, s grid.Dims) ([]byte, error) { return zfp.Compress(d, s, opts) })
 }
-func (zfpFixedRate) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
-	return zfp.Decompress(comp, shape)
+func (zfpFixedRate) Decompress(comp []byte, shape grid.Dims, dt container.DType) (Buffer, error) {
+	return decompressTyped(dt, comp, shape, zfp.Decompress[float32], zfp.Decompress[float64])
 }
 
 // --- MGARD adapters ----------------------------------------------------------
@@ -172,10 +338,13 @@ func (mgardInfinity) SupportsShape(shape grid.Dims) bool {
 }
 func (mgardInfinity) BoundRange() (float64, float64) { return 1e-12, 1e12 }
 func (mgardInfinity) Compress(buf Buffer, bound float64) ([]byte, error) {
-	return mgard.Compress(buf.Data, buf.Shape, mgard.Options{Norm: mgard.NormInfinity, Bound: bound})
+	opts := mgard.Options{Norm: mgard.NormInfinity, Bound: bound}
+	return compressTyped(buf,
+		func(d []float32, s grid.Dims) ([]byte, error) { return mgard.Compress(d, s, opts) },
+		func(d []float64, s grid.Dims) ([]byte, error) { return mgard.Compress(d, s, opts) })
 }
-func (mgardInfinity) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
-	return mgard.Decompress(comp, shape)
+func (mgardInfinity) Decompress(comp []byte, shape grid.Dims, dt container.DType) (Buffer, error) {
+	return decompressTyped(dt, comp, shape, mgard.Decompress[float32], mgard.Decompress[float64])
 }
 
 type mgardL2 struct{}
@@ -189,10 +358,13 @@ func (mgardL2) SupportsShape(shape grid.Dims) bool {
 }
 func (mgardL2) BoundRange() (float64, float64) { return 1e-18, 1e12 }
 func (mgardL2) Compress(buf Buffer, bound float64) ([]byte, error) {
-	return mgard.Compress(buf.Data, buf.Shape, mgard.Options{Norm: mgard.NormL2, Bound: bound})
+	opts := mgard.Options{Norm: mgard.NormL2, Bound: bound}
+	return compressTyped(buf,
+		func(d []float32, s grid.Dims) ([]byte, error) { return mgard.Compress(d, s, opts) },
+		func(d []float64, s grid.Dims) ([]byte, error) { return mgard.Compress(d, s, opts) })
 }
-func (mgardL2) Decompress(comp []byte, shape grid.Dims) ([]float32, error) {
-	return mgard.Decompress(comp, shape)
+func (mgardL2) Decompress(comp []byte, shape grid.Dims, dt container.DType) (Buffer, error) {
+	return decompressTyped(dt, comp, shape, mgard.Decompress[float32], mgard.Decompress[float64])
 }
 
 func init() {

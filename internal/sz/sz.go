@@ -33,8 +33,22 @@ import (
 	"fraz/internal/quantize"
 )
 
-// magic identifies an SZ-Go compressed stream.
-const magic = 0x535A4731 // "SZG1"
+// magic32 and magic64 identify SZ-Go compressed streams of float32 and
+// float64 data respectively. The element width is part of the magic, so a
+// stream can never be reinterpreted at the wrong precision — and float32
+// streams keep the exact bytes earlier builds wrote.
+const (
+	magic32 = 0x535A4731 // "SZG1"
+	magic64 = 0x535A4732 // "SZG2"
+)
+
+// magicFor returns the stream magic for element type T.
+func magicFor[T grid.Float]() uint32 {
+	if grid.ElemSize[T]() == 4 {
+		return magic32
+	}
+	return magic64
+}
 
 // unpredictable is the quantization-code marker for values stored verbatim.
 const unpredictable = int32(1 << 30)
@@ -89,7 +103,7 @@ var ErrCorrupt = errors.New("sz: corrupt stream")
 // Compress compresses data of the given shape under the options' absolute
 // error bound and returns the compressed byte stream, which is
 // self-describing (Decompress needs no side information).
-func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
+func Compress[T grid.Float](data []T, shape grid.Dims, opts Options) ([]byte, error) {
 	if err := shape.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
@@ -102,10 +116,10 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
 
-	recon := make([]float32, len(data))
+	recon := make([]T, len(data))
 	blocks := shape.Blocks(o.BlockSize)
 	codes := make([]int32, 0, len(data))
-	literals := make([]float32, 0)
+	literals := make([]T, 0)
 	blockMeta := make([]byte, 0, len(blocks)*17)
 
 	strides := shape.Strides()
@@ -141,14 +155,15 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 			}
 			code, rec, ok := q.Quantize(float64(data[off]), pred)
 			if ok {
-				// The decompressor stores reconstructions as float32, so the
-				// bound must hold after the float32 cast as well.
-				rec32 := float32(rec)
-				if math.Abs(float64(rec32)-float64(data[off])) > o.ErrorBound {
+				// The decompressor stores reconstructions at the element
+				// type's precision, so the bound must hold after the cast as
+				// well (a no-op for float64 input).
+				recT := T(rec)
+				if math.Abs(float64(recT)-float64(data[off])) > o.ErrorBound {
 					ok = false
 				} else {
 					codes = append(codes, code)
-					recon[off] = rec32
+					recon[off] = recT
 				}
 			}
 			if !ok {
@@ -171,9 +186,7 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 	writeUint32(&payload, uint32(len(huffBytes)))
 	payload.Write(huffBytes)
 	writeUint32(&payload, uint32(len(literals)))
-	for _, v := range literals {
-		writeUint32(&payload, math.Float32bits(v))
-	}
+	writeLiterals(&payload, literals)
 
 	body := payload.Bytes()
 	dictFlag := byte(0)
@@ -196,7 +209,7 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 	}
 
 	var out bytes.Buffer
-	writeUint32(&out, magic)
+	writeUint32(&out, magicFor[T]())
 	out.WriteByte(dictFlag)
 	out.WriteByte(byte(shape.NDims()))
 	writeUint64(&out, math.Float64bits(o.ErrorBound))
@@ -212,15 +225,18 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 // Decompress reconstructs the data from a stream produced by Compress. The
 // shape argument must match the shape used at compression time; it is
 // validated against the header.
-func Decompress(buf []byte, shape grid.Dims) ([]float32, error) {
+func Decompress[T grid.Float](buf []byte, shape grid.Dims) ([]T, error) {
 	hdr, body, err := parseHeader(buf)
 	if err != nil {
 		return nil, err
 	}
+	if hdr.elemSize != grid.ElemSize[T]() {
+		return nil, fmt.Errorf("%w: stream holds %d-byte elements, caller expects %d-byte", ErrCorrupt, hdr.elemSize, grid.ElemSize[T]())
+	}
 	if shape != nil && !hdr.shape.Equal(shape) {
 		return nil, fmt.Errorf("%w: shape mismatch: stream has %v, caller expects %v", ErrCorrupt, hdr.shape, shape)
 	}
-	return decompressBody(hdr, body)
+	return decompressBody[T](hdr, body)
 }
 
 // DecompressHeaderShape extracts the shape stored in a compressed stream.
@@ -234,6 +250,7 @@ func DecompressHeaderShape(buf []byte) (grid.Dims, error) {
 
 type header struct {
 	dictFlag   byte
+	elemSize   int
 	errorBound float64
 	blockSize  int
 	intervals  int
@@ -245,7 +262,12 @@ func parseHeader(buf []byte) (header, []byte, error) {
 	if len(buf) < 4+1+1+8+4+4 {
 		return h, nil, ErrCorrupt
 	}
-	if binary.LittleEndian.Uint32(buf[0:4]) != magic {
+	switch binary.LittleEndian.Uint32(buf[0:4]) {
+	case magic32:
+		h.elemSize = 4
+	case magic64:
+		h.elemSize = 8
+	default:
 		return h, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	h.dictFlag = buf[4]
@@ -271,7 +293,7 @@ func parseHeader(buf []byte) (header, []byte, error) {
 	return h, buf[pos:], nil
 }
 
-func decompressBody(h header, body []byte) ([]float32, error) {
+func decompressBody[T grid.Float](h header, body []byte) ([]T, error) {
 	if h.dictFlag == 1 {
 		fr := flate.NewReader(bytes.NewReader(body))
 		raw, err := io.ReadAll(fr)
@@ -294,13 +316,9 @@ func decompressBody(h header, body []byte) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	literals := make([]float32, numLit)
-	for i := range literals {
-		v, err := readUint32(rd)
-		if err != nil {
-			return nil, err
-		}
-		literals[i] = math.Float32frombits(v)
+	literals, err := readLiterals[T](rd, int(numLit))
+	if err != nil {
+		return nil, err
 	}
 
 	codes, err := huffman.Decode(huffBytes)
@@ -316,7 +334,7 @@ func decompressBody(h header, body []byte) ([]float32, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 
-	recon := make([]float32, h.shape.Len())
+	recon := make([]T, h.shape.Len())
 	strides := h.shape.Strides()
 	lorenzo := newLorenzoPredictor(h.shape, strides, recon)
 	blocks := h.shape.Blocks(h.blockSize)
@@ -364,7 +382,7 @@ func decompressBody(h header, body []byte) ([]float32, error) {
 			} else {
 				pred = lorenzo.predict(off)
 			}
-			recon[off] = float32(q.Dequantize(pred, code))
+			recon[off] = T(q.Dequantize(pred, code))
 		})
 		if fail != nil {
 			return nil, fail
@@ -375,21 +393,21 @@ func decompressBody(h header, body []byte) ([]float32, error) {
 
 // lorenzoPredictor computes the one-layer Lorenzo prediction from the global
 // reconstructed array. Missing (out-of-domain) neighbours contribute zero.
-type lorenzoPredictor struct {
+type lorenzoPredictor[T grid.Float] struct {
 	shape   grid.Dims
 	strides []int
-	recon   []float32
+	recon   []T
 	coords  []int
 }
 
-func newLorenzoPredictor(shape grid.Dims, strides []int, recon []float32) *lorenzoPredictor {
-	return &lorenzoPredictor{shape: shape, strides: strides, recon: recon, coords: make([]int, shape.NDims())}
+func newLorenzoPredictor[T grid.Float](shape grid.Dims, strides []int, recon []T) *lorenzoPredictor[T] {
+	return &lorenzoPredictor[T]{shape: shape, strides: strides, recon: recon, coords: make([]int, shape.NDims())}
 }
 
 // predict returns the Lorenzo prediction for the point at flat offset off.
 // The caller guarantees that all lower-index neighbours have already been
 // reconstructed (true for block-major, row-major processing).
-func (p *lorenzoPredictor) predict(off int) float64 {
+func (p *lorenzoPredictor[T]) predict(off int) float64 {
 	// Recover the coordinates of off.
 	rem := off
 	for i := 0; i < len(p.shape); i++ {
@@ -479,7 +497,7 @@ func forEachBlockPoint(shape grid.Dims, b grid.Block, fn func(off int, local []i
 // fitRegression fits value ~ b0 + b1*i0 + b2*i1 + b3*i2 over the block's
 // original data by least squares (normal equations on a small, well-
 // conditioned system). Unused dimensions have zero coefficients.
-func fitRegression(data []float32, shape grid.Dims, strides []int, b grid.Block) [4]float64 {
+func fitRegression[T grid.Float](data []T, shape grid.Dims, strides []int, b grid.Block) [4]float64 {
 	nd := shape.NDims()
 	// Design matrix columns: 1, i0, i1, i2 (block-local coordinates).
 	var ata [4][4]float64
@@ -555,7 +573,7 @@ func predictRegression(coeffs [4]float64, local []int) float64 {
 // data, whether the regression predictor yields a lower absolute residual
 // than the Lorenzo predictor over the block, mirroring SZ 2.x's sampling-
 // based predictor selection.
-func regressionBeatsLorenzo(data []float32, shape grid.Dims, strides []int, b grid.Block, coeffs [4]float64) bool {
+func regressionBeatsLorenzo[T grid.Float](data []T, shape grid.Dims, strides []int, b grid.Block, coeffs [4]float64) bool {
 	nd := shape.NDims()
 	var errLorenzo, errRegress float64
 	forEachBlockPoint(shape, b, func(off int, local []int) {
@@ -635,6 +653,51 @@ func readUint32(r *bytes.Reader) (uint32, error) {
 		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return binary.LittleEndian.Uint32(tmp[:]), nil
+}
+
+// writeLiterals appends the unpredictable values' raw IEEE-754 bits: 4 bytes
+// per element for float32 streams, 8 for float64.
+func writeLiterals[T grid.Float](w *bytes.Buffer, literals []T) {
+	if grid.ElemSize[T]() == 4 {
+		for _, v := range literals {
+			writeUint32(w, math.Float32bits(float32(v)))
+		}
+		return
+	}
+	for _, v := range literals {
+		writeUint64(w, math.Float64bits(float64(v)))
+	}
+}
+
+// readLiterals is the inverse of writeLiterals.
+func readLiterals[T grid.Float](r *bytes.Reader, n int) ([]T, error) {
+	out := make([]T, n)
+	if grid.ElemSize[T]() == 4 {
+		for i := range out {
+			v, err := readUint32(r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = T(math.Float32frombits(v))
+		}
+		return out, nil
+	}
+	for i := range out {
+		v, err := readUint64(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = T(math.Float64frombits(v))
+	}
+	return out, nil
+}
+
+func readUint64(r *bytes.Reader) (uint64, error) {
+	var tmp [8]byte
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return binary.LittleEndian.Uint64(tmp[:]), nil
 }
 
 func readChunk(r *bytes.Reader) ([]byte, error) {

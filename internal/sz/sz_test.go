@@ -46,7 +46,7 @@ func roundTrip(t *testing.T, data []float32, shape grid.Dims, eb float64) []floa
 	if err != nil {
 		t.Fatalf("Compress: %v", err)
 	}
-	dec, err := Decompress(comp, shape)
+	dec, err := Decompress[float32](comp, shape)
 	if err != nil {
 		t.Fatalf("Decompress: %v", err)
 	}
@@ -111,7 +111,7 @@ func TestConstantField(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec, err := Decompress(comp, shape)
+	dec, err := Decompress[float32](comp, shape)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestInvalidInputs(t *testing.T) {
 }
 
 func TestDecompressCorrupt(t *testing.T) {
-	if _, err := Decompress([]byte{1, 2, 3}, nil); err == nil {
+	if _, err := Decompress[float32]([]byte{1, 2, 3}, nil); err == nil {
 		t.Errorf("short buffer should fail")
 	}
 	data, shape := synthetic1D(100, 3)
@@ -197,7 +197,7 @@ func TestDecompressCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 	comp[0] ^= 0xFF // break magic
-	if _, err := Decompress(comp, shape); err == nil {
+	if _, err := Decompress[float32](comp, shape); err == nil {
 		t.Errorf("bad magic should fail")
 	}
 }
@@ -208,11 +208,11 @@ func TestDecompressShapeMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Decompress(comp, grid.MustDims(50)); err == nil {
+	if _, err := Decompress[float32](comp, grid.MustDims(50)); err == nil {
 		t.Errorf("shape mismatch should fail")
 	}
 	// nil shape uses the embedded one
-	if _, err := Decompress(comp, nil); err != nil {
+	if _, err := Decompress[float32](comp, nil); err != nil {
 		t.Errorf("nil shape should use header shape: %v", err)
 	}
 }
@@ -244,7 +244,7 @@ func TestAblationOptions(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Compress(%+v): %v", opts, err)
 		}
-		dec, err := Decompress(comp, shape)
+		dec, err := Decompress[float32](comp, shape)
 		if err != nil {
 			t.Fatalf("Decompress(%+v): %v", opts, err)
 		}
@@ -267,7 +267,7 @@ func TestPropertyErrorBoundHolds(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		dec, err := Decompress(comp, shape)
+		dec, err := Decompress[float32](comp, shape)
 		if err != nil {
 			return false
 		}
@@ -300,7 +300,7 @@ func BenchmarkDecompress3D(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Decompress(comp, shape); err != nil {
+		if _, err := Decompress[float32](comp, shape); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -33,12 +33,12 @@ func BlockCount(shape grid.Dims) int {
 // order) from a fixed-rate stream without decoding any other block. It
 // returns the block's reconstructed values (only the valid, unpadded
 // portion, in row-major order) and the block's extent descriptor.
-func DecompressBlock(buf []byte, blockIndex int) ([]float32, grid.Block, error) {
+func DecompressBlock[T grid.Float](buf []byte, blockIndex int) ([]T, grid.Block, error) {
 	if len(buf) < 4+1+1+8 {
 		return nil, grid.Block{}, ErrCorrupt
 	}
-	if binary.LittleEndian.Uint32(buf[0:4]) != magic {
-		return nil, grid.Block{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	if err := checkMagic[T](binary.LittleEndian.Uint32(buf[0:4])); err != nil {
+		return nil, grid.Block{}, err
 	}
 	mode := Mode(buf[4])
 	if mode != ModeFixedRate {
@@ -88,23 +88,31 @@ func DecompressBlock(buf []byte, blockIndex int) ([]float32, grid.Block, error) 
 		}
 	}
 
-	blockBuf := make([]float32, blockValues)
+	blockBuf := make([]float64, blockValues)
 	perm := sequencyPermutation(nd)
-	if err := decodeBlock(r, blockBuf, nd, perm, ModeFixedRate, 0, 0, maxbits); err != nil {
+	var err error
+	if intprecFor[T]() == 64 {
+		err = decodeBlock[int64](r, blockBuf, nd, perm, ModeFixedRate, 0, 0, maxbits)
+	} else {
+		err = decodeBlock[int32](r, blockBuf, nd, perm, ModeFixedRate, 0, 0, maxbits)
+	}
+	if err != nil {
 		return nil, grid.Block{}, err
 	}
 
 	b := blocks[blockIndex]
-	out := make([]float32, b.Len())
+	out := make([]T, b.Len())
 	// Copy the valid (unpadded) portion in row-major order.
 	switch nd {
 	case 1:
-		copy(out, blockBuf[:b.Size[0]])
+		for x := 0; x < b.Size[0]; x++ {
+			out[x] = T(blockBuf[x])
+		}
 	case 2:
 		i := 0
 		for y := 0; y < b.Size[0]; y++ {
 			for x := 0; x < b.Size[1]; x++ {
-				out[i] = blockBuf[y*4+x]
+				out[i] = T(blockBuf[y*4+x])
 				i++
 			}
 		}
@@ -113,7 +121,7 @@ func DecompressBlock(buf []byte, blockIndex int) ([]float32, grid.Block, error) 
 		for z := 0; z < b.Size[0]; z++ {
 			for y := 0; y < b.Size[1]; y++ {
 				for x := 0; x < b.Size[2]; x++ {
-					out[i] = blockBuf[z*16+y*4+x]
+					out[i] = T(blockBuf[z*16+y*4+x])
 					i++
 				}
 			}
@@ -124,7 +132,7 @@ func DecompressBlock(buf []byte, blockIndex int) ([]float32, grid.Block, error) 
 
 // DecompressAt decodes the single value at the given multi-index from a
 // fixed-rate stream, touching only the block that contains it.
-func DecompressAt(buf []byte, index ...int) (float32, error) {
+func DecompressAt[T grid.Float](buf []byte, index ...int) (T, error) {
 	if len(buf) < 6 {
 		return 0, ErrCorrupt
 	}
@@ -159,7 +167,7 @@ func DecompressAt(buf []byte, index ...int) (float32, error) {
 	for k := 0; k < nd; k++ {
 		blockIndex = blockIndex*blockCounts[k] + index[k]/4
 	}
-	values, b, err := DecompressBlock(buf, blockIndex)
+	values, b, err := DecompressBlock[T](buf, blockIndex)
 	if err != nil {
 		return 0, err
 	}

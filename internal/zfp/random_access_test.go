@@ -43,7 +43,7 @@ func TestDecompressBlockMatchesFullDecompression(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			full, err := Decompress(comp, shape)
+			full, err := Decompress[float32](comp, shape)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -52,7 +52,7 @@ func TestDecompressBlockMatchesFullDecompression(t *testing.T) {
 				t.Fatalf("BlockCount disagrees with grid.Blocks")
 			}
 			for bi := range blocks {
-				values, b, err := DecompressBlock(comp, bi)
+				values, b, err := DecompressBlock[float32](comp, bi)
 				if err != nil {
 					t.Fatalf("block %d: %v", bi, err)
 				}
@@ -76,19 +76,19 @@ func TestDecompressAtMatchesFullDecompression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := Decompress(comp, shape)
+	full, err := Decompress[float32](comp, shape)
 	if err != nil {
 		t.Fatal(err)
 	}
 	strides := shape.Strides()
 	for _, idx := range [][]int{{0, 0, 0}, {6, 8, 5}, {3, 4, 2}, {5, 0, 5}} {
-		got, err := DecompressAt(comp, idx...)
+		got, err := DecompressAt[float32](comp, idx...)
 		if err != nil {
-			t.Fatalf("DecompressAt(%v): %v", idx, err)
+			t.Fatalf("DecompressAt[float32](%v): %v", idx, err)
 		}
 		want := full[idx[0]*strides[0]+idx[1]*strides[1]+idx[2]*strides[2]]
 		if got != want {
-			t.Errorf("DecompressAt(%v) = %v, want %v", idx, got, want)
+			t.Errorf("DecompressAt[float32](%v) = %v, want %v", idx, got, want)
 		}
 	}
 }
@@ -99,31 +99,31 @@ func TestRandomAccessErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := DecompressBlock(accComp, 0); err != ErrNotFixedRate {
+	if _, _, err := DecompressBlock[float32](accComp, 0); err != ErrNotFixedRate {
 		t.Errorf("accuracy-mode stream should be rejected, got %v", err)
 	}
 	frComp, err := Compress(data, shape, Options{Mode: ModeFixedRate, Rate: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := DecompressBlock(frComp, -1); err == nil {
+	if _, _, err := DecompressBlock[float32](frComp, -1); err == nil {
 		t.Errorf("negative block index should fail")
 	}
-	if _, _, err := DecompressBlock(frComp, 1000); err == nil {
+	if _, _, err := DecompressBlock[float32](frComp, 1000); err == nil {
 		t.Errorf("out-of-range block index should fail")
 	}
-	if _, _, err := DecompressBlock([]byte{1, 2, 3}, 0); err == nil {
+	if _, _, err := DecompressBlock[float32]([]byte{1, 2, 3}, 0); err == nil {
 		t.Errorf("garbage stream should fail")
 	}
-	if _, err := DecompressAt(frComp, 1, 2); err == nil {
+	if _, err := DecompressAt[float32](frComp, 1, 2); err == nil {
 		t.Errorf("rank mismatch should fail")
 	}
-	if _, err := DecompressAt(frComp, 100); err == nil {
+	if _, err := DecompressAt[float32](frComp, 100); err == nil {
 		t.Errorf("out-of-range index should fail")
 	}
 	bad := append([]byte(nil), frComp...)
 	bad[0] ^= 0xFF
-	if _, _, err := DecompressBlock(bad, 0); err == nil {
+	if _, _, err := DecompressBlock[float32](bad, 0); err == nil {
 		t.Errorf("bad magic should fail")
 	}
 }

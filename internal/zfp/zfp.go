@@ -28,16 +28,67 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"unsafe"
 
 	"fraz/internal/bitstream"
 	"fraz/internal/grid"
 )
 
-const magic = 0x5A465031 // "ZFP1"
+// magic32 and magic64 identify ZFP-Go streams of float32 and float64 data.
+// The element width is part of the magic, so a stream can never be decoded
+// at the wrong precision — and float32 streams keep the exact bytes earlier
+// builds wrote.
+const (
+	magic32 = 0x5A465031 // "ZFP1"
+	magic64 = 0x5A465032 // "ZFP2"
+)
 
-// intprec is the integer precision used for block-floating-point
-// coefficients (ZFP uses 32 for single-precision input).
-const intprec = 32
+// magicFor returns the stream magic for element type T.
+func magicFor[T grid.Float]() uint32 {
+	if grid.ElemSize[T]() == 4 {
+		return magic32
+	}
+	return magic64
+}
+
+// checkMagic validates a stream magic against element type T, separating
+// "not a ZFP stream" from "a ZFP stream of the other precision".
+func checkMagic[T grid.Float](m uint32) error {
+	switch m {
+	case magicFor[T]():
+		return nil
+	case magic32:
+		return fmt.Errorf("%w: stream holds float32 data, caller expects %d-byte elements", ErrCorrupt, grid.ElemSize[T]())
+	case magic64:
+		return fmt.Errorf("%w: stream holds float64 data, caller expects %d-byte elements", ErrCorrupt, grid.ElemSize[T]())
+	default:
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+}
+
+// coeff constrains the block-floating-point coefficient domain: int32 for
+// float32 input (ZFP's single-precision configuration) and int64 for
+// float64. The lifting transform relies on the modular arithmetic of the
+// concrete type — int32 wraparound is part of the float32 stream format —
+// which is why the width is a type parameter rather than a runtime mask.
+type coeff interface {
+	int32 | int64
+}
+
+// intprecOf is the integer precision used for block-floating-point
+// coefficients: 32 for float32 input, 64 for float64 (matching ZFP).
+func intprecOf[I coeff]() int {
+	var z I
+	return int(unsafe.Sizeof(z)) * 8
+}
+
+// intprecFor is intprecOf keyed by the element type.
+func intprecFor[T grid.Float]() int {
+	if grid.ElemSize[T]() == 4 {
+		return 32
+	}
+	return 64
+}
 
 // Mode selects how the per-block bit budget is determined.
 type Mode uint8
@@ -95,7 +146,7 @@ func guardPlanes(ndims int) int { return 2 * (ndims + 1) }
 
 // Compress compresses the field under the given options. The returned stream
 // is self-describing.
-func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
+func Compress[T grid.Float](data []T, shape grid.Dims, opts Options) ([]byte, error) {
 	if err := shape.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
@@ -106,6 +157,7 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 	if nd > 3 {
 		return nil, fmt.Errorf("%w: zfp supports 1-3 dimensions, got %d", ErrInvalidInput, nd)
 	}
+	intprec := intprecFor[T]()
 	var minexp int
 	var maxbits int
 	precision := 0
@@ -138,13 +190,18 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 
 	w := bitstream.NewWriter(len(data) / 2)
 	blocks := shape.Blocks(4)
-	blockBuf := make([]float32, blockValues)
+	blockBuf := make([]float64, blockValues)
 	perm := sequencyPermutation(nd)
+	wide := intprec == 64
 
 	for _, b := range blocks {
 		gatherPadded(data, shape, b, blockBuf, nd)
 		startBits := w.Len()
-		encodeBlock(w, blockBuf, nd, perm, opts.Mode, minexp, precision, maxbits)
+		if wide {
+			encodeBlock[int64](w, blockBuf, nd, perm, opts.Mode, minexp, precision, maxbits)
+		} else {
+			encodeBlock[int32](w, blockBuf, nd, perm, opts.Mode, minexp, precision, maxbits)
+		}
 		if opts.Mode == ModeFixedRate {
 			used := w.Len() - startBits
 			for ; used < maxbits; used++ {
@@ -156,7 +213,7 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 
 	var out bytes.Buffer
 	var tmp [8]byte
-	binary.LittleEndian.PutUint32(tmp[:4], magic)
+	binary.LittleEndian.PutUint32(tmp[:4], magicFor[T]())
 	out.Write(tmp[:4])
 	out.WriteByte(byte(opts.Mode))
 	out.WriteByte(byte(nd))
@@ -179,13 +236,14 @@ func Compress(data []float32, shape grid.Dims, opts Options) ([]byte, error) {
 
 // Decompress reconstructs the field from a stream produced by Compress. If
 // shape is non-nil it is validated against the header.
-func Decompress(buf []byte, shape grid.Dims) ([]float32, error) {
+func Decompress[T grid.Float](buf []byte, shape grid.Dims) ([]T, error) {
 	if len(buf) < 4+1+1+8 {
 		return nil, ErrCorrupt
 	}
-	if binary.LittleEndian.Uint32(buf[0:4]) != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	if err := checkMagic[T](binary.LittleEndian.Uint32(buf[0:4])); err != nil {
+		return nil, err
 	}
+	intprec := intprecFor[T]()
 	mode := Mode(buf[4])
 	nd := int(buf[5])
 	if nd < 1 || nd > 3 {
@@ -236,14 +294,21 @@ func Decompress(buf []byte, shape grid.Dims) ([]float32, error) {
 	}
 
 	r := bitstream.NewReader(buf[pos:])
-	out := make([]float32, hdrShape.Len())
+	out := make([]T, hdrShape.Len())
 	blocks := hdrShape.Blocks(4)
-	blockBuf := make([]float32, blockValues)
+	blockBuf := make([]float64, blockValues)
 	perm := sequencyPermutation(nd)
+	wide := intprec == 64
 
 	for _, b := range blocks {
 		startRemaining := r.BitsRemaining()
-		if err := decodeBlock(r, blockBuf, nd, perm, mode, minexp, precision, maxbits); err != nil {
+		var err error
+		if wide {
+			err = decodeBlock[int64](r, blockBuf, nd, perm, mode, minexp, precision, maxbits)
+		} else {
+			err = decodeBlock[int32](r, blockBuf, nd, perm, mode, minexp, precision, maxbits)
+		}
+		if err != nil {
 			return nil, err
 		}
 		if mode == ModeFixedRate {
@@ -280,20 +345,20 @@ func CompressedSizeFixedRate(shape grid.Dims, rate float64) int {
 // gatherPadded copies a (possibly partial) block into a full 4^d buffer,
 // padding missing samples by replicating the nearest valid sample along each
 // axis, as ZFP does, to avoid introducing artificial discontinuities.
-func gatherPadded(data []float32, shape grid.Dims, b grid.Block, dst []float32, nd int) {
+func gatherPadded[T grid.Float](data []T, shape grid.Dims, b grid.Block, dst []float64, nd int) {
 	strides := shape.Strides()
 	switch nd {
 	case 1:
 		for x := 0; x < 4; x++ {
 			sx := clampIndex(x, b.Size[0])
-			dst[x] = data[(b.Start[0]+sx)*strides[0]]
+			dst[x] = float64(data[(b.Start[0]+sx)*strides[0]])
 		}
 	case 2:
 		for y := 0; y < 4; y++ {
 			sy := clampIndex(y, b.Size[0])
 			for x := 0; x < 4; x++ {
 				sx := clampIndex(x, b.Size[1])
-				dst[y*4+x] = data[(b.Start[0]+sy)*strides[0]+(b.Start[1]+sx)*strides[1]]
+				dst[y*4+x] = float64(data[(b.Start[0]+sy)*strides[0]+(b.Start[1]+sx)*strides[1]])
 			}
 		}
 	default:
@@ -303,7 +368,7 @@ func gatherPadded(data []float32, shape grid.Dims, b grid.Block, dst []float32, 
 				sy := clampIndex(y, b.Size[1])
 				for x := 0; x < 4; x++ {
 					sx := clampIndex(x, b.Size[2])
-					dst[z*16+y*4+x] = data[(b.Start[0]+sz)*strides[0]+(b.Start[1]+sy)*strides[1]+(b.Start[2]+sx)*strides[2]]
+					dst[z*16+y*4+x] = float64(data[(b.Start[0]+sz)*strides[0]+(b.Start[1]+sy)*strides[1]+(b.Start[2]+sx)*strides[2]])
 				}
 			}
 		}
@@ -312,24 +377,24 @@ func gatherPadded(data []float32, shape grid.Dims, b grid.Block, dst []float32, 
 
 // scatterPadded writes the valid portion of a decoded 4^d block back into
 // the output array, discarding padded samples.
-func scatterPadded(out []float32, shape grid.Dims, b grid.Block, src []float32, nd int) {
+func scatterPadded[T grid.Float](out []T, shape grid.Dims, b grid.Block, src []float64, nd int) {
 	strides := shape.Strides()
 	switch nd {
 	case 1:
 		for x := 0; x < b.Size[0]; x++ {
-			out[(b.Start[0]+x)*strides[0]] = src[x]
+			out[(b.Start[0]+x)*strides[0]] = T(src[x])
 		}
 	case 2:
 		for y := 0; y < b.Size[0]; y++ {
 			for x := 0; x < b.Size[1]; x++ {
-				out[(b.Start[0]+y)*strides[0]+(b.Start[1]+x)*strides[1]] = src[y*4+x]
+				out[(b.Start[0]+y)*strides[0]+(b.Start[1]+x)*strides[1]] = T(src[y*4+x])
 			}
 		}
 	default:
 		for z := 0; z < b.Size[0]; z++ {
 			for y := 0; y < b.Size[1]; y++ {
 				for x := 0; x < b.Size[2]; x++ {
-					out[(b.Start[0]+z)*strides[0]+(b.Start[1]+y)*strides[1]+(b.Start[2]+x)*strides[2]] = src[z*16+y*4+x]
+					out[(b.Start[0]+z)*strides[0]+(b.Start[1]+y)*strides[1]+(b.Start[2]+x)*strides[2]] = T(src[z*16+y*4+x])
 				}
 			}
 		}
@@ -345,10 +410,10 @@ func clampIndex(i, size int) int {
 
 // blockExponent returns the smallest e such that |v| < 2^e for every value
 // in the block, and whether any value is nonzero.
-func blockExponent(block []float32) (int, bool) {
+func blockExponent(block []float64) (int, bool) {
 	var maxAbs float64
 	for _, v := range block {
-		a := math.Abs(float64(v))
+		a := math.Abs(v)
 		if a > maxAbs {
 			maxAbs = a
 		}
@@ -360,8 +425,10 @@ func blockExponent(block []float32) (int, bool) {
 	return e, true
 }
 
-// encodeBlock encodes one 4^d block.
-func encodeBlock(w *bitstream.Writer, block []float32, nd int, perm []int, mode Mode, minexp, precision, maxbits int) {
+// encodeBlock encodes one 4^d block with coefficient domain I (int32 for
+// float32 streams, int64 for float64).
+func encodeBlock[I coeff](w *bitstream.Writer, block []float64, nd int, perm []int, mode Mode, minexp, precision, maxbits int) {
+	intprec := intprecOf[I]()
 	emax, nonzero := blockExponent(block)
 	size := len(block)
 
@@ -401,28 +468,28 @@ func encodeBlock(w *bitstream.Writer, block []float32, nd int, perm []int, mode 
 	w.WriteBits(uint64(emax+16384), 16)
 
 	// Block floating point: scale to signed integers with intprec-2 bits.
-	// The clamp keeps |q| strictly below 2^30 so the lifting transform's
-	// intermediate sums cannot overflow int32.
+	// The clamp keeps |q| strictly below 2^(intprec-2) so the coefficients
+	// enter the lifting transform with two guard bits of headroom.
 	scale := math.Ldexp(1, intprec-2-emax)
-	const qmax = 1<<(intprec-2) - 1
-	ints := make([]int32, size)
+	qmax := math.Ldexp(1, intprec-2) - 1
+	ints := make([]I, size)
 	for i, v := range block {
-		q := float64(v) * scale
+		q := v * scale
 		if q > qmax {
 			q = qmax
 		} else if q < -qmax {
 			q = -qmax
 		}
-		ints[i] = int32(q)
+		ints[i] = I(q)
 	}
 
 	// Decorrelating transform along each dimension.
 	forwardTransform(ints, nd)
 
 	// Reorder by total sequency and convert to negabinary.
-	neg := make([]uint32, size)
+	neg := make([]uint64, size)
 	for i, p := range perm {
-		neg[i] = int32ToNegabinary(ints[p])
+		neg[i] = toNegabinary(ints[p])
 	}
 
 	budget := maxbits
@@ -432,10 +499,11 @@ func encodeBlock(w *bitstream.Writer, block []float32, nd int, perm []int, mode 
 			budget = 0
 		}
 	}
-	encodeInts(w, neg, kmin, budget)
+	encodeInts(w, neg, kmin, budget, intprec)
 }
 
-func decodeBlock(r *bitstream.Reader, block []float32, nd int, perm []int, mode Mode, minexp, precision, maxbits int) error {
+func decodeBlock[I coeff](r *bitstream.Reader, block []float64, nd int, perm []int, mode Mode, minexp, precision, maxbits int) error {
+	intprec := intprecOf[I]()
 	flag, err := r.ReadBit()
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -474,18 +542,18 @@ func decodeBlock(r *bitstream.Reader, block []float32, nd int, perm []int, mode 
 			budget = 0
 		}
 	}
-	neg, err := decodeInts(r, size, kmin, budget)
+	neg, err := decodeInts(r, size, kmin, budget, intprec)
 	if err != nil {
 		return err
 	}
-	ints := make([]int32, size)
+	ints := make([]I, size)
 	for i, p := range perm {
-		ints[p] = negabinaryToInt32(neg[i])
+		ints[p] = fromNegabinary[I](neg[i])
 	}
 	inverseTransform(ints, nd)
 	scale := math.Ldexp(1, emax-(intprec-2))
 	for i := range block {
-		block[i] = float32(float64(ints[i]) * scale)
+		block[i] = float64(ints[i]) * scale
 	}
 	return nil
 }
@@ -494,7 +562,7 @@ func decodeBlock(r *bitstream.Reader, block []float32, nd int, perm []int, mode 
 
 // fwdLift applies ZFP's forward lifting transform to four values at the
 // given stride.
-func fwdLift(p []int32, base, stride int) {
+func fwdLift[I coeff](p []I, base, stride int) {
 	x := p[base]
 	y := p[base+stride]
 	z := p[base+2*stride]
@@ -522,7 +590,7 @@ func fwdLift(p []int32, base, stride int) {
 }
 
 // invLift applies the inverse lifting transform.
-func invLift(p []int32, base, stride int) {
+func invLift[I coeff](p []I, base, stride int) {
 	x := p[base]
 	y := p[base+stride]
 	z := p[base+2*stride]
@@ -549,7 +617,7 @@ func invLift(p []int32, base, stride int) {
 	p[base+3*stride] = w
 }
 
-func forwardTransform(p []int32, nd int) {
+func forwardTransform[I coeff](p []I, nd int) {
 	switch nd {
 	case 1:
 		fwdLift(p, 0, 1)
@@ -579,7 +647,7 @@ func forwardTransform(p []int32, nd int) {
 	}
 }
 
-func inverseTransform(p []int32, nd int) {
+func inverseTransform[I coeff](p []I, nd int) {
 	switch nd {
 	case 1:
 		invLift(p, 0, 1)
@@ -611,7 +679,10 @@ func inverseTransform(p []int32, nd int) {
 
 // --- negabinary -------------------------------------------------------------
 
-const negabinaryMask = 0xaaaaaaaa
+const (
+	negabinaryMask   = 0xaaaaaaaa
+	negabinaryMask64 = 0xaaaaaaaaaaaaaaaa
+)
 
 func int32ToNegabinary(v int32) uint32 {
 	return (uint32(v) + negabinaryMask) ^ negabinaryMask
@@ -619,6 +690,31 @@ func int32ToNegabinary(v int32) uint32 {
 
 func negabinaryToInt32(u uint32) int32 {
 	return int32((u ^ negabinaryMask) - negabinaryMask)
+}
+
+func int64ToNegabinary(v int64) uint64 {
+	return (uint64(v) + negabinaryMask64) ^ negabinaryMask64
+}
+
+func negabinaryToInt64(u uint64) int64 {
+	return int64((u ^ negabinaryMask64) - negabinaryMask64)
+}
+
+// toNegabinary converts a coefficient to its width's negabinary code,
+// widened to uint64 for the shared bit-plane coder.
+func toNegabinary[I coeff](v I) uint64 {
+	if intprecOf[I]() == 32 {
+		return uint64(int32ToNegabinary(int32(v)))
+	}
+	return int64ToNegabinary(int64(v))
+}
+
+// fromNegabinary is the inverse of toNegabinary.
+func fromNegabinary[I coeff](u uint64) I {
+	if intprecOf[I]() == 32 {
+		return I(negabinaryToInt32(uint32(u)))
+	}
+	return I(negabinaryToInt64(u))
 }
 
 // --- sequency permutation ----------------------------------------------------
@@ -667,8 +763,9 @@ func computeSequencyPermutation(nd int) []int {
 
 // encodeInts encodes the negabinary coefficients bit plane by bit plane with
 // ZFP's group-testing scheme, spending at most budget bits and stopping at
-// bit plane kmin. It returns the number of bits written.
-func encodeInts(w *bitstream.Writer, data []uint32, kmin, budget int) int {
+// bit plane kmin. Planes run from intprec-1 (32 or 64 by element width)
+// down. It returns the number of bits written.
+func encodeInts(w *bitstream.Writer, data []uint64, kmin, budget, intprec int) int {
 	size := len(data)
 	bits := budget
 	n := 0
@@ -676,7 +773,7 @@ func encodeInts(w *bitstream.Writer, data []uint32, kmin, budget int) int {
 		// Extract bit plane k: bit i of x is coefficient i's bit.
 		var x uint64
 		for i := 0; i < size; i++ {
-			x |= uint64((data[i]>>uint(k))&1) << uint(i)
+			x |= ((data[i] >> uint(k)) & 1) << uint(i)
 		}
 		// Verbatim bits for coefficients already significant.
 		m := n
@@ -714,8 +811,8 @@ func encodeInts(w *bitstream.Writer, data []uint32, kmin, budget int) int {
 }
 
 // decodeInts is the inverse of encodeInts.
-func decodeInts(r *bitstream.Reader, size, kmin, budget int) ([]uint32, error) {
-	data := make([]uint32, size)
+func decodeInts(r *bitstream.Reader, size, kmin, budget, intprec int) ([]uint64, error) {
+	data := make([]uint64, size)
 	bits := budget
 	n := 0
 	for k := intprec - 1; k >= kmin && bits > 0; k-- {
@@ -752,7 +849,7 @@ func decodeInts(r *bitstream.Reader, size, kmin, budget int) ([]uint32, error) {
 			n++
 		}
 		for i := 0; x != 0; i++ {
-			data[i] |= uint32(x&1) << uint(k)
+			data[i] |= (x & 1) << uint(k)
 			x >>= 1
 		}
 	}

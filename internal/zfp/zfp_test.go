@@ -132,16 +132,24 @@ func TestSequencyPermutationIsPermutation(t *testing.T) {
 
 func TestEncodeDecodeIntsRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	for trial := 0; trial < 100; trial++ {
+	for trial := 0; trial < 200; trial++ {
 		size := []int{4, 16, 64}[trial%3]
-		data := make([]uint32, size)
+		intprec := 32
+		if trial >= 100 {
+			intprec = 64
+		}
+		data := make([]uint64, size)
 		for i := range data {
-			data[i] = rng.Uint32() >> uint(rng.Intn(20))
+			if intprec == 32 {
+				data[i] = uint64(rng.Uint32() >> uint(rng.Intn(20)))
+			} else {
+				data[i] = rng.Uint64() >> uint(rng.Intn(40))
+			}
 		}
 		w := bitstream.NewWriter(0)
-		encodeInts(w, data, 0, math.MaxInt32)
+		encodeInts(w, data, 0, math.MaxInt32, intprec)
 		r := bitstream.NewReader(w.Bytes())
-		got, err := decodeInts(r, size, 0, math.MaxInt32)
+		got, err := decodeInts(r, size, 0, math.MaxInt32, intprec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +167,7 @@ func accuracyRoundTrip(t *testing.T, data []float32, shape grid.Dims, tol float6
 	if err != nil {
 		t.Fatalf("Compress: %v", err)
 	}
-	dec, err := Decompress(comp, shape)
+	dec, err := Decompress[float32](comp, shape)
 	if err != nil {
 		t.Fatalf("Decompress: %v", err)
 	}
@@ -279,7 +287,7 @@ func TestFixedRateSizeIsExact(t *testing.T) {
 		if len(comp) != want {
 			t.Errorf("rate %v: size %d, want %d", rate, len(comp), want)
 		}
-		dec, err := Decompress(comp, shape)
+		dec, err := Decompress[float32](comp, shape)
 		if err != nil {
 			t.Fatalf("rate %v: %v", rate, err)
 		}
@@ -297,7 +305,7 @@ func TestFixedRateQualityImprovesWithRate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dec, err := Decompress(comp, shape)
+		dec, err := Decompress[float32](comp, shape)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -318,7 +326,7 @@ func TestFixedRateWorseThanAccuracyAtSameSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	accDec, err := Decompress(accComp, shape)
+	accDec, err := Decompress[float32](accComp, shape)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +336,7 @@ func TestFixedRateWorseThanAccuracyAtSameSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frDec, err := Decompress(frComp, shape)
+	frDec, err := Decompress[float32](frComp, shape)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +375,7 @@ func TestInvalidOptions(t *testing.T) {
 }
 
 func TestDecompressCorrupt(t *testing.T) {
-	if _, err := Decompress([]byte{1, 2}, nil); err == nil {
+	if _, err := Decompress[float32]([]byte{1, 2}, nil); err == nil {
 		t.Errorf("short buffer should fail")
 	}
 	data, shape := smooth1D(100, 5)
@@ -377,13 +385,13 @@ func TestDecompressCorrupt(t *testing.T) {
 	}
 	bad := append([]byte(nil), comp...)
 	bad[0] ^= 0xFF
-	if _, err := Decompress(bad, shape); err == nil {
+	if _, err := Decompress[float32](bad, shape); err == nil {
 		t.Errorf("bad magic should fail")
 	}
-	if _, err := Decompress(comp, grid.MustDims(99)); err == nil {
+	if _, err := Decompress[float32](comp, grid.MustDims(99)); err == nil {
 		t.Errorf("shape mismatch should fail")
 	}
-	if _, err := Decompress(comp[:20], nil); err == nil {
+	if _, err := Decompress[float32](comp[:20], nil); err == nil {
 		t.Errorf("truncated stream should fail")
 	}
 }
@@ -411,7 +419,7 @@ func TestPropertyAccuracyBoundHolds(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		dec, err := Decompress(comp, shape)
+		dec, err := Decompress[float32](comp, shape)
 		if err != nil {
 			return false
 		}

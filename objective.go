@@ -108,6 +108,18 @@ func (o Objective) Band() (lo, hi float64) {
 // -verify` and callers with their own storage pipelines recompute an
 // archive's recorded promise.
 func (o Objective) Measure(original, reconstructed []float32, shape []int, compressedBytes int) (float64, error) {
+	return MeasureT(o, original, reconstructed, shape, compressedBytes)
+}
+
+// Measure64 is Measure for double-precision fields.
+func (o Objective) Measure64(original, reconstructed []float64, shape []int, compressedBytes int) (float64, error) {
+	return MeasureT(o, original, reconstructed, shape, compressedBytes)
+}
+
+// MeasureT is the dtype-generic form of Objective.Measure (Go methods
+// cannot take type parameters, so the generic entry point is a package
+// function over the objective).
+func MeasureT[T Element](o Objective, original, reconstructed []T, shape []int, compressedBytes int) (float64, error) {
 	if o.err != nil {
 		return 0, o.err
 	}

@@ -1,0 +1,229 @@
+package fraz_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"fraz"
+)
+
+// testField64 is testField computed in double precision: same smooth 3-D
+// structure, full float64 resolution.
+func testField64() ([]float64, []int) {
+	shape := []int{16, 12, 10}
+	data := make([]float64, shape[0]*shape[1]*shape[2])
+	i := 0
+	for z := 0; z < shape[0]; z++ {
+		for y := 0; y < shape[1]; y++ {
+			for x := 0; x < shape[2]; x++ {
+				data[i] = 20*math.Sin(float64(z)/4)*math.Cos(float64(y)/5) + float64(x)/10
+				i++
+			}
+		}
+	}
+	return data, shape
+}
+
+func maxAbsDiff64(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestFloat64RoundTripProperty is the float64 mirror of the cross-codec
+// float32 property test: for every registered codec that accepts the shape,
+// a feasible fixed-ratio tune of a float64 field must (a) land its achieved
+// ratio inside the objective band, (b) round-trip through the container at
+// dtype float64, and (c) — for error-bounded codecs — respect the tuned
+// absolute error bound pointwise.
+func TestFloat64RoundTripProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes every codec at float64")
+	}
+	data, shape := testField64()
+	const target, tol = 10.0, 0.25
+	feasible := 0
+	for _, ci := range fraz.Codecs() {
+		if !ci.SupportsRank(len(shape)) {
+			continue
+		}
+		t.Run(ci.Name, func(t *testing.T) {
+			c, err := fraz.New(ci.Name, fraz.Ratio(target), fraz.Tolerance(tol),
+				fraz.Regions(4), fraz.Seed(3), fraz.Blocks(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var stream bytes.Buffer
+			res, err := c.Compress64(context.Background(), &stream, data, shape)
+			if errors.Is(err, fraz.ErrInfeasible) {
+				t.Skipf("%s cannot reach ratio %g on this field", ci.Name, target)
+			}
+			if err != nil {
+				t.Skipf("%s cannot tune this field: %v", ci.Name, err)
+			}
+			if res.Ratio < target*(1-tol) || res.Ratio > target*(1+tol) {
+				t.Errorf("achieved ratio %v outside band %g ± %g%%", res.Ratio, target, 100*tol)
+			}
+			full, err := c.DecompressFull(context.Background(), &stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if full.DType != "float64" || full.Data64 == nil || full.Data != nil {
+				t.Fatalf("round trip lost the dtype: DType=%q Data=%v Data64 set=%v", full.DType, full.Data != nil, full.Data64 != nil)
+			}
+			if len(full.Data64) != len(data) {
+				t.Fatalf("reconstructed %d values, want %d", len(full.Data64), len(data))
+			}
+			if ci.ErrorBounded && !ci.Lossless {
+				// The tuned parameter is an absolute pointwise bound except
+				// for sz:rel (a fraction of the value range) and mgard:l2 (an
+				// MSE budget, not pointwise).
+				bound := res.ErrorBound
+				switch {
+				case strings.Contains(ci.BoundName, "relative"):
+					min, max := data[0], data[0]
+					for _, v := range data {
+						min, max = math.Min(min, v), math.Max(max, v)
+					}
+					bound *= max - min
+				case strings.Contains(ci.BoundName, "mean-squared"):
+					bound = math.Inf(1)
+				}
+				if diff := maxAbsDiff64(data, full.Data64); diff > bound {
+					t.Errorf("pointwise error %g exceeds tuned bound %g", diff, bound)
+				}
+			}
+			feasible++
+		})
+	}
+	if feasible < 3 {
+		t.Errorf("only %d codecs tuned the float64 field; expected at least 3", feasible)
+	}
+}
+
+// TestFloat64QualityObjective pins the second acceptance path: a float64
+// field tuned to a fixed-PSNR objective seals, round-trips blocked through
+// the container, and the recorded promise re-measures inside the band with
+// Measure64.
+func TestFloat64QualityObjective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality tuning round-trips repeatedly")
+	}
+	data, shape := testField64()
+	c, err := fraz.New("sz:abs", fraz.TargetPSNR(70), fraz.Regions(4), fraz.Seed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	res, err := c.Compress64(context.Background(), &stream, data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != "psnr" {
+		t.Fatalf("objective = %q", res.Objective)
+	}
+	full, err := fraz.DecompressFull(context.Background(), &stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Objective == nil {
+		t.Fatal("archive carries no objective record")
+	}
+	obj, err := fraz.ObjectiveByName(full.Objective.Name, full.Objective.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := obj.Measure64(data, full.Data64, full.Shape, full.CompressedBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Objective.InBand(measured) {
+		t.Errorf("re-measured PSNR %v outside the recorded band %g ± %g",
+			measured, full.Objective.Target, full.Objective.Tolerance)
+	}
+}
+
+// TestFloat64BlockedRoundTrip drives the generic seal path through a v2
+// (blocked) container: four independently compressed float64 blocks decode
+// in parallel back to within the tuned bound.
+func TestFloat64BlockedRoundTrip(t *testing.T) {
+	data, shape := testField64()
+	c, err := fraz.New("sz:abs", fraz.Ratio(10), fraz.Tolerance(0.25),
+		fraz.Regions(4), fraz.Seed(3), fraz.Blocks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	res, err := c.Compress64(context.Background(), &stream, data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks != 4 {
+		t.Fatalf("Blocks(4) wrote %d blocks", res.Blocks)
+	}
+	got, gotShape, err := c.Decompress64(context.Background(), &stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotShape) != len(shape) {
+		t.Fatalf("shape rank %d, want %d", len(gotShape), len(shape))
+	}
+	if diff := maxAbsDiff64(data, got); diff > res.ErrorBound {
+		t.Errorf("pointwise error %g exceeds tuned bound %g", diff, res.ErrorBound)
+	}
+}
+
+// TestPrecisionWidthMismatch pins the typed-width contract: a float32
+// archive refuses the float64 accessors and vice versa, with errors that
+// name the right alternative.
+func TestPrecisionWidthMismatch(t *testing.T) {
+	data64, shape := testField64()
+	var s64 bytes.Buffer
+	if _, err := fraz.Compress(context.Background(), &s64, data64, shape,
+		fraz.Ratio(10), fraz.Tolerance(0.3), fraz.Regions(4), fraz.Seed(3)); err != nil {
+		t.Fatal(err)
+	}
+	archive := s64.Bytes()
+
+	if _, _, err := fraz.Decompress(context.Background(), bytes.NewReader(archive)); err == nil ||
+		!strings.Contains(err.Error(), "float64") {
+		t.Errorf("Decompress on a float64 archive: err = %v, want a float64-width error", err)
+	}
+	if _, _, err := fraz.DecompressAs[float32](context.Background(), bytes.NewReader(archive)); err == nil {
+		t.Errorf("DecompressAs[float32] on a float64 archive should fail")
+	}
+	got, _, err := fraz.DecompressAs[float64](context.Background(), bytes.NewReader(archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data64) {
+		t.Fatalf("reconstructed %d values, want %d", len(got), len(data64))
+	}
+
+	// And the other direction: a float32 archive refuses Decompress64.
+	data32 := make([]float32, len(data64))
+	for i, v := range data64 {
+		data32[i] = float32(v)
+	}
+	var s32 bytes.Buffer
+	if _, err := fraz.Compress(context.Background(), &s32, data32, shape,
+		fraz.Ratio(10), fraz.Tolerance(0.3), fraz.Regions(4), fraz.Seed(3)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := fraz.New("sz:abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Decompress64(context.Background(), bytes.NewReader(s32.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "float32") {
+		t.Errorf("Decompress64 on a float32 archive: err = %v, want a float32-width error", err)
+	}
+}
