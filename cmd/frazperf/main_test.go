@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"fraz/internal/dataset"
+)
+
+func quickCfg() Config {
+	return Config{
+		Dataset:   "Hurricane",
+		Field:     "CLOUDf",
+		Scale:     dataset.ScaleTiny,
+		BenchTime: 2 * time.Millisecond,
+		Blocks:    2,
+		Quick:     true,
+	}
+}
+
+func discard(string, ...interface{}) {}
+
+func TestRunCoversCodecsAndDtypes(t *testing.T) {
+	rep, err := run(quickCfg(), discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("no results")
+	}
+	want := map[string]bool{
+		"sz:abs|float32|monolithic": false, "sz:abs|float64|monolithic": false,
+		"szx:abs|float32|monolithic": false, "szx:abs|float64|monolithic": false,
+		"szx:abs|float32|blocked": false, "szx:abs|float64|blocked": false,
+	}
+	for _, r := range rep.Results {
+		if _, ok := want[r.Key()]; ok {
+			want[r.Key()] = true
+		}
+		if r.SealGBps <= 0 || r.OpenGBps <= 0 {
+			t.Errorf("%s: non-positive throughput %v/%v", r.Key(), r.SealGBps, r.OpenGBps)
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("missing cell %s", k)
+		}
+	}
+	if len(rep.Cache) == 0 {
+		t.Error("no cache results")
+	}
+	for _, c := range rep.Cache {
+		if c.Hits == 0 {
+			t.Errorf("cache sweep for %s/%s recorded no hits (repeated bounds must hit)", c.Codec, c.DType)
+		}
+	}
+	if sp := rep.SZXSealSpeedupVsSZ["float32"]; sp <= 1 {
+		t.Errorf("szx:abs seal should beat sz:abs even on the tiny field, got %.2fx", sp)
+	}
+
+	// The report must survive the JSON round trip the gate relies on.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatalf("round trip lost results: %d != %d", len(back.Results), len(rep.Results))
+	}
+}
+
+func fakeReport(scale float64) Report {
+	return Report{
+		Version: 1,
+		Results: []Result{
+			{Codec: "a", DType: "float32", Mode: "monolithic", SealGBps: 1 * scale, OpenGBps: 2 * scale, SealAllocsPerOp: 100, OpenAllocsPerOp: 50},
+			{Codec: "b", DType: "float32", Mode: "monolithic", SealGBps: 4 * scale, OpenGBps: 8 * scale, SealAllocsPerOp: 1000, OpenAllocsPerOp: 500},
+		},
+	}
+}
+
+func TestGatePassesOnUniformMachineSpeedChange(t *testing.T) {
+	base := fakeReport(1)
+	// A runner half as fast shifts every cell equally; normalization must
+	// cancel it.
+	cur := fakeReport(0.5)
+	if v := gate(cur, base, 20); len(v) != 0 {
+		t.Fatalf("uniform slowdown should pass the gate, got %v", v)
+	}
+}
+
+func TestGateCatchesSingleCodecRegression(t *testing.T) {
+	base := fakeReport(1)
+	cur := fakeReport(1)
+	cur.Results[0].SealGBps *= 0.5 // codec "a" seal regressed 2x
+	v := gate(cur, base, 20)
+	if len(v) == 0 {
+		t.Fatal("2x single-codec regression must trip the gate")
+	}
+}
+
+func TestGateCatchesAllocGrowth(t *testing.T) {
+	base := fakeReport(1)
+	cur := fakeReport(1)
+	cur.Results[1].SealAllocsPerOp = 2000 // 2x allocations
+	v := gate(cur, base, 20)
+	if len(v) == 0 {
+		t.Fatal("2x alloc growth must trip the gate")
+	}
+}
+
+func TestGateIgnoresMissingCells(t *testing.T) {
+	base := fakeReport(1)
+	cur := fakeReport(1)
+	cur.Results = append(cur.Results, Result{Codec: "new", DType: "float32", Mode: "monolithic", SealGBps: 1, OpenGBps: 1})
+	if v := gate(cur, base, 20); len(v) != 0 {
+		t.Fatalf("a new cell absent from the baseline must not trip the gate, got %v", v)
+	}
+}
+
+func TestViolatingCodecsAndMerge(t *testing.T) {
+	violations := []string{
+		"sz:abs|float32|monolithic: relative seal throughput 0.5, baseline 1.0 (>20% drop)",
+		"sz:abs|float64|blocked: open allocs/op 99, baseline 10 (>20% growth)",
+		"zfp:rate|float32|monolithic: relative open throughput 0.2, baseline 0.9 (>20% drop)",
+		"gate: cannot normalize (non-positive throughput in report)",
+	}
+	got := violatingCodecs(violations)
+	want := []string{"sz:abs", "zfp:rate"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("violatingCodecs = %v, want %v", got, want)
+	}
+
+	rep := fakeReport(1)
+	key := rep.Results[0].Key()
+	fresh := rep.Results[0]
+	fresh.SealGBps *= 3
+	mergeResults(&rep, []Result{fresh})
+	if rep.Results[0].Key() != key || rep.Results[0].SealGBps != fresh.SealGBps {
+		t.Fatalf("mergeResults did not replace cell %s", key)
+	}
+	if rep.Results[1].SealGBps == fresh.SealGBps {
+		t.Fatalf("mergeResults touched an unrelated cell")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList("a,b,,c")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("splitList: %v", got)
+	}
+	if splitList("") != nil {
+		t.Fatal("empty list should be nil")
+	}
+}

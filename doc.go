@@ -103,14 +103,18 @@
 //     blocks), with streaming WriteTo/ReadFrom and incremental CRC checks
 //   - internal/blocks    — slowest-axis block decomposition (split/reassemble)
 //   - internal/sz        — SZ-like prediction-based error-bounded compressor
+//   - internal/szx       — SZx-style ultra-fast error-bounded compressor
+//     (constant-block detection + leading-byte truncation; trades ratio for
+//     one to two orders of magnitude more throughput)
 //   - internal/zfp       — ZFP-like transform compressor (accuracy + fixed-rate)
 //   - internal/mgard     — MGARD-like multilevel compressor
+//   - internal/pool      — size-bucketed free lists for hot-path scratch
 //   - internal/optim     — Dlib-style global minimiser with cutoff + baselines
 //   - internal/dataset   — synthetic SDRBench stand-ins (Hurricane, HACC, CESM, EXAALT, NYX)
 //   - internal/metrics   — PSNR, SSIM, ACF(error), ratio/bit-rate metrics
 //   - internal/experiments — regenerates every table and figure of the paper
 //
-// Executables are under cmd/ (fraz, frazbench, datagen) and runnable usage
+// Executables are under cmd/ (fraz, frazbench, datagen, frazperf) and runnable usage
 // examples under examples/; see README.md for a quickstart and the .fraz
 // format table. The benchmarks in bench_test.go regenerate the paper's
 // evaluation (one benchmark per table/figure) plus ablations of the design

@@ -72,6 +72,7 @@ import (
 	"slices"
 
 	"fraz/internal/grid"
+	"fraz/internal/pool"
 )
 
 // Version is the monolithic (single-payload) format version, written by
@@ -409,7 +410,7 @@ func (c Container) WriteTo(dst io.Writer) (int64, error) {
 		}
 		version = VersionBlocked
 	}
-	w := writer{buf: make([]byte, 0, c.EncodedSize()-len(c.Payload))}
+	w := writer{buf: pool.GetBytes(c.EncodedSize() - len(c.Payload))[:0]}
 	w.bytes(magic[:])
 	w.u16(version)
 	w.u8(uint8(c.Header.DType))
@@ -442,6 +443,7 @@ func (c Container) WriteTo(dst io.Writer) (int64, error) {
 		w.u32(crc32.ChecksumIEEE(c.Payload))
 	}
 	n, err := dst.Write(w.buf)
+	pool.PutBytes(w.buf)
 	written := int64(n)
 	if err != nil {
 		return written, err

@@ -218,6 +218,9 @@ func Run(name string, cfg Config) ([]*report.Table, error) {
 	case "precision":
 		t, err := Precision(cfg)
 		return wrap(t, err)
+	case "speed":
+		t, err := Speed(cfg)
+		return wrap(t, err)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
@@ -236,8 +239,9 @@ func wrap(t *report.Table, err error) ([]*report.Table, error) {
 // "cache" charts the evaluations saved by the shared evaluation cache,
 // "blocks" measures the blocked (v2) seal/open path against the monolithic
 // one, "objectives" compares convergence cost across the four tuning
-// objectives (ratio, PSNR, SSIM, max-error), and "precision" tunes the same
-// fields at float32 versus float64.
+// objectives (ratio, PSNR, SSIM, max-error), "precision" tunes the same
+// fields at float32 versus float64, and "speed" compares the codec tiers'
+// raw seal/open throughput (szx versus sz and zfp).
 func Names() []string {
-	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "regions", "lossless", "cache", "blocks", "objectives", "precision"}
+	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "regions", "lossless", "cache", "blocks", "objectives", "precision", "speed"}
 }

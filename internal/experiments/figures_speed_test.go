@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+func TestSpeed(t *testing.T) {
+	tab, err := Speed(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("want 6 rows (3 codecs x 2 dtypes), got %d", len(tab.Rows))
+	}
+	// The szx tier must out-run sz by a wide margin at both widths; the
+	// speedup column is cell index 5.
+	found := 0
+	for _, r := range tab.Rows {
+		if r[0] == "szx:abs" {
+			found++
+			sp, ok := r[5].(float64)
+			if !ok || sp < 3 {
+				t.Errorf("szx:abs %v: seal speedup vs sz:abs %v, want >= 3x", r[1], r[5])
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("want szx:abs rows at both dtypes, found %d", found)
+	}
+}
+
+func BenchmarkSpeedExperiment(b *testing.B) {
+	b.ReportAllocs()
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := Speed(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

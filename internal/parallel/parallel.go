@@ -69,6 +69,24 @@ func SplitRegions(lo, hi float64, k int, overlap float64) ([]Region, error) {
 	return regions, nil
 }
 
+// workerErr is one worker's error scratch: its first real failure and the
+// first cancellation echo it saw, kept separately so the merge can rank
+// real failures above the generic cancellation other workers report for the
+// indices they skipped.
+type workerErr struct {
+	real      error
+	cancelled error
+	_         [4]uint64 // pad to a cache line so workers don't false-share
+}
+
+// workerScratch pools the per-call worker error slates. ForEach runs on the
+// tuner's innermost loops (every blocked seal/open spins one up), so its
+// bookkeeping must not grow with the input count n — errors accumulate into
+// this fixed workers-sized scratch instead of a per-call n-sized channel.
+var workerScratch = sync.Pool{
+	New: func() any { return make([]workerErr, runtime.GOMAXPROCS(0)) },
+}
+
 // ForEach runs fn for every input index with at most workers concurrent
 // goroutines, stopping early if the context is cancelled. It returns the
 // first non-nil error (other tasks still run to completion of the ones
@@ -83,65 +101,78 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	if workers > n {
 		workers = n
 	}
+	errs := workerScratch.Get().([]workerErr)
+	if len(errs) < workers {
+		errs = make([]workerErr, workers)
+	}
+	for i := 0; i < workers; i++ {
+		errs[i] = workerErr{}
+	}
 	idxCh := make(chan int)
-	errCh := make(chan error, n)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot *workerErr) {
 			defer wg.Done()
 			for idx := range idxCh {
-				if ctx.Err() != nil {
-					errCh <- ctx.Err()
-					continue
+				err := ctx.Err()
+				if err == nil {
+					err = fn(ctx, idx)
 				}
-				errCh <- fn(ctx, idx)
+				slot.record(ctx, err)
 			}
-		}()
+		}(&errs[w])
 	}
-	for i := 0; i < n; i++ {
+	fed := true
+	for i := 0; i < n && fed; i++ {
 		select {
 		case idxCh <- i:
 		case <-ctx.Done():
-			// Stop feeding work; the drain below prefers a worker's real
+			// Stop feeding work; the merge below prefers a worker's real
 			// failure over the generic cancellation.
-			close(idxCh)
-			wg.Wait()
-			if err := drainErrors(ctx, errCh); err != nil {
-				return err
-			}
-			return ctx.Err()
+			fed = false
 		}
 	}
 	close(idxCh)
 	wg.Wait()
-	return drainErrors(ctx, errCh)
+	err := mergeErrors(errs[:workers])
+	workerScratch.Put(errs)
+	if !fed && err == nil {
+		return ctx.Err()
+	}
+	return err
 }
 
-// drainErrors closes and empties errCh, returning the first real failure.
-// Context-cancellation errors rank last: on either exit path a worker may
-// have failed for a real reason before (or while) the context was
-// cancelled, and that failure — not the generic cancellation the other
-// workers echo for the indices they skipped — is what the caller needs.
-func drainErrors(ctx context.Context, errCh chan error) error {
-	close(errCh)
-	var first, cancelled error
-	for err := range errCh {
-		if err == nil {
-			continue
-		}
-		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
-			if cancelled == nil {
-				cancelled = err
-			}
-			continue
-		}
-		if first == nil {
-			first = err
-		}
+// record files an error into the worker's slot, keeping the first real
+// failure and the first cancellation echo.
+func (s *workerErr) record(ctx context.Context, err error) {
+	if err == nil {
+		return
 	}
-	if first != nil {
-		return first
+	if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+		if s.cancelled == nil {
+			s.cancelled = err
+		}
+		return
+	}
+	if s.real == nil {
+		s.real = err
+	}
+}
+
+// mergeErrors combines the per-worker slates, ranking real failures above
+// cancellation echoes: on either exit path a worker may have failed for a
+// real reason before (or while) the context was cancelled, and that failure
+// — not the generic cancellation — is what the caller needs.
+func mergeErrors(errs []workerErr) error {
+	var cancelled error
+	for i := range errs {
+		if errs[i].real != nil {
+			return errs[i].real
+		}
+		if cancelled == nil {
+			cancelled = errs[i].cancelled
+		}
 	}
 	return cancelled
 }

@@ -8,6 +8,7 @@ import (
 	"fraz/internal/container"
 	"fraz/internal/metrics"
 	"fraz/internal/parallel"
+	"fraz/internal/pool"
 )
 
 // This file implements the blocked (format v2) seal/open path: the buffer is
@@ -64,7 +65,15 @@ func SealBlocked(ctx context.Context, c Compressor, buf Buffer, bound float64, n
 		total += len(p)
 	}
 	ratio := metrics.CompressionRatio(buf.Bytes(), total)
-	return container.NewBlocked(c.Name(), bound, ratio, buf.DType(), buf.Shape, payloads)
+	cn, err := container.NewBlocked(c.Name(), bound, ratio, buf.DType(), buf.Shape, payloads)
+	// NewBlocked copied every payload into the container's contiguous
+	// payload area, so the per-block buffers are dead — recycle them for the
+	// next seal's compressions. (The monolithic Seal path must NOT do this:
+	// container.New keeps its payload by reference.)
+	for _, p := range payloads {
+		pool.PutBytes(p)
+	}
+	return cn, err
 }
 
 // OpenBlocked reconstructs the buffer of a blocked (version-2) container,
@@ -110,7 +119,14 @@ func OpenBlocked(ctx context.Context, cn container.Container, workers int) (Buff
 		if err != nil {
 			return fmt.Errorf("block %d (%s): %w", i, plan[i].Shape, err)
 		}
-		return out.scatterFrom(plan[i], dec)
+		if err := out.scatterFrom(plan[i], dec); err != nil {
+			return err
+		}
+		// The block's decode buffer is dead once scattered into out;
+		// recycle it so the pool-aware codecs allocate each block buffer
+		// once per pipeline instead of once per block.
+		dec.recycle()
+		return nil
 	})
 	if err != nil {
 		return Buffer{}, fmt.Errorf("pressio: open blocked %s container: %w", cn.Header.Codec, err)

@@ -1,13 +1,10 @@
 package pressio
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"math"
 	"sync"
 	"sync/atomic"
 
-	"fraz/internal/container"
 	"fraz/internal/metrics"
 )
 
@@ -41,52 +38,46 @@ func QuantizeBound(bound float64) float64 {
 	return math.Float64frombits(math.Float64bits(bound) &^ (1<<quantDropBits - 1))
 }
 
+// FNV-1a (64-bit) constants; the hash is hand-rolled so fingerprinting
+// allocates nothing — hash/fnv's New64a puts its state on the heap, and the
+// old chunked re-encoding staged a scratch copy of every float.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvBytes(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	return h
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
 // Fingerprint hashes a buffer's element type, shape, and contents (FNV-1a
 // over the raw float bits) into the cache-key component that distinguishes
 // datasets. Two buffers with equal fingerprints share cached evaluations, so
 // the hash covers every bit of every value — and the dtype, so a float32
 // field can never answer for the float64 field with the same bit pattern.
-// Data is fed to the hash in chunks so no buffer-sized copy is allocated.
+// The data is hashed through the buffer's zero-copy byte view, so a
+// fingerprint allocates nothing (pinned by TestFingerprintAllocFree); the
+// fingerprint is process-local — exactly the cache's lifetime — so hashing
+// in host byte order is safe.
 func Fingerprint(buf Buffer) uint64 {
-	h := fnv.New64a()
-	var scratch [4096]byte
-	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(buf.Shape)))
-	n := 8
+	h := uint64(fnvOffset64)
+	h = fnvUint64(h, uint64(len(buf.Shape)))
 	for _, e := range buf.Shape {
-		binary.LittleEndian.PutUint64(scratch[n:], uint64(e))
-		n += 8
+		h = fnvUint64(h, uint64(e))
 	}
-	scratch[n] = uint8(buf.DType())
-	n++
-	h.Write(scratch[:n])
-	if buf.DType() == container.Float64 {
-		data := buf.Float64()
-		for len(data) > 0 {
-			chunk := data
-			if len(chunk) > len(scratch)/8 {
-				chunk = chunk[:len(scratch)/8]
-			}
-			for i, f := range chunk {
-				binary.LittleEndian.PutUint64(scratch[8*i:], math.Float64bits(f))
-			}
-			h.Write(scratch[:8*len(chunk)])
-			data = data[len(chunk):]
-		}
-		return h.Sum64()
-	}
-	data := buf.Float32()
-	for len(data) > 0 {
-		chunk := data
-		if len(chunk) > len(scratch)/4 {
-			chunk = chunk[:len(scratch)/4]
-		}
-		for i, f := range chunk {
-			binary.LittleEndian.PutUint32(scratch[4*i:], math.Float32bits(f))
-		}
-		h.Write(scratch[:4*len(chunk)])
-		data = data[len(chunk):]
-	}
-	return h.Sum64()
+	h = (h ^ uint64(uint8(buf.DType()))) * fnvPrime64
+	return fnvBytes(h, buf.RawBytes())
 }
 
 // CacheKey identifies one memoised evaluation.

@@ -169,9 +169,14 @@ type Compressor interface {
 	// tunable parameter.
 	BoundRange() (lo, hi float64)
 	// Compress compresses the buffer with the tunable parameter set to bound.
+	// The returned stream must be freshly allocated (never alias buf or
+	// codec-internal state): the blocked seal path recycles block payloads
+	// into the byte pool once the container has copied them.
 	Compress(buf Buffer, bound float64) ([]byte, error)
 	// Decompress reconstructs data previously compressed by this compressor
-	// at the given element width.
+	// at the given element width. The returned buffer must be freshly
+	// allocated (never alias comp or codec-internal state): the blocked open
+	// path recycles it into the slice pools after scattering it into place.
 	Decompress(comp []byte, shape grid.Dims, dtype container.DType) (Buffer, error)
 }
 

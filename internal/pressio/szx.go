@@ -1,0 +1,40 @@
+package pressio
+
+import (
+	"fraz/internal/container"
+	"fraz/internal/grid"
+	"fraz/internal/szx"
+)
+
+// szxCompressor adapts the SZx-style ultra-fast codec. It is the speed tier
+// of the registry: roughly an order of magnitude faster than sz:abs at a
+// data-dependent ratio cost, with the same absolute-error-bound contract.
+// Because the codec predicts nothing across neighbours it is rank-agnostic,
+// so it is the only lossy codec accepting 4-D data.
+type szxCompressor struct{}
+
+func (szxCompressor) Name() string       { return "szx:abs" }
+func (szxCompressor) BoundName() string  { return "absolute error bound" }
+func (szxCompressor) ErrorBounded() bool { return true }
+func (szxCompressor) SupportsShape(shape grid.Dims) bool {
+	return shape.Validate() == nil
+}
+func (szxCompressor) BoundRange() (float64, float64) { return 1e-12, 1e12 }
+func (szxCompressor) Compress(buf Buffer, bound float64) ([]byte, error) {
+	opts := szx.Options{ErrorBound: bound}
+	return compressTyped(buf,
+		func(d []float32, s grid.Dims) ([]byte, error) { return szx.Compress(d, s, opts) },
+		func(d []float64, s grid.Dims) ([]byte, error) { return szx.Compress(d, s, opts) })
+}
+func (szxCompressor) Decompress(comp []byte, shape grid.Dims, dt container.DType) (Buffer, error) {
+	return decompressTyped(dt, comp, shape,
+		func(b []byte, s grid.Dims) ([]float32, error) { return szx.Decompress[float32](b, s) },
+		func(b []byte, s grid.Dims) ([]float64, error) { return szx.Decompress[float64](b, s) })
+}
+
+func init() {
+	Register(Codec{
+		Name: "szx:abs", New: func() Compressor { return szxCompressor{} },
+		Caps: Capabilities{BoundName: "absolute error bound", ErrorBounded: true, MinRank: 1, MaxRank: 4},
+	})
+}

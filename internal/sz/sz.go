@@ -30,6 +30,7 @@ import (
 
 	"fraz/internal/grid"
 	"fraz/internal/huffman"
+	"fraz/internal/pool"
 	"fraz/internal/quantize"
 )
 
@@ -116,15 +117,26 @@ func Compress[T grid.Float](data []T, shape grid.Dims, opts Options) ([]byte, er
 		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
 
-	recon := make([]T, len(data))
+	// recon and codes are compression-internal scratch: recon is only read at
+	// offsets already reconstructed (block-major row-major order guarantees
+	// every Lorenzo neighbour is written first), and exactly one code is
+	// emitted per point, so the pooled capacity is never exceeded.
 	blocks := shape.Blocks(o.BlockSize)
-	codes := make([]int32, 0, len(data))
-	literals := make([]T, 0)
+	enc := &encoder[T]{
+		q:        q,
+		bound:    o.ErrorBound,
+		data:     data,
+		recon:    getFloats[T](len(data)),
+		codes:    pool.GetInt32(len(data))[:0],
+		literals: make([]T, 0),
+	}
+	defer func() {
+		putFloats(enc.recon)
+		pool.PutInt32(enc.codes)
+	}()
 	blockMeta := make([]byte, 0, len(blocks)*17)
 
 	strides := shape.Strides()
-	lorenzo := newLorenzoPredictor(shape, strides, recon)
-
 	for _, b := range blocks {
 		useRegress := false
 		var coeffs [4]float64
@@ -141,40 +153,15 @@ func Compress[T grid.Float](data []T, shape grid.Dims, opts Options) ([]byte, er
 				binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(c))
 				blockMeta = append(blockMeta, tmp[:]...)
 			}
+			enc.regressBlock(strides, b, coeffs)
 		} else {
 			blockMeta = append(blockMeta, predLorenzo)
+			enc.lorenzoBlock(strides, b)
 		}
-
-		// Process block points in row-major order.
-		forEachBlockPoint(shape, b, func(off int, local []int) {
-			var pred float64
-			if useRegress {
-				pred = predictRegression(coeffs, local)
-			} else {
-				pred = lorenzo.predict(off)
-			}
-			code, rec, ok := q.Quantize(float64(data[off]), pred)
-			if ok {
-				// The decompressor stores reconstructions at the element
-				// type's precision, so the bound must hold after the cast as
-				// well (a no-op for float64 input).
-				recT := T(rec)
-				if math.Abs(float64(recT)-float64(data[off])) > o.ErrorBound {
-					ok = false
-				} else {
-					codes = append(codes, code)
-					recon[off] = recT
-				}
-			}
-			if !ok {
-				codes = append(codes, unpredictable)
-				literals = append(literals, data[off])
-				recon[off] = data[off]
-			}
-		})
 	}
+	literals := enc.literals
 
-	huffBytes, err := huffman.Encode(codes)
+	huffBytes, err := huffman.Encode(enc.codes)
 	if err != nil {
 		return nil, fmt.Errorf("sz: huffman stage: %w", err)
 	}
@@ -334,139 +321,51 @@ func decompressBody[T grid.Float](h header, body []byte) ([]T, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 
-	recon := make([]T, h.shape.Len())
+	// The output comes from the element pool: the blocked open path recycles
+	// block buffers after scattering them. Every element is written before a
+	// successful return (the blocks tile the domain and each point is
+	// assigned), so the pool's stale contents never leak.
+	dec := &decoder[T]{
+		q:        q,
+		codes:    codes,
+		literals: literals,
+		recon:    getFloats[T](h.shape.Len()),
+	}
 	strides := h.shape.Strides()
-	lorenzo := newLorenzoPredictor(h.shape, strides, recon)
 	blocks := h.shape.Blocks(h.blockSize)
 
 	metaPos := 0
-	codePos := 0
-	litPos := 0
 	for _, b := range blocks {
 		if metaPos >= len(blockMeta) {
+			putFloats(dec.recon)
 			return nil, fmt.Errorf("%w: truncated block metadata", ErrCorrupt)
 		}
 		sel := blockMeta[metaPos]
 		metaPos++
-		var coeffs [4]float64
 		if sel == predRegress {
 			if metaPos+32 > len(blockMeta) {
+				putFloats(dec.recon)
 				return nil, fmt.Errorf("%w: truncated regression coefficients", ErrCorrupt)
 			}
+			var coeffs [4]float64
 			for i := 0; i < 4; i++ {
 				coeffs[i] = math.Float64frombits(binary.LittleEndian.Uint64(blockMeta[metaPos : metaPos+8]))
 				metaPos += 8
 			}
-		} else if sel != predLorenzo {
+			dec.regressBlock(strides, b, coeffs)
+		} else if sel == predLorenzo {
+			dec.lorenzoBlock(strides, b)
+		} else {
+			putFloats(dec.recon)
 			return nil, fmt.Errorf("%w: unknown predictor selector %d", ErrCorrupt, sel)
 		}
-		var fail error
-		forEachBlockPoint(h.shape, b, func(off int, local []int) {
-			if fail != nil {
-				return
-			}
-			code := codes[codePos]
-			codePos++
-			if code == unpredictable {
-				if litPos >= len(literals) {
-					fail = fmt.Errorf("%w: literal stream exhausted", ErrCorrupt)
-					return
-				}
-				recon[off] = literals[litPos]
-				litPos++
-				return
-			}
-			var pred float64
-			if sel == predRegress {
-				pred = predictRegression(coeffs, local)
-			} else {
-				pred = lorenzo.predict(off)
-			}
-			recon[off] = T(q.Dequantize(pred, code))
-		})
-		if fail != nil {
-			return nil, fail
+		if dec.err != nil {
+			putFloats(dec.recon)
+			return nil, dec.err
 		}
 	}
-	return recon, nil
-}
-
-// lorenzoPredictor computes the one-layer Lorenzo prediction from the global
-// reconstructed array. Missing (out-of-domain) neighbours contribute zero.
-type lorenzoPredictor[T grid.Float] struct {
-	shape   grid.Dims
-	strides []int
-	recon   []T
-	coords  []int
-}
-
-func newLorenzoPredictor[T grid.Float](shape grid.Dims, strides []int, recon []T) *lorenzoPredictor[T] {
-	return &lorenzoPredictor[T]{shape: shape, strides: strides, recon: recon, coords: make([]int, shape.NDims())}
-}
-
-// predict returns the Lorenzo prediction for the point at flat offset off.
-// The caller guarantees that all lower-index neighbours have already been
-// reconstructed (true for block-major, row-major processing).
-func (p *lorenzoPredictor[T]) predict(off int) float64 {
-	// Recover the coordinates of off.
-	rem := off
-	for i := 0; i < len(p.shape); i++ {
-		p.coords[i] = rem / p.strides[i]
-		rem %= p.strides[i]
-	}
-	switch len(p.shape) {
-	case 1:
-		if p.coords[0] == 0 {
-			return 0
-		}
-		return float64(p.recon[off-1])
-	case 2:
-		y, x := p.coords[0], p.coords[1]
-		sy, sx := p.strides[0], p.strides[1]
-		var a, b, c float64
-		if x > 0 {
-			a = float64(p.recon[off-sx])
-		}
-		if y > 0 {
-			b = float64(p.recon[off-sy])
-		}
-		if x > 0 && y > 0 {
-			c = float64(p.recon[off-sy-sx])
-		}
-		return a + b - c
-	case 3:
-		z, y, x := p.coords[0], p.coords[1], p.coords[2]
-		sz, sy, sx := p.strides[0], p.strides[1], p.strides[2]
-		var fx, fy, fz, fxy, fxz, fyz, fxyz float64
-		if x > 0 {
-			fx = float64(p.recon[off-sx])
-		}
-		if y > 0 {
-			fy = float64(p.recon[off-sy])
-		}
-		if z > 0 {
-			fz = float64(p.recon[off-sz])
-		}
-		if x > 0 && y > 0 {
-			fxy = float64(p.recon[off-sx-sy])
-		}
-		if x > 0 && z > 0 {
-			fxz = float64(p.recon[off-sx-sz])
-		}
-		if y > 0 && z > 0 {
-			fyz = float64(p.recon[off-sy-sz])
-		}
-		if x > 0 && y > 0 && z > 0 {
-			fxyz = float64(p.recon[off-sx-sy-sz])
-		}
-		return fx + fy + fz - fxy - fxz - fyz + fxyz
-	default:
-		// 4-D: fall back to the previous element along the fastest axis.
-		if p.coords[len(p.coords)-1] == 0 {
-			return 0
-		}
-		return float64(p.recon[off-1])
-	}
+	pool.PutInt32(codes)
+	return dec.recon, nil
 }
 
 // forEachBlockPoint visits every point of the block in row-major order,

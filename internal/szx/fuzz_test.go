@@ -1,0 +1,50 @@
+package szx
+
+import (
+	"math"
+	"testing"
+
+	"fraz/internal/grid"
+)
+
+// FuzzDecompress feeds arbitrary bytes to the stream decoder at both element
+// widths. The contract under test: Decompress returns an error for anything
+// it cannot parse and never panics; when a stream does parse, the decoded
+// length must match the header shape.
+func FuzzDecompress(f *testing.F) {
+	seed32 := func(data []float32, shape grid.Dims, bound float64, bs int) {
+		comp, err := Compress(data, shape, Options{ErrorBound: bound, BlockSize: bs})
+		if err == nil {
+			f.Add(comp)
+		}
+	}
+	seed32([]float32{1, 2, 3, 4, 5, 6, 7, 8}, grid.MustDims(8), 1e-2, 4)
+	seed32(make([]float32, 300), grid.MustDims(300), 1e-3, 0)
+	seed32([]float32{float32(math.NaN()), 1, float32(math.Inf(1)), 2}, grid.MustDims(4), 1e-2, 2)
+	if comp64, err := Compress([]float64{3.14, 2.71, 1.41, 1.73}, grid.MustDims(2, 2), Options{ErrorBound: 1e-6}); err == nil {
+		f.Add(comp64)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out32, err := Decompress[float32](data, nil)
+		if err == nil {
+			shape, herr := HeaderShape(data)
+			if herr != nil {
+				t.Fatalf("decode succeeded but HeaderShape failed: %v", herr)
+			}
+			if len(out32) != shape.Len() {
+				t.Fatalf("decoded %d float32 values for shape %v", len(out32), shape)
+			}
+		}
+		out64, err := Decompress[float64](data, nil)
+		if err == nil {
+			shape, herr := HeaderShape(data)
+			if herr != nil {
+				t.Fatalf("decode succeeded but HeaderShape failed: %v", herr)
+			}
+			if len(out64) != shape.Len() {
+				t.Fatalf("decoded %d float64 values for shape %v", len(out64), shape)
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+// Integration tests for the szx:abs speed-tier codec through the public
+// fraz API: registry discovery, the max-error objective honoring its bound,
+// and float64 round trips under both container versions.
+package fraz_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"fraz"
+)
+
+func TestSZXRegistered(t *testing.T) {
+	info, ok := fraz.LookupCodec("szx:abs")
+	if !ok {
+		t.Fatal("szx:abs not in codec registry")
+	}
+	if !info.ErrorBounded {
+		t.Error("szx:abs must advertise an error bound")
+	}
+	if info.MinRank != 1 || info.MaxRank != 4 {
+		t.Errorf("szx:abs rank range %d..%d, want 1..4", info.MinRank, info.MaxRank)
+	}
+}
+
+func TestSZXFixedMaxError(t *testing.T) {
+	data, shape := testField()
+	// szx quantizes its error in kept-byte steps (~256x apart), so the
+	// measured max error cannot land in the default ±10% band; widen the
+	// acceptance band to [0.02·u, 1.98·u] and rely on the codec's bound
+	// contract for the hard guarantee.
+	const target = 5e-3
+	obj := fraz.FixedMaxError(target).WithTolerance(0.98 * target)
+
+	c, err := fraz.New("szx:abs", fraz.Target(obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := c.Compress(context.Background(), &buf, data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Codec != "szx:abs" {
+		t.Errorf("sealed with %q, want szx:abs", res.Codec)
+	}
+	dec, decShape, err := c.Decompress(context.Background(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decShape) != len(shape) {
+		t.Fatalf("shape %v, want %v", decShape, shape)
+	}
+	got := maxAbsDiff(data, dec)
+	// The hard guarantee: the measured pointwise error honors the bound the
+	// field was sealed at.
+	if got > res.ErrorBound {
+		t.Errorf("max abs error %g exceeds sealed bound %g", got, res.ErrorBound)
+	}
+	// The objective's promise: the achieved error lies inside the band.
+	if _, hi := obj.Band(); got > hi {
+		t.Errorf("max abs error %g exceeds band ceiling %g", got, hi)
+	}
+}
+
+func TestSZXFloat64BothContainerVersions(t *testing.T) {
+	shape := []int{8, 10, 12}
+	data := make([]float64, 8*10*12)
+	for i := range data {
+		data[i] = 3e4*math.Sin(float64(i)/77) + float64(i%13)
+	}
+	const bound = 1e-2
+
+	for _, tc := range []struct {
+		name    string
+		blocks  int
+		version int
+	}{
+		{"v1 monolithic", 1, 1},
+		{"v2 blocked", 4, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			_, err := fraz.Compress(context.Background(), &buf, data, shape,
+				fraz.Codec("szx:abs"), fraz.FixedBound(bound), fraz.Blocks(tc.blocks))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := fraz.DecompressFull(context.Background(), &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Version != tc.version {
+				t.Errorf("container version %d, want %d", res.Version, tc.version)
+			}
+			if res.Data64 == nil {
+				t.Fatalf("archive decoded as %s, want float64", res.DType)
+			}
+			worst := 0.0
+			for i := range data {
+				if d := math.Abs(data[i] - res.Data64[i]); d > worst {
+					worst = d
+				}
+			}
+			if worst > bound {
+				t.Errorf("max abs error %g exceeds bound %g", worst, bound)
+			}
+		})
+	}
+}
+
+func TestSZXRank4(t *testing.T) {
+	shape := []int{3, 4, 5, 6}
+	data := make([]float32, 3*4*5*6)
+	for i := range data {
+		data[i] = float32(math.Cos(float64(i) / 9))
+	}
+	const bound = 1e-3
+	var buf bytes.Buffer
+	_, err := fraz.Compress(context.Background(), &buf, data, shape,
+		fraz.Codec("szx:abs"), fraz.FixedBound(bound), fraz.Blocks(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, decShape, err := fraz.Decompress(context.Background(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decShape) != 4 {
+		t.Fatalf("shape %v, want rank 4", decShape)
+	}
+	if got := maxAbsDiff(data, dec); got > bound {
+		t.Errorf("max abs error %g exceeds bound %g", got, bound)
+	}
+}
