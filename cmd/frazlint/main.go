@@ -1,0 +1,59 @@
+// Command frazlint is the project lint driver: it runs the analyzer suite
+// from internal/analysis over the packages matching its arguments (default
+// ./...) and exits non-zero if any invariant is violated. The suite checks
+// the conventions FRaZ's correctness rests on but the compiler cannot see —
+// pooled-buffer lifecycles, stream-magic uniqueness and width tagging,
+// dtype-dispatch exhaustiveness, floating-point comparison discipline, and
+// error propagation through the repository's own APIs.
+//
+// Usage:
+//
+//	go run ./cmd/frazlint ./...
+//	go run ./cmd/frazlint -list
+//
+// Deliberate exceptions are annotated in the source with a
+// //frazlint:allow <analyzer> comment on (or directly above) the flagged
+// line; there is no out-of-band configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fraz/internal/analysis/frazlint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and their invariants, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: frazlint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the FRaZ analyzer suite; see -list for the checks.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range frazlint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := frazlint.Lint(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frazlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "frazlint: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

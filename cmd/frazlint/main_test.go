@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"fraz/internal/analysis/frazlint"
+)
+
+// TestRepoLintClean runs the full analyzer suite over every package in the
+// module, so a lint violation fails `go test ./...` even where CI is not in
+// the loop. The module-path pattern (rather than ./...) keeps the sweep
+// repo-wide regardless of the test binary's working directory.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is not short")
+	}
+	diags, err := frazlint.Lint("fraz/...")
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d invariant violation(s); annotate deliberate exceptions with //frazlint:allow", len(diags))
+	}
+}

@@ -113,8 +113,13 @@
 //   - internal/dataset   — synthetic SDRBench stand-ins (Hurricane, HACC, CESM, EXAALT, NYX)
 //   - internal/metrics   — PSNR, SSIM, ACF(error), ratio/bit-rate metrics
 //   - internal/experiments — regenerates every table and figure of the paper
+//   - internal/analysis  — frazlint, the project's own static-analysis suite
+//     (stdlib-only go/analysis analogue): poolcheck, magiccheck, dtypecheck,
+//     floateq, and errdrop machine-check the pool-lifecycle, stream-magic,
+//     dtype-dispatch, float-comparison, and error-propagation invariants;
+//     run it with `go run ./cmd/frazlint ./...`
 //
-// Executables are under cmd/ (fraz, frazbench, datagen, frazperf) and runnable usage
+// Executables are under cmd/ (fraz, frazbench, datagen, frazperf, frazlint) and runnable usage
 // examples under examples/; see README.md for a quickstart and the .fraz
 // format table. The benchmarks in bench_test.go regenerate the paper's
 // evaluation (one benchmark per table/figure) plus ablations of the design

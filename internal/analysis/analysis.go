@@ -1,0 +1,184 @@
+// Package analysis is a minimal static-analysis framework in the vocabulary
+// of golang.org/x/tools/go/analysis, built entirely on the standard library
+// (go/parser, go/types, and the go command) so the repository's lint suite
+// carries no module dependencies. It exists to machine-check the invariants
+// FRaZ's correctness rests on but the compiler cannot see: pooled-buffer
+// lifecycles, stream-magic uniqueness, dtype-dispatch exhaustiveness,
+// floating-point comparison discipline, and error propagation. The checkers
+// themselves live in the sibling packages (poolcheck, magiccheck, dtypecheck,
+// floateq, errdrop); cmd/frazlint is the multichecker driver that runs them
+// repo-wide.
+//
+// The shape mirrors x/tools deliberately — an Analyzer owns a Run function
+// that receives a Pass with the package's syntax and type information — so
+// the suite could migrate to the real framework by swapping imports if the
+// dependency ever becomes acceptable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //frazlint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// protects, shown by `frazlint -help`.
+	Doc string
+	// Run inspects one package and reports violations through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// plus the reporting and cross-package state channels.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Session is shared by every pass of one driver run, letting an
+	// analyzer accumulate cross-package state (magiccheck uses it to
+	// detect stream-magic collisions between codec packages).
+	Session *Session
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Session holds cross-package analyzer state for one driver run. Analyzers
+// key their state by their own name, so independent checkers never collide.
+type Session struct {
+	state map[string]any
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session { return &Session{state: map[string]any{}} }
+
+// State returns the value stored under key, creating it with mk on first
+// use.
+func (s *Session) State(key string, mk func() any) any {
+	v, ok := s.state[key]
+	if !ok {
+		v = mk()
+		s.state[key] = v
+	}
+	return v
+}
+
+// Run applies the analyzers to one loaded package and returns the surviving
+// diagnostics: reports suppressed by a //frazlint:allow comment (same line
+// or the line directly above, naming the analyzer or "all") are dropped, so
+// deliberate exceptions are visible in the source instead of in lint
+// configuration. Diagnostics come back sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer, session *Session) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Session:   session,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Types.Path(), err)
+		}
+	}
+	allowed := allowLines(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if allowed.covers(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// allowSet maps file -> line -> analyzer names allowed on that line.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := lines[ln]; names != nil && (names[d.Analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowLines scans the package's comments for //frazlint:allow directives.
+// The directive form is `//frazlint:allow <name>... [-- reason]`; it
+// suppresses the named analyzers (or "all") on its own line and the line
+// below it.
+func allowLines(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//frazlint:allow")
+				if !ok {
+					continue
+				}
+				if reason := strings.SplitN(text, "--", 2); len(reason) > 0 {
+					text = reason[0]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					lines[pos.Line] = names
+				}
+				for _, n := range strings.Fields(text) {
+					names[n] = true
+				}
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// reportCalls flags every call expression, giving the suppression test a
+// deterministic diagnostic stream to filter.
+var reportCalls = &Analyzer{
+	Name: "testcheck",
+	Doc:  "report every call expression (test fixture)",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(call.Pos(), "call sighted")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestAllowDirectivesSuppress(t *testing.T) {
+	pkg, err := LoadDir("testdata/src/suppress", "frazlint.test/suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := Run(pkg, []*Analyzer{reportCalls}, NewSession())
+	if err != nil {
+		t.Fatalf("running fixture analyzer: %v", err)
+	}
+	// Five calls in target: same-line allow, blanket `all`, and line-above
+	// allow suppress three; the bare call and the wrong-name allow survive.
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "testcheck" {
+			t.Errorf("diagnostic %s attributed to %q, want testcheck", d, d.Analyzer)
+		}
+	}
+	if diags[0].Pos.Line >= diags[1].Pos.Line {
+		t.Errorf("diagnostics not sorted by line: %v", diags)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	pkg, err := LoadDir("testdata/src/suppress", "frazlint.test/suppress2")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := Run(pkg, []*Analyzer{reportCalls}, NewSession())
+	if err != nil {
+		t.Fatalf("running fixture analyzer: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "suppress.go:") || !strings.Contains(s, "[testcheck]") {
+		t.Errorf("diagnostic string %q missing file position or analyzer tag", s)
+	}
+}
+
+func TestSessionState(t *testing.T) {
+	s := NewSession()
+	calls := 0
+	mk := func() any { calls++; return map[string]int{} }
+	a := s.State("k", mk).(map[string]int)
+	a["x"] = 1
+	b := s.State("k", mk).(map[string]int)
+	if calls != 1 {
+		t.Errorf("constructor ran %d times, want 1", calls)
+	}
+	if b["x"] != 1 {
+		t.Errorf("second State call returned a different value: %v", b)
+	}
+}

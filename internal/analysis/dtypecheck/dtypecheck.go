@@ -1,0 +1,133 @@
+// Package dtypecheck verifies that every switch over the element-type tag
+// (fraz/internal/container.DType, usually reached through Buffer.DType()) is
+// width-exhaustive: it must either list a case for every known width —
+// Float32 and Float64 — or carry a default branch that can reject the
+// unknown tag with an error. A switch that silently covers one width falls
+// through to zero-value behaviour for the other, which is exactly the class
+// of silent float64 corruption the dtype-generic refactor (PR 5) guarded
+// against by hand; this analyzer guards it by machine.
+package dtypecheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"fraz/internal/analysis"
+)
+
+// Analyzer flags non-exhaustive switches over container.DType that lack a
+// default branch.
+var Analyzer = &analysis.Analyzer{
+	Name: "dtypecheck",
+	Doc: "check that switches over container.DType cover every element width " +
+		"or carry a default error branch",
+	Run: run,
+}
+
+// dtypePkgPath and dtypeName locate the tag type. The known widths are the
+// declared constants of that type (Float32 = 0, Float64 = 1); they are read
+// from the type-checked package rather than hard-coded, so adding a width
+// updates the analyzer's idea of exhaustive automatically.
+const (
+	dtypePkgPath = "fraz/internal/container"
+	dtypeName    = "DType"
+)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := pass.TypesInfo.Types[sw.Tag].Type
+			if !isDType(tagType) {
+				return true
+			}
+			checkSwitch(pass, sw, tagType)
+			return true
+		})
+	}
+	return nil
+}
+
+// isDType reports whether t (or the type it aliases) is container.DType.
+func isDType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == dtypePkgPath && obj.Name() == dtypeName
+}
+
+// knownWidths lists the DType constants declared in the tag type's package.
+func knownWidths(t types.Type) map[int64]string {
+	named := t.(*types.Named)
+	pkg := named.Obj().Pkg()
+	out := map[int64]string{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), t) {
+			continue
+		}
+		if v, ok := constant.Int64Val(constant.ToInt(c.Val())); ok {
+			out[v] = name
+		}
+	}
+	return out
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, tagType types.Type) {
+	widths := knownWidths(tagType)
+	covered := map[int64]bool{}
+	hasDefault := false
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil {
+				// A non-constant case expression may match anything;
+				// treat it as covering like a default does.
+				hasDefault = true
+				continue
+			}
+			if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+				covered[v] = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for v, name := range widths {
+		if !covered[v] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	// Deterministic order for stable diagnostics.
+	for i := 0; i < len(missing); i++ {
+		for j := i + 1; j < len(missing); j++ {
+			if missing[j] < missing[i] {
+				missing[i], missing[j] = missing[j], missing[i]
+			}
+		}
+	}
+	pass.Reportf(sw.Pos(), "switch over container.DType misses %v and has no default error branch: the missing width falls through silently", missing)
+}

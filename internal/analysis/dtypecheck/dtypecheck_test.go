@@ -1,0 +1,12 @@
+package dtypecheck_test
+
+import (
+	"testing"
+
+	"fraz/internal/analysis/analysistest"
+	"fraz/internal/analysis/dtypecheck"
+)
+
+func TestDtypecheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", dtypecheck.Analyzer)
+}

@@ -1,0 +1,70 @@
+// Package a exercises dtypecheck: switches over container.DType must list
+// every width or carry a default branch.
+package a
+
+import "fraz/internal/container"
+
+type kind int
+
+const kindA kind = 0
+
+// Exhaustive: both widths listed, no default needed.
+func exhaustive(dt container.DType) int {
+	switch dt {
+	case container.Float32:
+		return 4
+	case container.Float64:
+		return 8
+	}
+	return 0
+}
+
+// One width plus a default error branch: the unknown tag is rejected.
+func defaulted(dt container.DType) int {
+	switch dt {
+	case container.Float32:
+		return 4
+	default:
+		return -1
+	}
+}
+
+// A non-constant case expression may match anything, so it counts as a
+// default.
+func nonConstCase(dt, other container.DType) int {
+	switch dt {
+	case other:
+		return 1
+	case container.Float32:
+		return 4
+	}
+	return 0
+}
+
+// Missing Float64 with no default: the float64 path would fall through
+// silently.
+func missingWidth(dt container.DType) int {
+	switch dt { // want `switch over container\.DType misses \[Float64\] and has no default error branch`
+	case container.Float32:
+		return 4
+	}
+	return 0
+}
+
+// Switches over unrelated types are none of this analyzer's business.
+func otherSwitch(k kind) int {
+	switch k {
+	case kindA:
+		return 1
+	}
+	return 0
+}
+
+// Tagless switches never dispatch on a value; ignored.
+func tagless(dt container.DType) int {
+	switch {
+	case dt == container.Float32:
+		return 4
+	}
+	return 0
+}

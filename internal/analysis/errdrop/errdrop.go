@@ -1,0 +1,186 @@
+// Package errdrop flags discarded error returns from this repository's own
+// APIs — stricter than go vet, which only knows a short list of stdlib
+// functions. Every function under fraz/... that returns an error returns it
+// for a reason (parallel.ForEach reports worker failures, container WriteTo
+// and ReadFrom report stream corruption, codec Compress reports infeasible
+// bounds); a call site that drops the value turns those into silent
+// corruption. Flagged forms: a call used as a bare statement, in a go or
+// defer statement, and an assignment that sends the error result to the
+// blank identifier. Intentional drops need a //frazlint:allow errdrop
+// comment stating why the error is irrelevant.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fraz/internal/analysis"
+)
+
+// Analyzer flags dropped error results of module-internal calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "flag discarded error returns from fraz/... functions (bare call " +
+		"statements, go/defer calls, and assignments to _)",
+	Run: run,
+}
+
+// modulePrefix scopes the check to this repository's APIs.
+const modulePrefix = "fraz"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+					checkCall(pass, call, "discarded")
+				}
+				// Keep descending: the call's arguments may hold function
+				// literals with droppable calls of their own.
+			case *ast.GoStmt:
+				checkCall(pass, n.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				checkCall(pass, n.Call, "discarded by defer")
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall reports a call whose final error result has no consumer.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	obj, sig := callee(pass, call)
+	if obj == nil || sig == nil || !inScope(pass, obj) {
+		return
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return
+	}
+	last := res.At(res.Len() - 1).Type()
+	if !isErrorType(last) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of %s is %s", calleeName(obj), how)
+}
+
+// checkAssign reports error results explicitly routed to the blank
+// identifier, including the multi-value `v, _ := f()` form.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	// Only the single-call multi-assign and 1:1 forms bind positionally.
+	if len(as.Rhs) == 1 {
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		obj, sig := callee(pass, call)
+		if obj == nil || sig == nil || !inScope(pass, obj) {
+			return
+		}
+		res := sig.Results()
+		if res.Len() != len(as.Lhs) {
+			// Single-value context (or mismatch): nothing positional to check.
+			if res.Len() == 1 && len(as.Lhs) == 1 {
+				checkBlank(pass, as.Lhs[0], res.At(0).Type(), obj)
+			}
+			return
+		}
+		for i := 0; i < res.Len(); i++ {
+			checkBlank(pass, as.Lhs[i], res.At(i).Type(), obj)
+		}
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		obj, sig := callee(pass, call)
+		if obj == nil || sig == nil || !inScope(pass, obj) {
+			continue
+		}
+		res := sig.Results()
+		if res.Len() == 1 {
+			checkBlank(pass, as.Lhs[i], res.At(0).Type(), obj)
+		}
+	}
+}
+
+func checkBlank(pass *analysis.Pass, lhs ast.Expr, t types.Type, obj types.Object) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name != "_" || !isErrorType(t) {
+		return
+	}
+	pass.Reportf(id.Pos(), "error result of %s is assigned to _", calleeName(obj))
+}
+
+// callee resolves the invoked function object and signature; conversions
+// and builtins resolve to nil.
+func callee(pass *analysis.Pass, call *ast.CallExpr) (types.Object, *types.Signature) {
+	fun := unparen(call.Fun)
+	switch fn := fun.(type) {
+	case *ast.IndexExpr:
+		fun = unparen(fn.X)
+	case *ast.IndexListExpr:
+		fun = unparen(fn.X)
+	}
+	var obj types.Object
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fn.Sel]
+	default:
+		return nil, nil
+	}
+	if obj == nil {
+		return nil, nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil, nil
+	}
+	return obj, sig
+}
+
+// inScope reports whether the callee belongs to this module (or the package
+// under analysis itself, which covers testdata packages).
+func inScope(pass *analysis.Pass, obj types.Object) bool {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if pkg == pass.Pkg {
+		return true
+	}
+	return pkg.Path() == modulePrefix || strings.HasPrefix(pkg.Path(), modulePrefix+"/")
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+func calleeName(obj types.Object) string {
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"fraz/internal/analysis/analysistest"
+	"fraz/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", errdrop.Analyzer)
+}

@@ -1,0 +1,54 @@
+// Package a exercises errdrop: error results of this module's own functions
+// must not be silently discarded.
+package a
+
+import "fmt"
+
+type failure string
+
+func (f failure) Error() string { return string(f) }
+
+func doWork() error { return failure("boom") }
+
+func produce() (int, error) { return 0, nil }
+
+func onlyValue() int { return 1 }
+
+func run(f func()) { f() }
+
+func flagged() {
+	doWork()          // want `error result of a\.doWork is discarded`
+	go doWork()       // want `error result of a\.doWork is discarded by go statement`
+	defer doWork()    // want `error result of a\.doWork is discarded by defer`
+	_ = doWork()      // want `error result of a\.doWork is assigned to _`
+	v, _ := produce() // want `error result of a\.produce is assigned to _`
+	_ = v
+
+	// Calls inside function-literal arguments are still inspected.
+	run(func() {
+		doWork() // want `error result of a\.doWork is discarded`
+	})
+}
+
+func handled() error {
+	if err := doWork(); err != nil {
+		return err
+	}
+	v, err := produce()
+	if err != nil {
+		return err
+	}
+	_ = v
+	onlyValue() // no error result; nothing to drop
+	return nil
+}
+
+func outOfScope() {
+	// Callees outside the module (and the package under analysis) are go
+	// vet's problem, not this analyzer's.
+	fmt.Println("hello")
+}
+
+func annotated() {
+	doWork() //frazlint:allow errdrop -- best-effort cleanup; failure is benign here
+}

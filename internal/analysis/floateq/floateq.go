@@ -1,0 +1,83 @@
+// Package floateq flags == and != between floating-point operands. In the
+// codec kernels a float equality is nearly always a latent bug — two values
+// within the error bound compare unequal, NaNs compare unequal to
+// everything — so the default is to report every comparison and make the
+// exceptions explicit in the source. Two idioms are allowed without
+// annotation: the NaN self-comparison (x != x) and comparison against a
+// zero constant, which is exact in IEEE-754 and is how the kernels test
+// "bound disabled" and "spread is exactly zero" (the constant-block min/max
+// detection). Anything else needs a //frazlint:allow floateq comment
+// stating why exactness is intended.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"fraz/internal/analysis"
+)
+
+// Analyzer flags floating-point equality comparisons outside the allowed
+// idioms.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag == and != on floating-point operands except NaN self-comparison " +
+		"and comparison against the exact constant 0",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			if nanIdiom(be) || zeroConst(pass, be.X) || zeroConst(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison: values within the error bound compare unequal; use a tolerance, or annotate with //frazlint:allow floateq if exactness is intended", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether the expression's type is (or defaults to) a
+// floating-point kind.
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch basic.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat:
+		return true
+	}
+	return false
+}
+
+// nanIdiom recognises x != x and x == x, the portable NaN test.
+func nanIdiom(be *ast.BinaryExpr) bool {
+	return types.ExprString(be.X) == types.ExprString(be.Y)
+}
+
+// zeroConst reports whether e is a compile-time constant equal to zero.
+// Comparing against exact zero is well-defined in IEEE-754 (modulo the -0
+// case, which compares equal to +0 — the behaviour the kernels want).
+func zeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}

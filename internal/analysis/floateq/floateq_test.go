@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"fraz/internal/analysis/analysistest"
+	"fraz/internal/analysis/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", floateq.Analyzer)
+}

@@ -1,0 +1,40 @@
+// Package a exercises floateq: float equality is flagged except for the NaN
+// self-comparison idiom, exact-zero comparison, and annotated exceptions.
+package a
+
+func flagged(a, b float64, f float32) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if f != float32(b) { // want `floating-point != comparison`
+		return true
+	}
+	return a == 1.5 // want `floating-point == comparison`
+}
+
+func nanIdiom(a float64) bool {
+	return a != a // the portable NaN test
+}
+
+func zeroCompare(bound float64) bool {
+	// Exact-zero tests are well-defined ("bound disabled", "spread is
+	// exactly zero") and stay unflagged.
+	if bound == 0 {
+		return true
+	}
+	return 0.0 != bound
+}
+
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+func annotated(rep, bmin float64) bool {
+	// The midrange re-check wants exactness; the annotation documents it.
+	return rep == bmin //frazlint:allow floateq -- exact representative check is intended
+}
+
+func annotatedAbove(rep, bmax float64) bool {
+	//frazlint:allow floateq -- exactness intended; annotation on the line above
+	return rep == bmax
+}

@@ -1,0 +1,47 @@
+// Package frazlint assembles the repository's analyzer suite in one place,
+// so the cmd/frazlint driver and the repo-hygiene test run the identical
+// set of checks.
+package frazlint
+
+import (
+	"fraz/internal/analysis"
+	"fraz/internal/analysis/dtypecheck"
+	"fraz/internal/analysis/errdrop"
+	"fraz/internal/analysis/floateq"
+	"fraz/internal/analysis/magiccheck"
+	"fraz/internal/analysis/poolcheck"
+)
+
+// Analyzers is the full suite, in the order the driver runs them.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		poolcheck.Analyzer,
+		magiccheck.Analyzer,
+		dtypecheck.Analyzer,
+		floateq.Analyzer,
+		errdrop.Analyzer,
+	}
+}
+
+// Lint loads the packages matching the go-list patterns, runs every
+// analyzer over each, and returns the surviving diagnostics sorted by
+// position within each package (packages are processed in import-path
+// order, which also makes magiccheck's cross-package duplicate report
+// deterministic).
+func Lint(patterns ...string) ([]analysis.Diagnostic, error) {
+	pkgs, err := analysis.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	session := analysis.NewSession()
+	analyzers := Analyzers()
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := analysis.Run(pkg, analyzers, session)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}

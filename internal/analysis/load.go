@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the slice of `go list -json` output the loader needs.
+type listEntry struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+// Load enumerates the packages matching the go-list patterns (e.g. "./...")
+// and type-checks each from source. Imports — including the repository's own
+// packages — resolve through the standard library's source importer, which
+// shells out to the go command, so Load must run with a working directory
+// inside the module. Only non-test files are loaded: the invariants frazlint
+// checks live on production paths, and test files routinely break them on
+// purpose to prove error handling works.
+func Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v: %s", patterns, err, stderr.Bytes())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if len(e.GoFiles) > 0 {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ImportPath < entries[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkgs := make([]*Package, 0, len(entries))
+	for _, e := range entries {
+		files := make([]string, len(e.GoFiles))
+		for i, f := range e.GoFiles {
+			files[i] = filepath.Join(e.Dir, f)
+		}
+		pkg, err := check(fset, imp, e.ImportPath, e.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the .go files of a single directory as one
+// package under the given import path. It is the entry point the
+// analysistest harness uses for testdata packages, which `go list` ignores
+// by design.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	parsed, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: parsing %s: %w", dir, err)
+	}
+	if len(parsed) != 1 {
+		names := make([]string, 0, len(parsed))
+		for n := range parsed {
+			names = append(names, n)
+		}
+		return nil, fmt.Errorf("analysis: %s holds %d packages %v, want exactly 1", dir, len(parsed), names)
+	}
+	var files []*ast.File
+	var names []string
+	for _, p := range parsed {
+		for n := range p.Files {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			files = append(files, p.Files[n])
+		}
+	}
+	imp := importer.ForCompiler(fset, "source", nil)
+	return checkFiles(fset, imp, importPath, dir, files)
+}
+
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, filenames []string) (*Package, error) {
+	files := make([]*ast.File, len(filenames))
+	for i, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", fn, err)
+		}
+		files[i] = f
+	}
+	return checkFiles(fset, imp, importPath, dir, files)
+}
+
+func checkFiles(fset *token.FileSet, imp types.Importer, importPath, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

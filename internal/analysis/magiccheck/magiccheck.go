@@ -1,0 +1,247 @@
+// Package magiccheck verifies the stream-magic conventions of the codec
+// kernels: every 4-byte magic constant (a package-level uint32 const whose
+// name contains "magic") must be unique across the whole build — two codecs
+// sharing a magic would silently mis-route decodes — must carry the element
+// width it tags in its trailing ASCII digit ('1' for the float32 variant of
+// a *32 constant, '2' for the float64 variant of a *64 constant, matching
+// SZG1/SZG2, ZFP1/ZFP2, SZX1/SZX2, …), and must be reachable from the
+// package's decode dispatch: a magic only ever written but never matched in
+// a switch case or equality comparison marks a stream no decoder will ever
+// accept. Reachability looks through one level of helper function (the
+// magicFor[T] idiom), so a magic returned by a helper that is itself
+// compared in the decode path counts as reachable.
+package magiccheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fraz/internal/analysis"
+)
+
+// Analyzer flags duplicate, wrongly width-tagged, or decode-unreachable
+// stream magics.
+var Analyzer = &analysis.Analyzer{
+	Name: "magiccheck",
+	Doc: "check that 4-byte stream-magic constants are unique across packages, " +
+		"carry the right width digit, and are matched somewhere on a decode path",
+	Run: run,
+}
+
+// seenKey namespaces the cross-package duplicate table in the session.
+const seenKey = "magiccheck.seen"
+
+// prior records where a magic value was first declared.
+type prior struct {
+	pkg  string
+	name string
+}
+
+type magicConst struct {
+	obj  types.Object
+	name string
+	val  uint32
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	magics := collect(pass)
+	if len(magics) == 0 {
+		return nil
+	}
+
+	seen := pass.Session.State(seenKey, func() any { return map[uint32]prior{} }).(map[uint32]prior)
+	for _, m := range magics {
+		if p, dup := seen[m.val]; dup {
+			pass.Reportf(m.pos, "magic %s (%q) collides with %s.%s: streams would mis-route between codecs",
+				m.name, asciiBytes(m.val), p.pkg, p.name)
+			continue
+		}
+		seen[m.val] = prior{pkg: pass.Pkg.Name(), name: m.name}
+	}
+
+	for _, m := range magics {
+		checkWidthTag(pass, m)
+	}
+
+	reachable := decodeReachable(pass)
+	for _, m := range magics {
+		if !reachable[m.obj] {
+			pass.Reportf(m.pos, "magic %s (%q) is never matched in a switch case or comparison: no decode path accepts its streams",
+				m.name, asciiBytes(m.val))
+		}
+	}
+	return nil
+}
+
+// collect gathers the package-level magic constants: untyped or uint32
+// integer consts whose name contains "magic".
+func collect(pass *analysis.Pass) []magicConst {
+	var out []magicConst
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.Contains(strings.ToLower(name.Name), "magic") {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[name]
+					cnst, ok := obj.(*types.Const)
+					if !ok {
+						continue
+					}
+					v, ok := constant.Uint64Val(constant.ToInt(cnst.Val()))
+					if !ok || v > 0xFFFFFFFF {
+						continue
+					}
+					out = append(out, magicConst{obj: obj, name: name.Name, val: uint32(v), pos: name.Pos()})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkWidthTag enforces the width-digit convention: among the four ASCII
+// bytes of the magic exactly one must be a digit, and that digit must be '1'
+// for a *32-named constant and '2' for a *64-named one. Constants whose name
+// carries no width suffix are exempt.
+func checkWidthTag(pass *analysis.Pass, m magicConst) {
+	var want byte
+	switch {
+	case strings.HasSuffix(m.name, "32"):
+		want = '1'
+	case strings.HasSuffix(m.name, "64"):
+		want = '2'
+	default:
+		return
+	}
+	b := asciiBytes(m.val)
+	var digits []byte
+	for i := 0; i < len(b); i++ {
+		if b[i] >= '0' && b[i] <= '9' {
+			digits = append(digits, b[i])
+		}
+	}
+	if len(digits) != 1 {
+		pass.Reportf(m.pos, "magic %s (%q) must carry exactly one width-tag digit, found %d",
+			m.name, b, len(digits))
+		return
+	}
+	if digits[0] != want {
+		pass.Reportf(m.pos, "magic %s (%q) tags the wrong width: name says %s so the digit must be %q, got %q",
+			m.name, b, m.name[len(m.name)-2:], want, digits[0])
+	}
+}
+
+// asciiBytes renders the magic's four bytes most-significant first, the
+// order the repository's comments quote them in.
+func asciiBytes(v uint32) string {
+	return string([]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// decodeReachable computes which magic constants can match an incoming
+// stream: used directly in a case clause or ==/!= comparison, or returned
+// by a helper function that is itself called in such a position.
+func decodeReachable(pass *analysis.Pass) map[types.Object]bool {
+	// helperReturns maps a function object to the magic constants its body
+	// returns (the magicFor[T] pattern).
+	helperReturns := map[types.Object][]types.Object{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fobj := pass.TypesInfo.Defs[fd.Name]
+			if fobj == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, r := range ret.Results {
+					ast.Inspect(r, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							if obj := pass.TypesInfo.Uses[id]; obj != nil {
+								if _, isConst := obj.(*types.Const); isConst {
+									helperReturns[fobj] = append(helperReturns[fobj], obj)
+								}
+							}
+						}
+						return true
+					})
+				}
+				return true
+			})
+		}
+	}
+
+	reachable := map[types.Object]bool{}
+	markExpr := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[n]; obj != nil {
+					reachable[obj] = true
+				}
+			case *ast.CallExpr:
+				if fobj := calleeObject(pass, n); fobj != nil {
+					for _, c := range helperReturns[fobj] {
+						reachable[c] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				for _, e := range n.List {
+					markExpr(e)
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					markExpr(n.X)
+					markExpr(n.Y)
+				}
+			}
+			return true
+		})
+	}
+	return reachable
+}
+
+// calleeObject resolves the function object a call invokes, looking through
+// generic instantiation.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	fun := call.Fun
+	switch fn := fun.(type) {
+	case *ast.IndexExpr:
+		fun = fn.X
+	case *ast.IndexListExpr:
+		fun = fn.X
+	}
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fn.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package magiccheck_test
+
+import (
+	"testing"
+
+	"fraz/internal/analysis/analysistest"
+	"fraz/internal/analysis/magiccheck"
+)
+
+func TestMagiccheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", magiccheck.Analyzer)
+}

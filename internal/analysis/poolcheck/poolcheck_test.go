@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"fraz/internal/analysis/analysistest"
+	"fraz/internal/analysis/poolcheck"
+)
+
+func TestPoolcheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", poolcheck.Analyzer)
+}

@@ -1,0 +1,161 @@
+// Package a exercises poolcheck: each function is one lifecycle scenario,
+// flagged lines carry want comments, and the rest must stay silent.
+package a
+
+import "fraz/internal/pool"
+
+// --- correct lifecycles: no diagnostics ---
+
+func putBeforeReturn(n int) int {
+	buf := pool.GetBytes(n)
+	s := len(buf)
+	pool.PutBytes(buf)
+	return s
+}
+
+func deferredPut(n int) int {
+	buf := pool.GetFloat64(n)
+	defer pool.PutFloat64(buf)
+	return len(buf)
+}
+
+func deferredClosurePut(n int) int {
+	kept := pool.GetBytes(n)[:0]
+	planes := pool.GetBytes(n)[:0]
+	defer func() {
+		pool.PutBytes(kept)
+		pool.PutBytes(planes)
+	}()
+	kept = append(kept, 1)
+	planes = append(planes, 2)
+	return len(kept) + len(planes)
+}
+
+func ownershipByReturn(n int) []byte {
+	buf := pool.GetBytes(n)
+	return buf
+}
+
+func getInReturn(n int) []byte {
+	return pool.GetBytes(n)
+}
+
+func doneGuard(n int, fail bool) ([]float32, error) {
+	out := pool.GetFloat32(n)
+	done := false
+	defer func() {
+		if !done {
+			pool.PutFloat32(out)
+		}
+	}()
+	if fail {
+		return nil, errFail
+	}
+	done = true
+	return out, nil
+}
+
+func putOnBothBranches(n int, cond bool) int {
+	buf := pool.GetUint32(n)
+	if cond {
+		pool.PutUint32(buf)
+		return 1
+	}
+	pool.PutUint32(buf)
+	return 0
+}
+
+type writer struct {
+	buf []byte
+}
+
+func structFieldLifecycle(n int) int {
+	w := writer{buf: pool.GetBytes(n)[:0]}
+	w.buf = append(w.buf, 0xAB)
+	s := len(w.buf)
+	pool.PutBytes(w.buf)
+	return s
+}
+
+// getFloats / putFloats mirror the sz kernels' generic pool bridges; the
+// checker must classify them as wrappers so calls count as gets and puts.
+
+func getFloats(n int) []float64 { return pool.GetFloat64(n) }
+
+func putFloats(s []float64) { pool.PutFloat64(s) }
+
+func viaWrappers(n int) float64 {
+	recon := getFloats(n)
+	defer putFloats(recon)
+	return recon[0]
+}
+
+func escapeToClosure(n int) func() {
+	buf := pool.GetBytes(n)
+	return func() { pool.PutBytes(buf) } // custody leaves with the closure
+}
+
+func custodyTransfer(n int) []byte {
+	buf := pool.GetBytes(n)
+	other := buf // the second name owns it now; tracking stops
+	return other
+}
+
+// --- violations ---
+
+func leakOnEarlyReturn(n int) ([]byte, error) {
+	buf := pool.GetBytes(n)
+	if n > 1024 {
+		return nil, errFail // want `pooled buffer buf \(acquired at line \d+\) is not put on this return path`
+	}
+	pool.PutBytes(buf)
+	return nil, nil
+}
+
+func leakOnFallthrough(n int) {
+	buf := pool.GetFloat64(n)
+	buf[0] = 1
+} // want `pooled buffer buf \(acquired at line \d+\) is not put on this return path`
+
+func leakOneBranchMissing(n int, cond bool) int {
+	buf := pool.GetBytes(n)
+	if cond {
+		pool.PutBytes(buf)
+	}
+	return n // want `pooled buffer buf \(acquired at line \d+\) is not put on this return path`
+}
+
+func doublePut(n int) {
+	buf := pool.GetBytes(n)
+	pool.PutBytes(buf)
+	pool.PutBytes(buf) // want `double put of pooled buffer buf`
+}
+
+func putAfterDefer(n int) {
+	buf := pool.GetUint64(n)
+	defer pool.PutUint64(buf)
+	pool.PutUint64(buf) // want `put of pooled buffer buf that is already put by a defer`
+}
+
+func putOfReslice(n int) {
+	buf := pool.GetBytes(n)
+	pool.PutBytes(buf[:4]) // want `put of a reslice of pooled buffer buf`
+	pool.PutBytes(buf)
+}
+
+func putOfAlias(n int) {
+	buf := pool.GetUint32(n)
+	bits := buf[:n/2]
+	pool.PutUint32(bits) // want `put of bits, a reslice alias of pooled buffer buf`
+	pool.PutUint32(buf)
+}
+
+func unassignedGet(n int) {
+	pool.GetBytes(n) // want `pooled Get result is neither stored in a trackable variable nor returned`
+}
+
+var errFail = errOf("fail")
+
+type errOf string
+
+func (e errOf) Error() string { return string(e) }

@@ -1,0 +1,15 @@
+// Package suppress is the fixture for the framework's suppression test: a
+// synthetic analyzer reports every call in target, and the allow directives
+// must silence exactly the annotated ones.
+package suppress
+
+func callee() {}
+
+func target() {
+	callee() // unsuppressed: must survive
+	callee() //frazlint:allow testcheck
+	callee() //frazlint:allow all -- blanket waiver
+	//frazlint:allow testcheck -- directive on the line above
+	callee()
+	callee() //frazlint:allow othercheck (wrong analyzer: must survive)
+}

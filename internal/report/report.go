@@ -142,7 +142,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 // String renders the ASCII form, for tests and logs.
 func (t *Table) String() string {
 	var b strings.Builder
-	_ = t.WriteASCII(&b)
+	_ = t.WriteASCII(&b) //frazlint:allow errdrop -- strings.Builder writes cannot fail
 	return b.String()
 }
 

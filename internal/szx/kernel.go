@@ -43,6 +43,14 @@ func compress32(data []float32, shape grid.Dims, o Options) []byte {
 	kept := pool.GetBytes(nBlocks)[:0]
 	planes := pool.GetBytes(n)[:0] // grows as needed; n bytes ≈ 4x ratio start
 	scratch := pool.GetUint32(bs)
+	// Deferred puts so the scratch cannot leak if an early return is ever
+	// added to the block loop; the closure parks whichever backing arrays
+	// kept and planes hold after append growth.
+	defer func() {
+		pool.PutBytes(kept)
+		pool.PutBytes(planes)
+	}()
+	defer pool.PutUint32(scratch)
 
 	lb := boundExp(o.ErrorBound)
 	twice := 2 * o.ErrorBound
@@ -114,9 +122,6 @@ func compress32(data []float32, shape grid.Dims, o Options) []byte {
 	out = append(out, consts...)
 	out = append(out, kept...)
 	out = append(out, planes...)
-	pool.PutBytes(kept)
-	pool.PutBytes(planes)
-	pool.PutUint32(scratch)
 	return out
 }
 
@@ -136,6 +141,11 @@ func compress64(data []float64, shape grid.Dims, o Options) []byte {
 	kept := pool.GetBytes(nBlocks)[:0]
 	planes := pool.GetBytes(n)[:0]
 	scratch := pool.GetUint64(bs)
+	defer func() {
+		pool.PutBytes(kept)
+		pool.PutBytes(planes)
+	}()
+	defer pool.PutUint64(scratch)
 
 	lb := boundExp(o.ErrorBound)
 	twice := 2 * o.ErrorBound
@@ -200,9 +210,6 @@ func compress64(data []float64, shape grid.Dims, o Options) []byte {
 	out = append(out, consts...)
 	out = append(out, kept...)
 	out = append(out, planes...)
-	pool.PutBytes(kept)
-	pool.PutBytes(planes)
-	pool.PutUint64(scratch)
 	return out
 }
 
@@ -220,6 +227,14 @@ func decompress32(h header, body []byte) ([]float32, error) {
 	out := pool.GetFloat32(n)
 	scratch := pool.GetUint32(h.blockSize)
 	defer pool.PutUint32(scratch)
+	// out transfers to the caller only on success; every error return below
+	// must recycle it or the pooled buffer leaks on corrupt streams.
+	done := false
+	defer func() {
+		if !done {
+			pool.PutFloat32(out)
+		}
+	}()
 
 	ci, ki, pi := 0, 0, 0
 	for bi := 0; bi < nBlocks; bi++ {
@@ -267,6 +282,7 @@ func decompress32(h header, body []byte) ([]float32, error) {
 	if pi != len(planes) {
 		return nil, fmt.Errorf("%w: %d trailing bytes after byte planes", ErrCorrupt, len(planes)-pi)
 	}
+	done = true
 	return out, nil
 }
 
@@ -279,6 +295,12 @@ func decompress64(h header, body []byte) ([]float64, error) {
 	out := pool.GetFloat64(n)
 	scratch := pool.GetUint64(h.blockSize)
 	defer pool.PutUint64(scratch)
+	done := false
+	defer func() {
+		if !done {
+			pool.PutFloat64(out)
+		}
+	}()
 
 	ci, ki, pi := 0, 0, 0
 	for bi := 0; bi < nBlocks; bi++ {
@@ -326,5 +348,6 @@ func decompress64(h header, body []byte) ([]float64, error) {
 	if pi != len(planes) {
 		return nil, fmt.Errorf("%w: %d trailing bytes after byte planes", ErrCorrupt, len(planes)-pi)
 	}
+	done = true
 	return out, nil
 }

@@ -1,0 +1,117 @@
+package szx
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"fraz/internal/grid"
+	"fraz/internal/pool"
+)
+
+// drainPools empties the pool's primary and victim caches so the recycling
+// assertions below see a deterministic free-list state. sync.Pool keeps one
+// GC generation of victims, so two collections clear both.
+func drainPools() {
+	runtime.GC()
+	runtime.GC()
+}
+
+// noisyField returns data no block of which is constant at the given bound,
+// so decompression walks the byte-plane path where the corruption checks
+// (and the historical leak) live.
+func noisyField32(n int) []float32 {
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i)))*100 + float32(i%7)
+	}
+	return data
+}
+
+func noisyField64(n int) []float64 {
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(float64(i))*100 + float64(i%7)
+	}
+	return data
+}
+
+// TestDecompressErrorRecyclesOutput32 pins the fix for the pooled-output
+// leak: a decode that fails mid-stream must return its output buffer to the
+// pool. The test parks a marker slice in the exact capacity class the
+// decoder will request; the decoder's Get hands the marker out, the error
+// path must Put it back, and the final Get observes the same backing array.
+func TestDecompressErrorRecyclesOutput32(t *testing.T) {
+	const n = 100 // capacity class 128
+	data := noisyField32(n)
+	shape := grid.Dims{n}
+	comp, err := Compress[float32](data, shape, Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	corrupt := comp[:len(comp)-1] // chop one plane byte: fails after output acquisition
+
+	drainPools()
+	marker := make([]float32, 128)
+	pool.PutFloat32(marker)
+
+	if _, err := Decompress[float32](corrupt, shape); err == nil {
+		t.Fatal("truncated stream decompressed without error")
+	}
+
+	got := pool.GetFloat32(n)
+	defer pool.PutFloat32(got)
+	if &got[0] != &marker[0] {
+		t.Error("failed decode did not return its pooled output buffer; the error path leaks")
+	}
+}
+
+func TestDecompressErrorRecyclesOutput64(t *testing.T) {
+	const n = 100
+	data := noisyField64(n)
+	shape := grid.Dims{n}
+	comp, err := Compress[float64](data, shape, Options{ErrorBound: 1e-6})
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	corrupt := comp[:len(comp)-1]
+
+	drainPools()
+	marker := make([]float64, 128)
+	pool.PutFloat64(marker)
+
+	if _, err := Decompress[float64](corrupt, shape); err == nil {
+		t.Fatal("truncated stream decompressed without error")
+	}
+
+	got := pool.GetFloat64(n)
+	defer pool.PutFloat64(got)
+	if &got[0] != &marker[0] {
+		t.Error("failed decode did not return its pooled output buffer; the error path leaks")
+	}
+}
+
+// TestDecompressSuccessKeepsOwnership is the inverse guard: a successful
+// decode hands the buffer to the caller, so it must NOT also put it back —
+// a double-custody bug would alias the caller's data with the next Get.
+func TestDecompressSuccessKeepsOwnership(t *testing.T) {
+	const n = 100
+	data := noisyField32(n)
+	shape := grid.Dims{n}
+	comp, err := Compress[float32](data, shape, Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+
+	drainPools()
+	dec, err := Decompress[float32](comp, shape)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+
+	got := pool.GetFloat32(n)
+	defer pool.PutFloat32(got)
+	if len(dec) > 0 && len(got) > 0 && &got[0] == &dec[0] {
+		t.Error("successful decode put its output back in the pool while the caller still holds it")
+	}
+}
