@@ -98,6 +98,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// With -out - the data stream owns standard output, so the report moves
+	// to standard error to keep pipelines clean.
+	if *outPath == "-" {
+		out = stderr
+	}
+
 	if *decompress != "" {
 		// Every decompression parameter comes from the container header, so
 		// any other flag the user set would be silently ignored — reject it
@@ -179,7 +185,9 @@ func run(args []string, out io.Writer) error {
 	// archive already at that path.
 	var w io.Writer = io.Discard
 	var tmp *os.File
-	if *outPath != "" {
+	if *outPath == "-" {
+		w = stdout
+	} else if *outPath != "" {
 		tmp, err = os.CreateTemp(filepath.Dir(*outPath), filepath.Base(*outPath)+".tmp-*")
 		if err != nil {
 			return err
@@ -250,8 +258,12 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "evaluations:      %d in %v (%s)\n", res.Evaluations, res.Elapsed,
 		report.Savings(res.CacheHits, res.Evaluations-res.CacheHits))
 	if *outPath != "" {
+		dest := *outPath
+		if dest == "-" {
+			dest = "<stdout>"
+		}
 		fmt.Fprintf(out, "wrote %d bytes to %s (codec=%s bound=%g ratio=%.2f, %d blocks)\n",
-			res.BytesWritten, *outPath, res.Codec, res.ErrorBound, res.Ratio, res.Blocks)
+			res.BytesWritten, dest, res.Codec, res.ErrorBound, res.Ratio, res.Blocks)
 	}
 	return nil
 }
@@ -388,12 +400,19 @@ func (r refLoader) load(wide bool) (inputField, error) {
 // the file itself, an optional raw float32 output path, and (with -verify)
 // the reference field the archive's promise is re-measured against.
 func runDecompress(inPath, outPath string, verify bool, wantDType string, ref refLoader, out io.Writer) error {
-	f, err := os.Open(inPath)
-	if err != nil {
-		return err
+	var r io.Reader
+	if inPath == "-" {
+		r = stdin
+		inPath = "<stdin>"
+	} else {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
 	}
-	defer f.Close()
-	res, err := fraz.DecompressFull(context.Background(), f)
+	res, err := fraz.DecompressFull(context.Background(), r)
 	if err != nil {
 		return fmt.Errorf("%s: %w", inPath, err)
 	}
@@ -420,7 +439,13 @@ func runDecompress(inPath, outPath string, verify bool, wantDType string, ref re
 			fmt.Fprintf(out, "error guarantee:  %s <= %g\n", ci.BoundName, res.ErrorBound)
 		}
 	}
-	if outPath != "" {
+	switch {
+	case outPath == "-":
+		if _, err := writeRawTo(stdout, res.Data, res.Data64); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d bytes to <stdout>\n", elemSize*values)
+	case outPath != "":
 		var werr error
 		if res.Data64 != nil {
 			werr = dataset.WriteRaw64(outPath, res.Data64)
@@ -503,6 +528,8 @@ func decodedValues(res *fraz.DecompressResult) (values, elemSize int) {
 // natively at either precision.
 func loadField(inPath, dims, dsName, fieldName string, timeStep int, scaleName string, wide bool) (inputField, error) {
 	switch {
+	case inPath == "-":
+		return stdinField(dims, wide)
 	case inPath != "":
 		shape, err := parseDims(dims)
 		if err != nil {

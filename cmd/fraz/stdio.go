@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// This file makes the CLI pipeline-friendly: `-in -` reads the raw field
+// from standard input, `-out -` streams the result (a .fraz container when
+// compressing, a raw field when decompressing) to standard output, and
+// `-decompress -` reads the archive from standard input. When standard
+// output carries the data stream, the human-readable report moves to
+// standard error, so
+//
+//	datagen ... | fraz -in - -dims 100x500x500 -out - | ssh host 'cat > f.fraz'
+//	curl -s host/v1/archives/abc | fraz -decompress - -out - > field.f32
+//
+// compose the way Unix tools should.
+
+// stdin/stdout/stderr are the process streams, indirected so tests can
+// substitute buffers.
+var (
+	stdin  io.Reader = os.Stdin
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
+
+// stdinField reads a whole raw little-endian field from standard input at
+// the given width.
+func stdinField(dims string, wide bool) (inputField, error) {
+	shape, err := parseDims(dims)
+	if err != nil {
+		return inputField{}, err
+	}
+	elemSize := 4
+	if wide {
+		elemSize = 8
+	}
+	want := shape.Len() * elemSize
+	raw, err := io.ReadAll(stdin)
+	if err != nil {
+		return inputField{}, fmt.Errorf("reading stdin: %w", err)
+	}
+	if len(raw) != want {
+		return inputField{}, fmt.Errorf("stdin carried %d bytes; shape %s at %d bytes/value needs exactly %d", len(raw), shape, elemSize, want)
+	}
+	f := inputField{shape: shape, label: "<stdin>"}
+	if wide {
+		f.f64 = make([]float64, shape.Len())
+		for i := range f.f64 {
+			f.f64[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	} else {
+		f.f32 = make([]float32, shape.Len())
+		for i := range f.f32 {
+			f.f32[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
+	}
+	return f, nil
+}
+
+// writeRawTo streams the reconstructed field as raw little-endian bytes —
+// the same layout ReadRaw/WriteRaw use for files.
+func writeRawTo(w io.Writer, f32 []float32, f64 []float64) (int, error) {
+	if f64 != nil {
+		buf := make([]byte, len(f64)*8)
+		for i, v := range f64 {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		return w.Write(buf)
+	}
+	buf := make([]byte, len(f32)*4)
+	for i, v := range f32 {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	return w.Write(buf)
+}

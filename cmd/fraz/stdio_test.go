@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"fraz"
+)
+
+// swapStreams replaces the process stream indirections for one test.
+func swapStreams(t *testing.T, in io.Reader, outW, errW io.Writer) {
+	t.Helper()
+	origIn, origOut, origErr := stdin, stdout, stderr
+	stdin, stdout, stderr = in, outW, errW
+	t.Cleanup(func() { stdin, stdout, stderr = origIn, origOut, origErr })
+}
+
+func rawField32() ([]float32, []byte) {
+	const nz, ny, nx = 16, 12, 10
+	data := make([]float32, nz*ny*nx)
+	for i := range data {
+		z := i / (ny * nx)
+		y := (i / nx) % ny
+		x := i % nx
+		data[i] = float32(math.Sin(float64(z)*0.3) * math.Cos(float64(y)*0.2) * math.Sin(float64(x)*0.4+1))
+	}
+	raw := make([]byte, len(data)*4)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	return data, raw
+}
+
+// TestStdinStdoutRoundTrip drives the full pipeline shape: raw field on
+// stdin → `fraz -in - -out -` → archive on stdout → `fraz -decompress - -out -`
+// → raw field on stdout again, with every report line on stderr.
+func TestStdinStdoutRoundTrip(t *testing.T) {
+	orig, raw := rawField32()
+
+	// Compress: stdin carries the field, stdout carries the archive.
+	var archive, report bytes.Buffer
+	swapStreams(t, bytes.NewReader(raw), &archive, &report)
+	err := run([]string{"-in", "-", "-dims", "16x12x10", "-out", "-",
+		"-ratio", "10", "-tolerance", "0.25", "-regions", "4", "-seed", "3"}, io.Discard)
+	if err != nil {
+		t.Fatalf("compress: %v (report: %s)", err, report.String())
+	}
+	if archive.Len() == 0 || archive.Len() >= len(raw) {
+		t.Fatalf("archive is %d bytes (field %d)", archive.Len(), len(raw))
+	}
+	if !strings.HasPrefix(archive.String(), "FRZ") {
+		t.Fatalf("stdout does not start with the container magic: %q", archive.String()[:8])
+	}
+	rep := report.String()
+	if !strings.Contains(rep, "<stdin>") || !strings.Contains(rep, "wrote") {
+		t.Fatalf("report did not land on stderr:\n%s", rep)
+	}
+
+	// The streamed archive is a genuine container.
+	res, err := fraz.DecompressFull(context.Background(), bytes.NewReader(archive.Bytes()))
+	if err != nil {
+		t.Fatalf("streamed archive does not decode: %v", err)
+	}
+
+	// Decompress: stdin carries the archive, stdout carries the raw field.
+	var rawOut, report2 bytes.Buffer
+	swapStreams(t, bytes.NewReader(archive.Bytes()), &rawOut, &report2)
+	err = run([]string{"-decompress", "-", "-out", "-"}, io.Discard)
+	if err != nil {
+		t.Fatalf("decompress: %v (report: %s)", err, report2.String())
+	}
+	if rawOut.Len() != len(raw) {
+		t.Fatalf("reconstructed %d bytes, want %d", rawOut.Len(), len(raw))
+	}
+	if !strings.Contains(report2.String(), "<stdin>") {
+		t.Fatalf("decompress report did not land on stderr:\n%s", report2.String())
+	}
+
+	// Reconstruction respects the tuned bound end to end.
+	got := rawOut.Bytes()
+	limit := res.ErrorBound * 1.5
+	for i, v := range orig {
+		r := math.Float32frombits(binary.LittleEndian.Uint32(got[i*4:]))
+		if d := math.Abs(float64(v - r)); d > limit {
+			t.Fatalf("value %d off by %g, bound %g", i, d, res.ErrorBound)
+		}
+	}
+}
+
+// TestStdinStdoutRoundTrip64 runs the same pipeline at double precision.
+func TestStdinStdoutRoundTrip64(t *testing.T) {
+	f32, _ := rawField32()
+	raw := make([]byte, len(f32)*8)
+	for i, v := range f32 {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(float64(v)))
+	}
+
+	var archive, report bytes.Buffer
+	swapStreams(t, bytes.NewReader(raw), &archive, &report)
+	err := run([]string{"-in", "-", "-dims", "16x12x10", "-dtype", "float64", "-out", "-",
+		"-ratio", "10", "-tolerance", "0.25", "-regions", "4", "-seed", "3"}, io.Discard)
+	if err != nil {
+		t.Fatalf("compress: %v (report: %s)", err, report.String())
+	}
+
+	var rawOut, report2 bytes.Buffer
+	swapStreams(t, bytes.NewReader(archive.Bytes()), &rawOut, &report2)
+	if err := run([]string{"-decompress", "-", "-out", "-"}, io.Discard); err != nil {
+		t.Fatalf("decompress: %v (report: %s)", err, report2.String())
+	}
+	if rawOut.Len() != len(raw) {
+		t.Fatalf("reconstructed %d bytes, want %d", rawOut.Len(), len(raw))
+	}
+	if !strings.Contains(report2.String(), "float64") {
+		t.Fatalf("report does not name the archived dtype:\n%s", report2.String())
+	}
+}
+
+func TestStdinFieldSizeMismatch(t *testing.T) {
+	swapStreams(t, bytes.NewReader(make([]byte, 100)), io.Discard, io.Discard)
+	err := run([]string{"-in", "-", "-dims", "16x12x10"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "stdin carried 100 bytes") {
+		t.Fatalf("short stdin: err = %v", err)
+	}
+}

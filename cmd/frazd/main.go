@@ -1,0 +1,123 @@
+// Command frazd serves fraz's tune→seal→archive pipeline over HTTP: clients
+// stream raw fields up, the server tunes the codec's error bound to the
+// requested objective, seals a .fraz container, and streams it back (or
+// shelves it server-side for later download by id). One process shares a
+// single evaluation cache across every request, so a fleet re-compressing
+// similar fields converges on cheap tunes.
+//
+// Run it:
+//
+//	frazd -addr :8080
+//
+// Compress a field:
+//
+//	curl -s --data-binary @field.bin \
+//	  -H 'X-Fraz-Shape: 100x500x500' -H 'X-Fraz-Target: 10' \
+//	  http://localhost:8080/v1/compress -o field.fraz
+//
+// Ops surface: /healthz (liveness), /readyz (drops to 503 while draining),
+// /metrics (Prometheus text format). SIGTERM/SIGINT begins a graceful
+// drain: readiness flips, new work is rejected with 503 + Retry-After, and
+// in-flight requests run to completion (bounded by -drain-timeout) before
+// the process exits.
+//
+// See docs/http-api.md for the full endpoint and header reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fraz/internal/server"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], nil))
+}
+
+// realMain runs the daemon. started, when non-nil, receives the bound
+// listener address once the server is accepting connections — tests use it
+// to find the ephemeral port.
+func realMain(args []string, started chan<- string) int {
+	fs := flag.NewFlagSet("frazd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		concurrency  = fs.Int("concurrency", 0, "worker-pool size (default: GOMAXPROCS)")
+		queue        = fs.Int("queue", 0, "admission queue depth beyond the pool (default: 2x concurrency)")
+		perTenant    = fs.Int("per-tenant", 0, "per-tenant concurrency limit (default: concurrency)")
+		sealWorkers  = fs.Int("seal-workers", 0, "block-compression goroutines per request (default: 1)")
+		cacheEntries = fs.Int("cache-entries", 0, "server-wide evaluation cache size (default: 65536)")
+		maxField     = fs.Int64("max-field-bytes", 0, "largest accepted raw field (default: 1 GiB)")
+		reqTimeout   = fs.Duration("request-timeout", 0, "end-to-end cap per request, queueing included (default: 120s)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace for in-flight requests after SIGTERM")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger := log.New(os.Stderr, "frazd: ", log.LstdFlags)
+
+	srv := server.New(server.Config{
+		Concurrency:    *concurrency,
+		QueueDepth:     *queue,
+		PerTenant:      *perTenant,
+		SealWorkers:    *sealWorkers,
+		CacheEntries:   *cacheEntries,
+		MaxFieldBytes:  *maxField,
+		RequestTimeout: *reqTimeout,
+		Log:            logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	httpSrv := &http.Server{
+		Handler:  srv.Handler(),
+		ErrorLog: logger,
+		// Generous header/read setup caps; the real per-request budget is
+		// the handler-level RequestTimeout.
+		ReadHeaderTimeout: 30 * time.Second,
+	}
+
+	logger.Printf("listening on %s", ln.Addr())
+	if started != nil {
+		started <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-serveErr:
+		logger.Print(err)
+		return 1
+	case s := <-sig:
+		logger.Printf("%s: draining (grace %s)", s, *drainTimeout)
+	}
+
+	// Flip readiness + reject new work first, then let the http.Server wait
+	// for in-flight handlers.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+		return 1
+	}
+	stats := srv.CacheStats()
+	logger.Printf("drained clean (cache: %d hits, %d misses, %.0f%% hit rate)",
+		stats.Hits, stats.Misses, 100*stats.HitRate())
+	return 0
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeCompressAndDrain boots the real daemon on an ephemeral port,
+// round-trips a field through it, and shuts it down with SIGTERM — the
+// in-process version of CI's frazd-smoke job.
+func TestServeCompressAndDrain(t *testing.T) {
+	started := make(chan string, 1)
+	exited := make(chan int, 1)
+	go func() {
+		exited <- realMain([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "10s"}, started)
+	}()
+	var addr string
+	select {
+	case addr = <-started:
+	case code := <-exited:
+		t.Fatalf("daemon exited immediately with %d", code)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	base := "http://" + addr
+
+	// Liveness and readiness.
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", ep, resp.StatusCode)
+		}
+	}
+
+	// Compress a small smooth field, then decompress it back.
+	const n = 16 * 12 * 10
+	raw := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(float32(math.Sin(float64(i)*0.01))))
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/compress", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Fraz-Shape", "16x12x10")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archive, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: status %d body %s", resp.StatusCode, archive)
+	}
+	if len(archive) >= len(raw) {
+		t.Fatalf("archive (%d bytes) not smaller than field (%d bytes)", len(archive), len(raw))
+	}
+
+	dresp, err := http.Post(base+"/v1/decompress", "application/x-fraz", bytes.NewReader(archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK || len(back) != len(raw) {
+		t.Fatalf("decompress: status %d, %d bytes (want %d)", dresp.StatusCode, len(back), len(raw))
+	}
+
+	// The metrics surface reports the traffic.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), `frazd_requests_total{code="200",endpoint="compress"}`) &&
+		!strings.Contains(string(metrics), `frazd_requests_total{endpoint="compress",code="200"}`) {
+		t.Fatalf("compress traffic missing from metrics:\n%s", metrics)
+	}
+
+	// SIGTERM → graceful drain → exit 0.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("daemon exited %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	// The listener is really gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("healthz still answering after shutdown")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if code := realMain([]string{"-definitely-not-a-flag"}, nil); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestListenFailure(t *testing.T) {
+	if code := realMain([]string{"-addr", "256.256.256.256:1"}, nil); code != 1 {
+		t.Fatalf("bad address: exit %d, want 1", code)
+	}
+}

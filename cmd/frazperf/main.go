@@ -42,6 +42,12 @@ func realMain(args []string) int {
 		field     = fs.String("field", "CLOUDf", "field of the dataset")
 		scale     = fs.String("scale", "small", "field resolution: tiny, small, or medium")
 		codecs    = fs.String("codecs", "", "comma-separated codec names (default: all registered)")
+
+		loadgen   = fs.String("loadgen", "", "drive a running frazd at this base URL instead of benchmarking")
+		clients   = fs.Int("clients", 4, "loadgen: concurrent uploaders")
+		requests  = fs.Int("requests", 64, "loadgen: total requests across all clients")
+		timesteps = fs.Int("timesteps", 4, "loadgen: distinct field versions cycled through")
+		ratio     = fs.Float64("target", 10, "loadgen: requested compression ratio")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,6 +57,31 @@ func realMain(args []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "frazperf:", err)
 		return 2
+	}
+
+	if *loadgen != "" {
+		rep, err := runLoadgen(LoadgenConfig{
+			URL:       *loadgen,
+			Clients:   *clients,
+			Requests:  *requests,
+			Dataset:   *app,
+			Field:     *field,
+			Scale:     sc,
+			Target:    *ratio,
+			Timesteps: *timesteps,
+		}, func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "frazperf:", err)
+			return 1
+		}
+		printLoadReport(os.Stdout, rep)
+		if rep.Requests == 0 {
+			fmt.Fprintln(os.Stderr, "frazperf: no request succeeded")
+			return 1
+		}
+		return 0
 	}
 	cfg := Config{
 		Dataset:   *app,

@@ -118,8 +118,14 @@
 //     floateq, and errdrop machine-check the pool-lifecycle, stream-magic,
 //     dtype-dispatch, float-comparison, and error-propagation invariants;
 //     run it with `go run ./cmd/frazlint ./...`
+//   - internal/server    — the frazd HTTP service: tune→seal→archive over
+//     HTTP with worker-pool admission control (bounded queue, per-tenant
+//     limits, 429/503 + Retry-After backpressure), a server-wide evaluation
+//     cache shared across requests via SharedCache, a content-addressed
+//     archive store, graceful drain, and a Prometheus-style /metrics
+//     surface; see docs/http-api.md for the endpoint reference
 //
-// Executables are under cmd/ (fraz, frazbench, datagen, frazperf, frazlint) and runnable usage
+// Executables are under cmd/ (fraz, frazd, frazbench, datagen, frazperf, frazlint) and runnable usage
 // examples under examples/; see README.md for a quickstart and the .fraz
 // format table. The benchmarks in bench_test.go regenerate the paper's
 // evaluation (one benchmark per table/figure) plus ablations of the design

@@ -77,13 +77,17 @@ func newClient(set settings) (*Client, error) {
 		if set.tolSet {
 			obj.Tolerance = set.tolerance
 		}
+		cache := pressio.NewCache()
+		if set.cache != nil {
+			cache = set.cache.c
+		}
 		tuner, err := core.NewTuner(comp, core.Config{
 			Objective: obj,
 			MaxError:  set.maxError,
 			Regions:   set.regions,
 			Workers:   set.workers,
 			Seed:      set.seed,
-			Cache:     pressio.NewCache(),
+			Cache:     cache,
 		})
 		if err != nil {
 			return nil, err

@@ -450,6 +450,14 @@ func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, pred
 		}
 	}
 	res.CacheHits, res.CacheMisses = eval.Stats()
+	// A cancelled or timed-out search is not a verdict on the data: unless
+	// an in-band bound was already found before the cancellation landed, the
+	// caller gets its own ctx.Err() back — never a spurious "no evaluation"
+	// or "infeasible" conclusion drawn from a truncated search.
+	if cerr := ctx.Err(); cerr != nil && (best == nil || !t.obj.InBand(best.Value)) {
+		res.Elapsed = time.Since(start)
+		return res, cerr
+	}
 	if best == nil {
 		res.Elapsed = time.Since(start)
 		return res, fmt.Errorf("fraz: no successful compressor evaluation (compressor %s)", t.compressor.Name())

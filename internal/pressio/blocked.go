@@ -58,6 +58,15 @@ func SealBlocked(ctx context.Context, c Compressor, buf Buffer, bound float64, n
 		return nil
 	})
 	if err != nil {
+		// ForEach has drained its workers, so every non-nil payload is a
+		// completed compression nobody will consume — a cancellation (or one
+		// block's failure) must hand them back to the pool, or every aborted
+		// seal leaks one buffer per finished block.
+		for _, p := range payloads {
+			if p != nil {
+				pool.PutBytes(p)
+			}
+		}
 		return container.Container{}, fmt.Errorf("pressio: seal blocked with %s: %w", c.Name(), err)
 	}
 	total := 0
@@ -120,6 +129,9 @@ func OpenBlocked(ctx context.Context, cn container.Container, workers int) (Buff
 			return fmt.Errorf("block %d (%s): %w", i, plan[i].Shape, err)
 		}
 		if err := out.scatterFrom(plan[i], dec); err != nil {
+			// The decoded block is dead on this path too: recycle it before
+			// surfacing the error, symmetric with the success path below.
+			dec.recycle()
 			return err
 		}
 		// The block's decode buffer is dead once scattered into out;

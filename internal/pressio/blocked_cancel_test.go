@@ -1,0 +1,142 @@
+package pressio
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"fraz/internal/container"
+	"fraz/internal/grid"
+	"fraz/internal/pool"
+)
+
+// These tests pin the pool discipline of SealBlocked's failure paths: a seal
+// aborted by cancellation (or by one block's failure) has already produced
+// payloads for the blocks that finished, and those buffers must go back to
+// the byte pool — the success path recycles them after container.NewBlocked
+// copies, so an error path that drops them leaks one buffer per completed
+// block on every aborted request. A long-running server cancelling requests
+// on timeout would bleed pooled memory continuously.
+
+// probeCompressor is a stub whose Compress hands out pool-backed payloads
+// and runs a caller hook per invocation, so a test can trigger cancellation
+// or failure at an exact point in the blocked pipeline while recording the
+// identity of every buffer the pipeline now owns.
+type probeCompressor struct {
+	onCall func(call int) error // non-nil error fails that block
+
+	mu     sync.Mutex
+	calls  int
+	handed map[*byte]bool
+}
+
+const probePayloadLen = 512 // capacity class 512: nothing else in the tests uses it
+
+func (p *probeCompressor) Name() string                   { return "test:probe" }
+func (p *probeCompressor) BoundName() string              { return "absolute error bound" }
+func (p *probeCompressor) ErrorBounded() bool             { return true }
+func (p *probeCompressor) SupportsShape(grid.Dims) bool   { return true }
+func (p *probeCompressor) BoundRange() (float64, float64) { return 1e-12, 1 }
+
+func (p *probeCompressor) Compress(buf Buffer, bound float64) ([]byte, error) {
+	p.mu.Lock()
+	p.calls++
+	call := p.calls
+	p.mu.Unlock()
+	if p.onCall != nil {
+		if err := p.onCall(call); err != nil {
+			return nil, err
+		}
+	}
+	out := pool.GetBytes(probePayloadLen)[:probePayloadLen]
+	for i := range out {
+		out[i] = byte(call)
+	}
+	p.mu.Lock()
+	p.handed[&out[0]] = true
+	p.mu.Unlock()
+	return out, nil
+}
+
+func (p *probeCompressor) Decompress([]byte, grid.Dims, container.DType) (Buffer, error) {
+	return Buffer{}, errors.New("probe compressor does not decompress")
+}
+
+// drainPools empties the byte pool's primary and victim caches (sync.Pool
+// keeps one GC generation of victims) so the identity assertions below see a
+// deterministic free-list state.
+func drainPools() {
+	runtime.GC()
+	runtime.GC()
+}
+
+func probeField(t *testing.T) Buffer {
+	t.Helper()
+	buf, err := NewBuffer(make([]float32, 8*16), grid.MustDims(8, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestSealBlockedCancelRecyclesCompletedPayloads cancels the context from
+// inside the first block's compression — the moment a payload exists that
+// the aborted seal will never use — and asserts that payload returns to the
+// pool: the next Get of its capacity class must observe the same backing
+// array.
+func TestSealBlockedCancelRecyclesCompletedPayloads(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probe := &probeCompressor{handed: map[*byte]bool{}}
+	probe.onCall = func(call int) error {
+		if call == 1 {
+			cancel() // feed loop stops; block 0's payload is already committed
+		}
+		return nil
+	}
+
+	drainPools()
+	_, err := SealBlocked(ctx, probe, probeField(t), 1e-3, 4, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SealBlocked under cancellation: got %v, want context.Canceled", err)
+	}
+
+	got := pool.GetBytes(probePayloadLen)
+	if !probe.handed[&got[0]] {
+		t.Errorf("completed block payload was not recycled on the cancellation path")
+	}
+}
+
+// TestSealBlockedBlockFailureRecyclesCompletedPayloads drives the same
+// guarantee through a mid-seal block failure: blocks that compressed before
+// (or despite) another block's error must be recycled, not dropped with the
+// error.
+func TestSealBlockedBlockFailureRecyclesCompletedPayloads(t *testing.T) {
+	probe := &probeCompressor{handed: map[*byte]bool{}}
+	probe.onCall = func(call int) error {
+		if call == 2 {
+			return errors.New("synthetic block failure")
+		}
+		return nil
+	}
+
+	drainPools()
+	_, err := SealBlocked(context.Background(), probe, probeField(t), 1e-3, 4, 1)
+	if err == nil {
+		t.Fatal("SealBlocked succeeded despite a failing block")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("want the block's own failure, got %v", err)
+	}
+
+	// Blocks 1, 3, and 4 completed (call 2 failed); all three payloads must
+	// be back on the free list.
+	for i := 0; i < 3; i++ {
+		got := pool.GetBytes(probePayloadLen)
+		if !probe.handed[&got[0]] {
+			t.Errorf("recycled payload %d is not one the probe handed out", i)
+		}
+	}
+}

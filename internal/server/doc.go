@@ -1,0 +1,40 @@
+// Package server implements frazd, the long-running compression service
+// over the public fraz package: streaming upload of raw field data, tuned
+// (tune→seal→archive) server-side against a fixed-ratio or quality
+// objective, archive download, and decompress-with-verify — with the
+// production plumbing a multi-tenant deployment needs.
+//
+// # Request path
+//
+//	POST /v1/compress      raw little-endian field in, .fraz archive out
+//	                       (?store=1 keeps the archive server-side instead)
+//	GET  /v1/archives/{id} download a stored archive
+//	POST /v1/decompress    .fraz archive in (body or ?id=), raw field out
+//	                       (?verify=1 re-checks the recorded promises)
+//
+// Field geometry and tuning intent travel in X-Fraz-* headers (or query
+// parameters of the same lowercase names): shape, dtype, codec, objective,
+// target, tolerance, blocks, tenant. See docs/http-api.md for the full
+// reference.
+//
+// # Admission and backpressure
+//
+// CPU-bound work (tuning, sealing, opening) runs on a worker pool sized to
+// the machine (Config.Concurrency, default GOMAXPROCS) behind a bounded
+// admission queue. A request beyond the queue bound — or beyond its tenant's
+// concurrency allowance — is rejected immediately with 429 and a Retry-After
+// hint rather than queueing unboundedly; a server that is draining rejects
+// new work with 503 while in-flight seals run to completion. Request
+// deadlines (Config.RequestTimeout) cancel the tune mid-search through the
+// context threaded into the public API.
+//
+// # The shared evaluation-cache tier
+//
+// All requests tune through one size-bounded fraz.EvalCache keyed by data
+// fingerprint: a request re-tuning a field the server has seen — any
+// tenant, any connection — is answered from memory instead of re-running
+// the compressor. The /metrics endpoint exports its hit/miss/eviction
+// counters alongside queue depth, tunes in flight, bytes sealed, and
+// per-codec seal-latency histograms in Prometheus text format; /healthz and
+// /readyz serve liveness and drain-aware readiness.
+package server

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzDecompressHandler throws arbitrary bytes at the archive-upload path.
+// The handler must answer every input with a well-formed HTTP status — 200
+// for a valid container, 4xx for garbage — and never panic or hang.
+func FuzzDecompressHandler(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a container"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	// Seed one genuine archive so the corpus explores the valid-header
+	// neighborhood, where parser bugs actually live.
+	s := New(Config{MaxArchiveBytes: 1 << 20})
+	seed := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/compress", bytes.NewReader(rawBody(false)))
+	req.Header.Set("X-Fraz-Shape", "16x12x10")
+	s.Handler().ServeHTTP(seed, req)
+	if seed.Code == http.StatusOK {
+		f.Add(seed.Body.Bytes())
+	}
+
+	h := s.Handler()
+	f.Fuzz(func(t *testing.T, archive []byte) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/decompress?verify=1", bytes.NewReader(archive))
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+			http.StatusUnprocessableEntity, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("decompress handler answered %d for %d-byte input", rec.Code, len(archive))
+		}
+	})
+}

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the ops surface's measurement layer: a minimal, stdlib-only
+// Prometheus-text-format registry. The server needs a fixed, small set of
+// instrument shapes — counters, gauges, and latency histograms with one
+// label — and hand-rolling them keeps the binary dependency-free while
+// /metrics stays scrapeable by any Prometheus-compatible collector.
+
+// counter is a monotonically increasing uint64 metric.
+type counter struct {
+	v atomic.Uint64
+}
+
+func (c *counter) add(n uint64) { c.v.Add(n) }
+func (c *counter) inc()         { c.v.Add(1) }
+func (c *counter) value() uint64 {
+	return c.v.Load()
+}
+
+// labeledCounters is a counter family keyed by one pre-rendered label set,
+// e.g. `endpoint="compress",code="200"`.
+type labeledCounters struct {
+	mu sync.Mutex
+	m  map[string]*counter
+}
+
+func (l *labeledCounters) get(labels string) *counter {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.m == nil {
+		l.m = make(map[string]*counter)
+	}
+	c, ok := l.m[labels]
+	if !ok {
+		c = &counter{}
+		l.m[labels] = c
+	}
+	return c
+}
+
+// snapshot returns the label sets in deterministic order, so consecutive
+// scrapes diff cleanly.
+func (l *labeledCounters) snapshot() []struct {
+	labels string
+	value  uint64
+} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]string, 0, len(l.m))
+	for k := range l.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]struct {
+		labels string
+		value  uint64
+	}, len(keys))
+	for i, k := range keys {
+		out[i].labels = k
+		out[i].value = l.m[k].value()
+	}
+	return out
+}
+
+// sealBuckets are the upper bounds (seconds) of the per-codec seal-latency
+// histogram: log-spaced from 1ms to 10s, the plausible range from an szx
+// seal of a tiny field to a quality-objective tune of a large one.
+var sealBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// histogram is a Prometheus-style cumulative histogram. The sum is kept as
+// float64 bits in an atomic CAS loop so observe stays lock-free.
+type histogram struct {
+	counts  []atomic.Uint64 // one per bucket, non-cumulative; rendered cumulatively
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(sealBuckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(sealBuckets, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		sum := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(sum)) {
+			return
+		}
+	}
+}
+
+// histogramVec is a histogram family keyed by one label value (codec name).
+type histogramVec struct {
+	mu sync.Mutex
+	m  map[string]*histogram
+}
+
+func (hv *histogramVec) get(key string) *histogram {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	if hv.m == nil {
+		hv.m = make(map[string]*histogram)
+	}
+	h, ok := hv.m[key]
+	if !ok {
+		h = newHistogram()
+		hv.m[key] = h
+	}
+	return h
+}
+
+func (hv *histogramVec) keys() []string {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	keys := make([]string, 0, len(hv.m))
+	for k := range hv.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// serverMetrics is every instrument the server exports.
+type serverMetrics struct {
+	requests    labeledCounters // frazd_requests_total{endpoint,code}
+	rejected    labeledCounters // frazd_rejected_total{reason}
+	bytesIn     counter         // raw field bytes accepted for compression
+	bytesSealed counter         // archive bytes produced
+	bytesOpened counter         // raw field bytes reconstructed
+	sealSeconds histogramVec    // frazd_seal_seconds{codec}
+}
+
+func (m *serverMetrics) observeRequest(endpoint string, code int) {
+	m.requests.get(fmt.Sprintf("endpoint=%q,code=\"%d\"", endpoint, code)).inc()
+}
+
+func (m *serverMetrics) observeRejection(reason string) {
+	m.rejected.get(fmt.Sprintf("reason=%q", reason)).inc()
+}
+
+// writeMetrics renders the exposition. The gauge values that live outside
+// serverMetrics (queue depth, in-flight tunes, cache counters) are passed in
+// by the server at scrape time, so this layer holds no back-pointer.
+func (m *serverMetrics) writeTo(w io.Writer, g gaugeSnapshot) {
+	fmt.Fprintf(w, "# HELP frazd_tunes_in_flight Requests currently holding a worker slot.\n")
+	fmt.Fprintf(w, "# TYPE frazd_tunes_in_flight gauge\n")
+	fmt.Fprintf(w, "frazd_tunes_in_flight %d\n", g.running)
+	fmt.Fprintf(w, "# HELP frazd_queue_depth Admitted requests waiting for a worker slot.\n")
+	fmt.Fprintf(w, "# TYPE frazd_queue_depth gauge\n")
+	fmt.Fprintf(w, "frazd_queue_depth %d\n", g.queued)
+	fmt.Fprintf(w, "# HELP frazd_draining Whether the server is draining (rejecting new work).\n")
+	fmt.Fprintf(w, "# TYPE frazd_draining gauge\n")
+	fmt.Fprintf(w, "frazd_draining %d\n", g.draining)
+
+	fmt.Fprintf(w, "# HELP frazd_requests_total Completed requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE frazd_requests_total counter\n")
+	for _, c := range m.requests.snapshot() {
+		fmt.Fprintf(w, "frazd_requests_total{%s} %d\n", c.labels, c.value)
+	}
+	fmt.Fprintf(w, "# HELP frazd_rejected_total Requests rejected before doing work, by reason.\n")
+	fmt.Fprintf(w, "# TYPE frazd_rejected_total counter\n")
+	for _, c := range m.rejected.snapshot() {
+		fmt.Fprintf(w, "frazd_rejected_total{%s} %d\n", c.labels, c.value)
+	}
+
+	fmt.Fprintf(w, "# HELP frazd_field_bytes_total Raw field bytes accepted for compression.\n")
+	fmt.Fprintf(w, "# TYPE frazd_field_bytes_total counter\n")
+	fmt.Fprintf(w, "frazd_field_bytes_total %d\n", m.bytesIn.value())
+	fmt.Fprintf(w, "# HELP frazd_sealed_bytes_total Archive bytes produced by seals (rate() of this is bytes sealed per second).\n")
+	fmt.Fprintf(w, "# TYPE frazd_sealed_bytes_total counter\n")
+	fmt.Fprintf(w, "frazd_sealed_bytes_total %d\n", m.bytesSealed.value())
+	fmt.Fprintf(w, "# HELP frazd_opened_bytes_total Raw field bytes reconstructed by decompressions.\n")
+	fmt.Fprintf(w, "# TYPE frazd_opened_bytes_total counter\n")
+	fmt.Fprintf(w, "frazd_opened_bytes_total %d\n", m.bytesOpened.value())
+
+	fmt.Fprintf(w, "# HELP frazd_cache_hits_total Evaluation-cache hits across all requests.\n")
+	fmt.Fprintf(w, "# TYPE frazd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "frazd_cache_hits_total %d\n", g.cacheHits)
+	fmt.Fprintf(w, "# HELP frazd_cache_misses_total Evaluation-cache misses (compressor evaluations performed).\n")
+	fmt.Fprintf(w, "# TYPE frazd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "frazd_cache_misses_total %d\n", g.cacheMisses)
+	fmt.Fprintf(w, "# HELP frazd_cache_evictions_total Evaluation-cache entries evicted to stay under the size cap.\n")
+	fmt.Fprintf(w, "# TYPE frazd_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "frazd_cache_evictions_total %d\n", g.cacheEvictions)
+	fmt.Fprintf(w, "# HELP frazd_cache_entries Evaluation-cache entries currently resident.\n")
+	fmt.Fprintf(w, "# TYPE frazd_cache_entries gauge\n")
+	fmt.Fprintf(w, "frazd_cache_entries %d\n", g.cacheEntries)
+	fmt.Fprintf(w, "# HELP frazd_cache_hit_rate Hits over hits+misses since start.\n")
+	fmt.Fprintf(w, "# TYPE frazd_cache_hit_rate gauge\n")
+	fmt.Fprintf(w, "frazd_cache_hit_rate %g\n", g.cacheHitRate)
+
+	fmt.Fprintf(w, "# HELP frazd_archive_store_bytes Bytes held by the server-side archive store.\n")
+	fmt.Fprintf(w, "# TYPE frazd_archive_store_bytes gauge\n")
+	fmt.Fprintf(w, "frazd_archive_store_bytes %d\n", g.storeBytes)
+	fmt.Fprintf(w, "# HELP frazd_archive_store_entries Archives held by the server-side archive store.\n")
+	fmt.Fprintf(w, "# TYPE frazd_archive_store_entries gauge\n")
+	fmt.Fprintf(w, "frazd_archive_store_entries %d\n", g.storeEntries)
+
+	fmt.Fprintf(w, "# HELP frazd_seal_seconds Tune+seal wall time per codec.\n")
+	fmt.Fprintf(w, "# TYPE frazd_seal_seconds histogram\n")
+	for _, codec := range m.sealSeconds.keys() {
+		h := m.sealSeconds.get(codec)
+		cum := uint64(0)
+		for i, le := range sealBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "frazd_seal_seconds_bucket{codec=%q,le=%q} %d\n", codec, trimFloat(le), cum)
+		}
+		cum += h.counts[len(sealBuckets)].Load()
+		fmt.Fprintf(w, "frazd_seal_seconds_bucket{codec=%q,le=\"+Inf\"} %d\n", codec, cum)
+		fmt.Fprintf(w, "frazd_seal_seconds_sum{codec=%q} %g\n", codec, math.Float64frombits(h.sumBits.Load()))
+		fmt.Fprintf(w, "frazd_seal_seconds_count{codec=%q} %d\n", codec, h.count.Load())
+	}
+}
+
+// gaugeSnapshot carries the point-in-time gauge values the server computes
+// at scrape time.
+type gaugeSnapshot struct {
+	running, queued                        int64
+	draining                               int
+	cacheHits, cacheMisses, cacheEvictions uint64
+	cacheEntries                           int
+	cacheHitRate                           float64
+	storeBytes                             int64
+	storeEntries                           int
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients conventionally
+// do: shortest decimal form.
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bufio"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			t.Fatalf("metrics line %q: %v", line, err)
+		}
+		out[line[:idx]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSharedCachePayoffAcrossRequests is the acceptance criterion for the
+// server-wide cache: uploading the same field twice shows the second tune
+// hitting the cache — the hit counter increments and the second request
+// reports cache hits where the first reported none.
+func TestSharedCachePayoffAcrossRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	hdr := map[string]string{"X-Fraz-Shape": "16x12x10"}
+
+	first := postCompress(t, ts.URL, rawBody(false), hdr)
+	readAll(t, first)
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first upload: status %d", first.StatusCode)
+	}
+	firstHits, _ := strconv.Atoi(first.Header.Get("X-Fraz-Cache-Hits"))
+	firstEvals, _ := strconv.Atoi(first.Header.Get("X-Fraz-Evaluations"))
+	afterFirst := s.CacheStats()
+	if afterFirst.Misses == 0 {
+		t.Fatalf("first upload produced no cache misses: %+v", afterFirst)
+	}
+
+	second := postCompress(t, ts.URL, rawBody(false), hdr)
+	readAll(t, second)
+	if second.StatusCode != http.StatusOK {
+		t.Fatalf("second upload: status %d", second.StatusCode)
+	}
+	secondHits, _ := strconv.Atoi(second.Header.Get("X-Fraz-Cache-Hits"))
+	secondEvals, _ := strconv.Atoi(second.Header.Get("X-Fraz-Evaluations"))
+	afterSecond := s.CacheStats()
+
+	if secondHits == 0 {
+		t.Fatalf("second identical upload reported no cache hits (first %d/%d, second %d/%d)",
+			firstHits, firstEvals, secondHits, secondEvals)
+	}
+	if afterSecond.Hits <= afterFirst.Hits {
+		t.Fatalf("server-wide hit counter did not grow: %d -> %d", afterFirst.Hits, afterSecond.Hits)
+	}
+	freshFirst := afterFirst.Misses
+	freshSecond := afterSecond.Misses - afterFirst.Misses
+	if freshSecond >= freshFirst {
+		t.Fatalf("second upload evaluated as much as the first: %d vs %d fresh misses", freshSecond, freshFirst)
+	}
+
+	// The payoff is visible on the ops surface too.
+	m := scrapeMetrics(t, ts.URL)
+	if m["frazd_cache_hits_total"] == 0 {
+		t.Fatal("frazd_cache_hits_total = 0 after a cache-hit upload")
+	}
+	if m["frazd_cache_hit_rate"] <= 0 || m["frazd_cache_hit_rate"] >= 1 {
+		t.Fatalf("frazd_cache_hit_rate = %g, want in (0,1)", m["frazd_cache_hit_rate"])
+	}
+}
+
+// TestMetricsExposition exercises the whole scrape after a little traffic.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp := postCompress(t, ts.URL, rawBody(false), map[string]string{"X-Fraz-Shape": "16x12x10"})
+	archive := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: status %d", resp.StatusCode)
+	}
+	dresp, err := http.Post(ts.URL+"/v1/decompress", "application/x-fraz", strings.NewReader(string(archive)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, dresp)
+	badresp := postCompress(t, ts.URL, nil, map[string]string{"X-Fraz-Shape": "bogus"})
+	readAll(t, badresp)
+
+	m := scrapeMetrics(t, ts.URL)
+	checks := []struct {
+		name string
+		want float64
+	}{
+		{`frazd_requests_total{endpoint="compress",code="200"}`, 1},
+		{`frazd_requests_total{endpoint="decompress",code="200"}`, 1},
+		{`frazd_requests_total{endpoint="compress",code="400"}`, 1},
+		{`frazd_tunes_in_flight`, 0},
+		{`frazd_queue_depth`, 0},
+		{`frazd_draining`, 0},
+		{`frazd_field_bytes_total`, float64(len(rawBody(false)))},
+		{`frazd_opened_bytes_total`, float64(len(rawBody(false)))},
+		{`frazd_sealed_bytes_total`, float64(len(archive))},
+		{`frazd_seal_seconds_count{codec="sz:abs"}`, 1},
+	}
+	for _, c := range checks {
+		got, ok := m[c.name]
+		if !ok {
+			t.Errorf("metric %s missing from scrape", c.name)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %g, want %g", c.name, got, c.want)
+		}
+	}
+	if _, ok := m[`frazd_seal_seconds_bucket{codec="sz:abs",le="+Inf"}`]; !ok {
+		t.Error("seal histogram +Inf bucket missing")
+	}
+	if m[`frazd_cache_misses_total`] == 0 {
+		t.Error("frazd_cache_misses_total = 0 after a tune")
+	}
+
+	// Rejections are labeled by reason.
+	s2, ts2 := newTestServer(t, Config{})
+	s2.BeginDrain()
+	r := postCompress(t, ts2.URL, rawBody(false), map[string]string{"X-Fraz-Shape": "16x12x10"})
+	readAll(t, r)
+	m2 := scrapeMetrics(t, ts2.URL)
+	if m2[`frazd_rejected_total{reason="draining"}`] != 1 {
+		t.Errorf("draining rejection not counted: %v", m2[`frazd_rejected_total{reason="draining"}`])
+	}
+	if m2[`frazd_draining`] != 1 {
+		t.Error("frazd_draining gauge not set")
+	}
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"fraz"
+)
+
+// Config sizes the service. The zero value of every field selects a
+// production-shaped default, so server.New(server.Config{}) is a working
+// server tuned to the machine it runs on.
+type Config struct {
+	// Concurrency is the worker-pool size: how many requests may tune, seal,
+	// or open at once. Default GOMAXPROCS — the pool exists to keep the
+	// machine busy, not oversubscribed.
+	Concurrency int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// slot beyond the pool itself. Requests past the bound are rejected with
+	// 429 immediately. Default 2×Concurrency.
+	QueueDepth int
+	// PerTenant bounds one tenant's requests in the system (queued +
+	// running); the next concurrent request from that tenant gets 429 +
+	// Retry-After. Tenants are named by the X-Fraz-Tenant header (missing =
+	// "anonymous"). Default Concurrency — one tenant may fill the pool but
+	// never the queue on top of it.
+	PerTenant int
+	// SealWorkers is the intra-request parallelism handed to the fraz
+	// Client (block compressions per seal). Default 1: under concurrent
+	// load, cross-request parallelism from the pool already saturates the
+	// machine, and unshared seals keep per-request latency predictable.
+	SealWorkers int
+	// CacheEntries bounds the server-wide evaluation cache shared by every
+	// request (<=0 = the fraz default, 65536 entries).
+	CacheEntries int
+	// MaxFieldBytes caps an uploaded raw field; bigger requests get 413.
+	// Default 1 GiB.
+	MaxFieldBytes int64
+	// MaxArchiveBytes caps an uploaded .fraz archive on the decompress
+	// path. Default MaxFieldBytes (an archive bigger than any admissible
+	// field is nonsense).
+	MaxArchiveBytes int64
+	// StoreMaxBytes and StoreMaxEntries bound the server-side archive store
+	// (?store=1). Defaults: 256 MiB, 1024 archives.
+	StoreMaxBytes   int64
+	StoreMaxEntries int
+	// RequestTimeout caps one request end to end, queueing included; the
+	// deadline cancels an in-flight tune through its context. Default 120s.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint sent with 429/503 rejections. Default 1s.
+	RetryAfter time.Duration
+	// Log receives one line per failed request; nil = the stdlib default
+	// logger.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Concurrency
+	}
+	if c.PerTenant <= 0 {
+		c.PerTenant = c.Concurrency
+	}
+	if c.SealWorkers <= 0 {
+		c.SealWorkers = 1
+	}
+	if c.MaxFieldBytes <= 0 {
+		c.MaxFieldBytes = 1 << 30
+	}
+	if c.MaxArchiveBytes <= 0 {
+		c.MaxArchiveBytes = c.MaxFieldBytes
+	}
+	if c.StoreMaxBytes <= 0 {
+		c.StoreMaxBytes = 256 << 20
+	}
+	if c.StoreMaxEntries <= 0 {
+		c.StoreMaxEntries = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 120 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// Server is the frazd service: an http.Handler plus the shared state behind
+// it — worker pool, admission gate, server-wide evaluation cache, archive
+// store, and metrics. Build one with New, mount Handler, and call
+// BeginDrain before shutting the http.Server down.
+type Server struct {
+	cfg      Config
+	cache    *fraz.EvalCache
+	adm      *admission
+	store    *archiveStore
+	met      serverMetrics
+	draining atomic.Bool
+
+	// sealHook, when non-nil, runs inside the worker slot before the seal
+	// starts. Tests use it to hold requests at a known point.
+	sealHook func()
+}
+
+// New builds a Server from the config (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		cache: fraz.NewEvalCache(cfg.CacheEntries),
+		adm:   newAdmission(cfg.Concurrency, cfg.QueueDepth, cfg.PerTenant),
+		store: newArchiveStore(cfg.StoreMaxBytes, cfg.StoreMaxEntries),
+	}
+}
+
+// Handler returns the service's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compress", s.handleCompress)
+	mux.HandleFunc("/v1/decompress", s.handleDecompress)
+	mux.HandleFunc("/v1/archives/", s.handleArchive)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// BeginDrain flips the server into drain mode: /readyz turns 503 (so load
+// balancers stop routing here), and new compress/decompress work is
+// rejected with 503 + Retry-After while requests already admitted run to
+// completion. The caller then lets http.Server.Shutdown wait for the
+// in-flight handlers. Idempotent.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// CacheStats exposes the server-wide evaluation cache counters (the same
+// numbers /metrics exports), for tests and embedding programs.
+func (s *Server) CacheStats() fraz.CacheStats { return s.cache.Stats() }
+
+func (s *Server) gauges() gaugeSnapshot {
+	cs := s.cache.Stats()
+	bytes, entries := s.store.stats()
+	g := gaugeSnapshot{
+		running:        s.adm.running.Load(),
+		queued:         s.adm.queued(),
+		cacheHits:      cs.Hits,
+		cacheMisses:    cs.Misses,
+		cacheEvictions: cs.Evictions,
+		cacheEntries:   cs.Entries,
+		cacheHitRate:   cs.HitRate(),
+		storeBytes:     bytes,
+		storeEntries:   entries,
+	}
+	if s.draining.Load() {
+		g.draining = 1
+	}
+	return g
+}

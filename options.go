@@ -28,6 +28,7 @@ type settings struct {
 	seed       int64
 	fixedBound float64
 	reuse      bool
+	cache      *EvalCache // nil = private per-client cache
 }
 
 func defaultSettings() settings {
@@ -194,6 +195,24 @@ func FixedBound(bound float64) Option {
 			return fmt.Errorf("fraz: FixedBound must be > 0, got %v", bound)
 		}
 		s.fixedBound = bound
+		return nil
+	}
+}
+
+// SharedCache makes the client record its tuning evaluations in the given
+// cache instead of a private one, pooling evaluations with every other
+// client sharing it: a request re-tuning a field any sharing client has seen
+// — same codec, same data, near-identical bound — is answered from memory
+// instead of re-running the compressor. This is the cross-request cache tier
+// a long-running service wants; a single pipeline re-tuning its own fields
+// is already served by the client's private default. The cache must come
+// from NewEvalCache.
+func SharedCache(cache *EvalCache) Option {
+	return func(s *settings) error {
+		if cache == nil || cache.c == nil {
+			return fmt.Errorf("fraz: SharedCache requires a cache built by NewEvalCache")
+		}
+		s.cache = cache
 		return nil
 	}
 }
