@@ -1,0 +1,39 @@
+package fraz
+
+import "testing"
+
+// The race scores candidates on a sampled block, so its winner can miss the
+// acceptance band on the full field; demoteWinner is the fallback that
+// promotes the runner-up (see compressBuffer and TuneT).
+func TestDemoteWinner(t *testing.T) {
+	sel := &AutoSelection{
+		Codec: "b",
+		Candidates: []AutoCandidate{
+			{Codec: "a", Feasible: true, Score: 5, ErrorBound: 0.1},
+			{Codec: "b", Feasible: true, Score: 9, ErrorBound: 0.2},
+			{Codec: "c", Feasible: true, Score: 7, ErrorBound: 0.3},
+			{Codec: "d", Skipped: "rank window"},
+		},
+	}
+	cand, ok := sel.demoteWinner("missed the band")
+	if !ok || cand.Codec != "c" || sel.Codec != "c" {
+		t.Fatalf("demoteWinner = %+v ok=%v sel=%s, want promotion of c", cand, ok, sel.Codec)
+	}
+	if got := sel.Candidates[1]; got.Skipped != "missed the band" || got.Feasible {
+		t.Errorf("old winner not demoted: %+v", got)
+	}
+
+	cand, ok = sel.demoteWinner("missed again")
+	if !ok || cand.Codec != "a" || sel.Codec != "a" {
+		t.Fatalf("second demotion = %+v ok=%v sel=%s, want promotion of a", cand, ok, sel.Codec)
+	}
+
+	if _, ok = sel.demoteWinner("last one failed"); ok {
+		t.Fatal("demoteWinner with no raced candidate left should report !ok")
+	}
+	for _, c := range sel.Candidates {
+		if c.Skipped == "" {
+			t.Errorf("candidate %s still unskipped after exhaustion", c.Codec)
+		}
+	}
+}

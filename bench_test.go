@@ -7,7 +7,11 @@
 // Run with:
 //
 //	go test -bench=. -benchmem
-package fraz
+//
+// This file is an external test package (fraz_test) so that it can import
+// internal/experiments, which itself imports the public fraz package for
+// the portfolio experiment.
+package fraz_test
 
 import (
 	"context"

@@ -31,6 +31,7 @@ func run(args []string) error {
 		scaleName = fs.String("scale", "tiny", "dataset scale: tiny, small, medium")
 		outDir    = fs.String("out", "./data", "output directory")
 		steps     = fs.Int("timesteps", 0, "cap on time-steps to write (0 = all)")
+		snapshot  = fs.Bool("snapshot", false, "write multi-field snapshots (<out>/<app>/t<step>/<field>.f32 + manifest.txt per step) instead of flat per-field files — the layout `fraz -fields` consumes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +61,18 @@ func run(args []string) error {
 		}
 		if *steps > 0 && *steps < d.TimeSteps {
 			d.TimeSteps = *steps
+		}
+		if *snapshot {
+			for t := 0; t < d.TimeSteps; t++ {
+				manifest, count, err := dataset.ExportSnapshot(d, *outDir, t)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%s t=%d: wrote %d correlated fields (shape %s), manifest %s\n",
+					d.Name, t, count, d.Fields[0].Shape, manifest)
+				total += count
+			}
+			continue
 		}
 		count, err := dataset.Export(d, *outDir)
 		if err != nil {

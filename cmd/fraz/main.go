@@ -80,7 +80,10 @@ func run(args []string, out io.Writer) error {
 		fieldName  = fs.String("field", "", "field name within the dataset")
 		timeStep   = fs.Int("timestep", 0, "time-step within the dataset")
 		scaleName  = fs.String("scale", "small", "synthetic dataset scale: tiny, small, medium")
-		compressor = fs.String("compressor", fraz.DefaultCodec, "compressor to tune: "+strings.Join(codecNames(), ", "))
+		compressor = fs.String("compressor", fraz.DefaultCodec, "compressor to tune: "+strings.Join(codecNames(), ", ")+", or "+fraz.CodecAuto)
+		auto       = fs.Bool("auto", false, "race every capable codec per field and seal with the winner (shorthand for -compressor "+fraz.CodecAuto+")")
+		fieldsSpec = fs.String("fields", "", "compress several fields into one .frazd dataset archive: name=path,... (raw files, shared -dims) or name,... with -dataset")
+		step       = fs.Int("step", 0, "with -decompress on a .frazd archive: the time step of -field to extract")
 		ratio      = fs.Float64("ratio", 10, "target compression ratio")
 		psnr       = fs.Float64("psnr", 0, "tune to this reconstruction PSNR in dB instead of a ratio")
 		ssim       = fs.Float64("ssim", 0, "tune to this mid-slice SSIM instead of a ratio")
@@ -110,8 +113,9 @@ func run(args []string, out io.Writer) error {
 		// instead of letting them believe it took effect. -verify is the
 		// exception: it re-measures the archive's promise, and quality
 		// promises need the original field, so the input flags are legal
-		// alongside it.
-		allowed := map[string]bool{"decompress": true, "out": true, "verify": true}
+		// alongside it. -field and -step address entries of a .frazd dataset
+		// archive.
+		allowed := map[string]bool{"decompress": true, "out": true, "verify": true, "field": true, "step": true}
 		if *verify {
 			for _, name := range []string{"in", "dims", "dataset", "field", "timestep", "scale", "dtype"} {
 				allowed[name] = true
@@ -141,16 +145,22 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		ref := refLoader{in: *inPath, dims: *dims, dataset: *dsName, field: *fieldName, timeStep: *timeStep, scale: *scaleName}
+		if *decompress != "-" && isDatasetArchive(*decompress) {
+			return runDatasetDecompress(*decompress, *fieldName, *step, *outPath, *verify, wantDType, ref, out)
+		}
+		if flagWasSet(fs, "step") {
+			return fmt.Errorf("-step addresses entries of a .frazd dataset archive; %s is a single-field container", *decompress)
+		}
 		return runDecompress(*decompress, *outPath, *verify, wantDType, ref, out)
 	}
 
-	wide, err := parseDType(*dtypeName)
-	if err != nil {
-		return err
-	}
-	field, err := loadField(*inPath, *dims, *dsName, *fieldName, *timeStep, *scaleName, wide)
-	if err != nil {
-		return err
+	// -auto is shorthand for -compressor auto; naming both a concrete codec
+	// and the race is a contradiction, not a preference.
+	if *auto {
+		if flagWasSet(fs, "compressor") && *compressor != fraz.CodecAuto {
+			return fmt.Errorf("-auto races the codecs, -compressor %s names one; pick one of the two", *compressor)
+		}
+		*compressor = fraz.CodecAuto
 	}
 
 	target, targetDesc, err := selectTarget(fs, *ratio, *psnr, *ssim, *maxErrTgt)
@@ -172,6 +182,31 @@ func run(args []string, out io.Writer) error {
 	}
 	if flagWasSet(fs, "tolerance") {
 		opts = append(opts, fraz.Tolerance(*tolerance))
+	}
+
+	wide, err := parseDType(*dtypeName)
+	if err != nil {
+		return err
+	}
+
+	if *fieldsSpec != "" {
+		// Multi-field mode: every named field goes into one dataset archive.
+		// The codec policy defaults to the race unless one was named.
+		codec := *compressor
+		if !*auto && !flagWasSet(fs, "compressor") {
+			codec = fraz.CodecAuto
+		}
+		fields, err := parseFieldsSpec(*fieldsSpec, *dims, *dsName, *timeStep, *scaleName, wide)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "target:           %s\n", targetDesc)
+		return runCompressFields(fields, codec, opts, *outPath, out)
+	}
+
+	field, err := loadField(*inPath, *dims, *dsName, *fieldName, *timeStep, *scaleName, wide)
+	if err != nil {
+		return err
 	}
 	client, err := fraz.New(*compressor, opts...)
 	if err != nil {

@@ -31,6 +31,30 @@ func TestCodecsDiscovery(t *testing.T) {
 	}
 }
 
+// TestCodecCapabilityWindows pins the public dtype/rank window contract:
+// every in-tree codec declares its element widths, SupportsDType answers by
+// the names DecompressResult.DType uses, and the CodecAuto policy name is
+// not itself listed as a codec.
+func TestCodecCapabilityWindows(t *testing.T) {
+	for _, ci := range fraz.Codecs() {
+		if ci.Name == fraz.CodecAuto {
+			t.Errorf("Codecs() lists the %s policy as a codec", fraz.CodecAuto)
+		}
+		if !ci.Float32 && !ci.Float64 {
+			t.Errorf("%s admits no element width at all: %+v", ci.Name, ci)
+		}
+		if ci.SupportsDType("float32") != ci.Float32 || ci.SupportsDType("float64") != ci.Float64 {
+			t.Errorf("%s: SupportsDType disagrees with the Float32/Float64 fields", ci.Name)
+		}
+		if ci.SupportsDType("int8") || ci.SupportsDType("") {
+			t.Errorf("%s: SupportsDType accepts an unknown dtype name", ci.Name)
+		}
+	}
+	if _, ok := fraz.LookupCodec(fraz.CodecAuto); ok {
+		t.Errorf("LookupCodec(%q) resolved — the policy must not masquerade as a codec", fraz.CodecAuto)
+	}
+}
+
 func TestLookupCodec(t *testing.T) {
 	ci, ok := fraz.LookupCodec("mgard:abs")
 	if !ok {

@@ -74,8 +74,36 @@
 // bound across calls as the next search's starting prediction, for every
 // objective. Codec discovery goes through fraz.Codecs, which describes each
 // registered back end's capabilities (bound semantics, error-boundedness,
-// supported ranks). Failures are errors.Is-able: ErrInfeasible,
+// supported ranks and element types — see CodecInfo.SupportsRank and
+// CodecInfo.SupportsDType). Failures are errors.Is-able: ErrInfeasible,
 // ErrUnknownCodec, ErrCorrupt.
+//
+// # Multi-field datasets
+//
+// Real simulation snapshots are many named fields on one grid, and no
+// single codec wins on all of them. Dataset bundles them into one .frazd
+// archive — each field an embedded .fraz container with its own codec,
+// bound, and objective record, indexed by a CRC-guarded directory:
+//
+//	ds, err := fraz.NewDataset(f, fraz.TargetPSNR(60))
+//	_, err = ds.AddField(ctx, "CLOUDf", cloud, shape)   // races codecs, seals with the winner
+//	_, err = ds.AddField(ctx, "PRECIPf", precip, shape) // may pick a different codec
+//	err = ds.Close()                                    // writes directory + footer
+//
+// Dataset clients default to fraz.CodecAuto: every field runs a codec race
+// (candidates filtered by capability, tried on a sampled block through the
+// shared evaluation cache, best ratio at the target quality wins) and the
+// winner is recorded per field; CompressResult.Selection reports the full
+// scoreboard. Pass fraz.Codec to pin one codec instead, or use CodecAuto
+// with a plain Client (fraz.New(fraz.CodecAuto, …)) for single fields.
+//
+// Time series append without rewriting: AppendStep adds field@step to an
+// existing archive (AppendDataset reopens one), leaving earlier payload
+// bytes untouched — only the trailing directory is rewritten at Close.
+// Reading is lazy: OpenDataset parses just the directory, and
+// OpenField/OpenFieldStep decodes a single field without touching its
+// neighbours. Dataset errors are errors.Is-able too: ErrFieldNotFound,
+// ErrDuplicateField, ErrCorrupt.
 //
 // # API stability
 //
@@ -101,6 +129,9 @@
 //   - internal/container — the self-describing .fraz on-disk container format
 //     (v1 monolithic payload, v2 block index + independently-decodable
 //     blocks), with streaming WriteTo/ReadFrom and incremental CRC checks
+//   - internal/archive   — the .frazd dataset super-container: many named
+//     .fraz payloads (field@step) behind a CRC-guarded trailing directory,
+//     append-friendly and lazily readable; see docs/format.md
 //   - internal/blocks    — slowest-axis block decomposition (split/reassemble)
 //   - internal/sz        — SZ-like prediction-based error-bounded compressor
 //   - internal/szx       — SZx-style ultra-fast error-bounded compressor

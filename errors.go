@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fraz/internal/archive"
 	"fraz/internal/container"
 	"fraz/internal/core"
 	"fraz/internal/pressio"
@@ -27,10 +28,20 @@ type InfeasibleError = core.InfeasibleError
 // names a codec this build does not carry. Codecs lists what is available.
 var ErrUnknownCodec = errors.New("fraz: unknown codec")
 
-// ErrCorrupt reports a stream that is not a decodable .fraz container: bad
-// magic, a header field out of range, a truncated payload, a CRC mismatch,
-// or a format version newer than this build reads.
+// ErrCorrupt reports a stream that is not a decodable .fraz container or
+// .frazd dataset archive: bad magic, a header field out of range, a
+// truncated payload or directory, a CRC mismatch, or a format version newer
+// than this build reads.
 var ErrCorrupt = errors.New("fraz: invalid or corrupt .fraz stream")
+
+// ErrFieldNotFound reports a Dataset lookup for a (field, step) pair the
+// archive's directory does not hold. Dataset.Fields lists what is there.
+var ErrFieldNotFound = errors.New("fraz: field not found in dataset")
+
+// ErrDuplicateField reports an attempt to add a (field, step) pair the
+// dataset already holds — entries are immutable once written, so a rewrite
+// must go to a new archive.
+var ErrDuplicateField = errors.New("fraz: duplicate field in dataset")
 
 // wrapStreamErr maps internal container and registry failures onto the
 // package's public sentinels, keeping the original error in the chain for
@@ -43,8 +54,16 @@ func wrapStreamErr(err error) error {
 		errors.Is(err, container.ErrVersion),
 		errors.Is(err, container.ErrTruncated),
 		errors.Is(err, container.ErrCorrupt),
-		errors.Is(err, container.ErrHeader):
+		errors.Is(err, container.ErrHeader),
+		errors.Is(err, archive.ErrBadMagic),
+		errors.Is(err, archive.ErrVersion),
+		errors.Is(err, archive.ErrTruncated),
+		errors.Is(err, archive.ErrCorrupt):
 		return fmt.Errorf("%w: %w", ErrCorrupt, err)
+	case errors.Is(err, archive.ErrNotFound):
+		return fmt.Errorf("%w: %w", ErrFieldNotFound, err)
+	case errors.Is(err, archive.ErrDuplicate):
+		return fmt.Errorf("%w: %w", ErrDuplicateField, err)
 	case errors.Is(err, pressio.ErrUnknownCompressor):
 		return fmt.Errorf("%w: %w", ErrUnknownCodec, err)
 	}

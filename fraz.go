@@ -2,6 +2,7 @@ package fraz
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -30,6 +31,14 @@ type Client struct {
 	// tuner is nil when the client was built without a tuning target (a
 	// decompress-only or FixedBound-only client).
 	tuner *core.Tuner
+
+	// auto marks a CodecAuto client: comp and tuner are nil, and every
+	// Compress/Tune first races the eligible codecs (through per-codec
+	// sub-clients sharing autoCache) and delegates to the winner.
+	auto        bool
+	autoCache   *EvalCache
+	autoMu      sync.Mutex
+	autoClients map[string]*Client
 
 	mu        sync.Mutex
 	lastBound float64
@@ -63,6 +72,9 @@ func New(codec string, opts ...Option) (*Client, error) {
 }
 
 func newClient(set settings) (*Client, error) {
+	if set.codec == CodecAuto {
+		return newAutoClient(set)
+	}
 	info, ok := LookupCodec(set.codec)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q (available: %v)", ErrUnknownCodec, set.codec, codecNames())
@@ -168,6 +180,10 @@ type CompressResult struct {
 	UsedPrediction bool
 	// Elapsed is the tuning wall-clock time (excluding the final seal).
 	Elapsed time.Duration
+	// Selection reports the codec race a CodecAuto client ran before this
+	// compression: the winner (equal to Codec) and every candidate's
+	// outcome. Nil when the client names a fixed codec.
+	Selection *AutoSelection
 }
 
 // Compress tunes the codec's error bound to the client's objective — the
@@ -211,6 +227,36 @@ func CompressT[T Element](ctx context.Context, c *Client, w io.Writer, data []T,
 
 // compressBuffer is the dtype-agnostic core of Compress/Compress64.
 func (c *Client) compressBuffer(ctx context.Context, w io.Writer, buf pressio.Buffer) (*CompressResult, error) {
+	if c.auto {
+		sub, sel, err := c.resolveAuto(ctx, buf)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			res, cerr := sub.compressBuffer(ctx, w, buf)
+			if cerr == nil {
+				res.Selection = sel
+				return res, nil
+			}
+			// The race scored candidates on a sampled block, so its winner
+			// can still miss the band on the whole field. Fall back to the
+			// next-best raced candidate instead of surfacing the heuristic's
+			// miss; infeasibility is detected before any container byte is
+			// written, so retrying into the same writer is safe.
+			var inf *InfeasibleError
+			if !errors.As(cerr, &inf) {
+				return nil, cerr
+			}
+			cand, ok := sel.demoteWinner(fmt.Sprintf("won the sample race but missed the band on the full field (closest ratio %.4g)", inf.ClosestRatio))
+			if !ok {
+				return nil, cerr
+			}
+			if sub, err = c.autoClient(sel.Codec); err != nil {
+				return nil, err
+			}
+			sub.recordBound(cand.ErrorBound)
+		}
+	}
 	if c.set.fixedBound > 0 {
 		return c.compressFixed(ctx, w, buf)
 	}
@@ -390,6 +436,13 @@ func decompress(ctx context.Context, r io.Reader, workers int) (*DecompressResul
 	if _, err := cn.ReadFrom(r); err != nil {
 		return nil, wrapStreamErr(err)
 	}
+	return decompressContainer(ctx, cn, workers)
+}
+
+// decompressContainer turns one decoded container into a DecompressResult —
+// the tail of the Decompress path, shared with Dataset field reads (whose
+// containers come out of an archive directory rather than a stream).
+func decompressContainer(ctx context.Context, cn container.Container, workers int) (*DecompressResult, error) {
 	buf, err := pressio.OpenBlocked(ctx, cn, workers)
 	if err != nil {
 		return nil, wrapStreamErr(err)
@@ -447,6 +500,9 @@ type TuneResult struct {
 	CacheHits   int
 	// Elapsed is the tuning wall-clock time.
 	Elapsed time.Duration
+	// Selection reports the codec race a CodecAuto client ran before this
+	// tune. Nil when the client names a fixed codec.
+	Selection *AutoSelection
 
 	targetRatio float64
 	tolerance   float64
@@ -513,12 +569,42 @@ func (c *Client) Tune64(ctx context.Context, data []float64, shape []int) (*Tune
 
 // TuneT is the dtype-generic form of Client.Tune, mirroring CompressT.
 func TuneT[T Element](ctx context.Context, c *Client, data []T, shape []int) (*TuneResult, error) {
-	if c.tuner == nil {
+	if c.tuner == nil && !c.auto {
 		return nil, fmt.Errorf("fraz: Tune requires a tuning target: pass fraz.Ratio, fraz.TargetPSNR, fraz.TargetSSIM, fraz.TargetMaxError, or fraz.Target to New")
 	}
 	buf, err := newBuffer(data, shape)
 	if err != nil {
 		return nil, err
+	}
+	if c.auto {
+		sub, sel, err := c.resolveAuto(ctx, buf)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			res, terr := sub.tuner.TuneWithPrediction(ctx, buf, sub.prediction())
+			if terr != nil {
+				return nil, terr
+			}
+			if !res.Feasible {
+				// Same fallback as compressBuffer: the sample race's winner
+				// missed the band on the full field, so promote the runner-up.
+				cand, ok := sel.demoteWinner(fmt.Sprintf("won the sample race but missed the band on the full field (closest ratio %.4g)", infeasibleOf(res).ClosestRatio))
+				if ok {
+					if sub, err = c.autoClient(sel.Codec); err != nil {
+						return nil, err
+					}
+					sub.recordBound(cand.ErrorBound)
+					continue
+				}
+			}
+			if res.Feasible {
+				sub.recordBound(res.ErrorBound)
+			}
+			tr := tuneResult(res)
+			tr.Selection = sel
+			return tr, nil
+		}
 	}
 	res, err := c.tuner.TuneWithPrediction(ctx, buf, c.prediction())
 	if err != nil {
@@ -565,6 +651,9 @@ type SeriesResult struct {
 // as the next step's prediction and retraining only when the data drifts
 // out of the acceptance band (the paper's Algorithm 3, inner loop).
 func (c *Client) TuneSeries(ctx context.Context, s Series) (*SeriesResult, error) {
+	if c.auto {
+		return nil, fmt.Errorf("fraz: TuneSeries does not support %s — codec selection is per-field (tune fields individually, or build a Dataset with AppendStep)", CodecAuto)
+	}
 	if c.tuner == nil {
 		return nil, fmt.Errorf("fraz: TuneSeries requires a tuning target: pass fraz.Ratio (or another Target option) to New")
 	}
@@ -579,6 +668,9 @@ func (c *Client) TuneSeries(ctx context.Context, s Series) (*SeriesResult, error
 // (the paper's Algorithm 3, outer loop). Results are positional: result i
 // belongs to series[i].
 func (c *Client) TuneFields(ctx context.Context, series []Series) ([]*SeriesResult, error) {
+	if c.auto {
+		return nil, fmt.Errorf("fraz: TuneFields does not support %s — codec selection is per-field (tune fields individually, or build a Dataset with AppendStep)", CodecAuto)
+	}
 	if c.tuner == nil {
 		return nil, fmt.Errorf("fraz: TuneFields requires a tuning target: pass fraz.Ratio (or another Target option) to New")
 	}

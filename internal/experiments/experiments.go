@@ -221,6 +221,9 @@ func Run(name string, cfg Config) ([]*report.Table, error) {
 	case "speed":
 		t, err := Speed(cfg)
 		return wrap(t, err)
+	case "portfolio":
+		t, err := Portfolio(cfg)
+		return wrap(t, err)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
@@ -240,8 +243,10 @@ func wrap(t *report.Table, err error) ([]*report.Table, error) {
 // "blocks" measures the blocked (v2) seal/open path against the monolithic
 // one, "objectives" compares convergence cost across the four tuning
 // objectives (ratio, PSNR, SSIM, max-error), "precision" tunes the same
-// fields at float32 versus float64, and "speed" compares the codec tiers'
-// raw seal/open throughput (szx versus sz and zfp).
+// fields at float32 versus float64, "speed" compares the codec tiers'
+// raw seal/open throughput (szx versus sz and zfp), and "portfolio" pits the
+// per-field codec race (fraz.CodecAuto) against each single global codec on
+// one multi-field snapshot.
 func Names() []string {
-	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "regions", "lossless", "cache", "blocks", "objectives", "precision", "speed"}
+	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "regions", "lossless", "cache", "blocks", "objectives", "precision", "speed", "portfolio"}
 }

@@ -45,8 +45,8 @@ func TestDefaultConfig(t *testing.T) {
 
 func TestNamesAndRunDispatch(t *testing.T) {
 	names := Names()
-	if len(names) != 17 {
-		t.Errorf("expected 17 experiments, got %d", len(names))
+	if len(names) != 18 {
+		t.Errorf("expected 18 experiments, got %d", len(names))
 	}
 	if _, err := Run("bogus", quickConfig()); err == nil {
 		t.Errorf("unknown experiment should fail")

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fraz"
+	"fraz/internal/dataset"
+	"fraz/internal/report"
+)
+
+// Portfolio compares the per-field codec race (fraz.CodecAuto, the policy a
+// .frazd dataset archive applies by default) against sealing every field of
+// one application snapshot with a single global codec — the workflow the
+// paper's evaluation implies, where one codec is picked per application. The
+// claim under test: heterogeneous snapshots have no single best codec, so a
+// per-field portfolio matches or beats the best global choice at equal
+// quality, and the winner set is genuinely mixed (>= 2 distinct codecs).
+func Portfolio(cfg Config) (*report.Table, error) {
+	d, err := dataset.New("Hurricane", cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	fields := d.Fields
+	if cfg.Quick {
+		// A deliberately heterogeneous subset — sparse cloud water, its
+		// log-scaled sibling, noisy precipitation, smooth pressure, and a
+		// velocity component — so the race has structure to disagree about.
+		want := map[string]bool{"CLOUDf": true, "QCLOUDf.log10": true, "PRECIPf": true, "Pf": true, "Uf": true}
+		var subset []dataset.Field
+		for _, f := range fields {
+			if want[f.Name] {
+				subset = append(subset, f)
+			}
+		}
+		fields = subset
+	}
+	const targetPSNR = 50 // quality floor every policy must hit (max-error bands are infeasible on near-constant fields)
+
+	type fieldData struct {
+		name  string
+		data  []float32
+		shape []int
+	}
+	loaded := make([]fieldData, 0, len(fields))
+	var rawBytes int64
+	for _, f := range fields {
+		data, shape, err := d.Generate(f.Name, 0)
+		if err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, fieldData{name: f.Name, data: data, shape: shape})
+		rawBytes += int64(len(data)) * 4
+	}
+
+	cache := fraz.NewEvalCache(0)
+	opts := func(extra ...fraz.Option) []fraz.Option {
+		return append([]fraz.Option{
+			fraz.TargetPSNR(targetPSNR),
+			fraz.Seed(cfg.Seed),
+			fraz.Workers(cfg.Workers),
+			fraz.SharedCache(cache),
+			// Monolithic containers: the race then samples the whole field,
+			// so each candidate's score is its exact full-field
+			// ratio-at-quality rather than a block estimate. At these synthetic
+			// scales that keeps the comparison about codec choice, not
+			// sampling noise.
+			fraz.Blocks(1),
+		}, extra...)
+	}
+	sealAll := func(codec string) (packed int64, winners map[string]int, err error) {
+		client, err := fraz.New(codec, opts()...)
+		if err != nil {
+			return 0, nil, err
+		}
+		winners = map[string]int{}
+		for _, f := range loaded {
+			var arc bytes.Buffer
+			res, err := client.Compress(context.Background(), &arc, f.data, f.shape)
+			if err != nil {
+				return 0, nil, fmt.Errorf("%s on %s: %w", codec, f.name, err)
+			}
+			packed += res.BytesWritten
+			winners[res.Codec]++
+		}
+		return packed, winners, nil
+	}
+
+	tab := report.NewTable(fmt.Sprintf("Portfolio: per-field auto vs one global codec (Hurricane snapshot, %d fields, PSNR >= %d)", len(loaded), targetPSNR),
+		"policy", "fields", "distinct_codecs", "aggregate_ratio", "winners")
+
+	autoPacked, autoWinners, err := sealAll(fraz.CodecAuto)
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: auto policy: %w", err)
+	}
+	autoRatio := float64(rawBytes) / float64(autoPacked)
+	tab.AddRow("auto", len(loaded), len(autoWinners), autoRatio, winnerSummary(autoWinners))
+
+	bestSingle := 0.0
+	bestName := ""
+	for _, info := range fraz.Codecs() {
+		rank := len(loaded[0].shape)
+		if info.Lossless || !info.ErrorBounded || !info.SupportsRank(rank) || !info.SupportsDType("float32") {
+			continue
+		}
+		packed, _, err := sealAll(info.Name)
+		var inf *fraz.InfeasibleError
+		if errors.As(err, &inf) {
+			tab.AddRow(info.Name, 0, 1, 0.0, fmt.Sprintf("infeasible (closest ratio %.2f)", inf.ClosestRatio))
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("portfolio: %w", err)
+		}
+		ratio := float64(rawBytes) / float64(packed)
+		tab.AddRow(info.Name, len(loaded), 1, ratio, info.Name)
+		if ratio > bestSingle {
+			bestSingle, bestName = ratio, info.Name
+		}
+	}
+
+	tab.AddNote("aggregate_ratio = total raw bytes / total sealed payload bytes across the snapshot, every field within the same PSNR band")
+	tab.AddNote("auto picked %d distinct codecs across %d fields; best single codec is %s at %.2f (auto: %.2f)",
+		len(autoWinners), len(loaded), bestName, bestSingle, autoRatio)
+	if len(autoWinners) < 2 {
+		tab.AddNote("WARNING: expected the race to select >= 2 distinct codecs on this snapshot")
+	}
+	if autoRatio < bestSingle*0.999 {
+		tab.AddNote("WARNING: expected the per-field portfolio to match or beat the best global codec")
+	}
+	return tab, nil
+}
+
+func winnerSummary(winners map[string]int) string {
+	names := make([]string, 0, len(winners))
+	for n := range winners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s x%d", n, winners[n])
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPortfolio(t *testing.T) {
+	tab, err := Portfolio(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 3) // auto + at least two global codecs
+	if tab.Rows[0][0] != "auto" {
+		t.Fatalf("first row is %v, want the auto policy", tab.Rows[0])
+	}
+	// The acceptance criteria of the portfolio claim: the race picks a
+	// genuinely mixed winner set and matches or beats the best single codec.
+	// The experiment itself flags violations as WARNING notes, so the test
+	// only needs to assert their absence.
+	out := tab.String()
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("portfolio table carries a WARNING note:\n%s", out)
+	}
+}

@@ -29,11 +29,28 @@ type Capabilities struct {
 	Lossless bool
 	// MinRank and MaxRank bound the data ranks the codec accepts.
 	MinRank, MaxRank int
+	// Float32 and Float64 report which element widths the codec accepts.
+	// Register defaults both to true when neither is set, matching the
+	// dtype-generic adapters; a width-restricted codec declares its window
+	// explicitly.
+	Float32, Float64 bool
 }
 
 // SupportsRank reports whether the codec accepts data of the given rank.
 func (c Capabilities) SupportsRank(rank int) bool {
 	return rank >= c.MinRank && rank <= c.MaxRank
+}
+
+// SupportsDType reports whether the codec accepts elements of the given
+// width.
+func (c Capabilities) SupportsDType(d container.DType) bool {
+	switch d {
+	case container.Float32:
+		return c.Float32
+	case container.Float64:
+		return c.Float64
+	}
+	return false
 }
 
 // Codec is the registry descriptor for one compressor configuration: its
@@ -90,6 +107,12 @@ func Register(c Codec) {
 		if c.Caps.ErrorBounded != inst.ErrorBounded() {
 			panic(fmt.Sprintf("pressio: Register(%q): Caps.ErrorBounded disagrees with instance", c.Name))
 		}
+	}
+	if !c.Caps.Float32 && !c.Caps.Float64 {
+		// The dtype window is declarative; every in-tree adapter dispatches
+		// on the buffer's dtype tag and handles both widths, so an
+		// unspecified window means "both".
+		c.Caps.Float32, c.Caps.Float64 = true, true
 	}
 	registryMu.Lock()
 	defer registryMu.Unlock()

@@ -128,6 +128,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/compress", s.handleCompress)
 	mux.HandleFunc("/v1/decompress", s.handleDecompress)
 	mux.HandleFunc("/v1/archives/", s.handleArchive)
+	mux.HandleFunc("/v1/datasets", s.handleDatasetCreate)
+	mux.HandleFunc("/v1/datasets/", s.handleDatasetGet)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)

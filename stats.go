@@ -81,8 +81,13 @@ func cacheStats(c *pressio.Cache) CacheStats {
 // client built with SharedCache the numbers cover every client sharing the
 // cache, not just this one; per-call deltas are on each CompressResult and
 // TuneResult (Evaluations, CacheHits). A client without a tuning target has
-// no cache and reports zeros.
+// no cache and reports zeros. A CodecAuto client reports the race cache its
+// per-codec sub-clients share, so the numbers cover every candidate's
+// evaluations.
 func (c *Client) Stats() CacheStats {
+	if c.auto {
+		return c.autoCache.Stats()
+	}
 	if c.tuner == nil {
 		return CacheStats{}
 	}
