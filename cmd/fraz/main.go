@@ -292,6 +292,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "feasible:         true\n")
 	fmt.Fprintf(out, "evaluations:      %d in %v (%s)\n", res.Evaluations, res.Elapsed,
 		report.Savings(res.CacheHits, res.Evaluations-res.CacheHits))
+	if res.Direct {
+		fmt.Fprintf(out, "direct:           fixed-rate codec satisfied the ratio target arithmetically (no search)\n")
+	}
 	if *outPath != "" {
 		dest := *outPath
 		if dest == "-" {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fraz/internal/container"
+	"fraz/internal/core"
 	"fraz/internal/dataset"
 	"fraz/internal/pressio"
 )
@@ -55,6 +56,13 @@ type Result struct {
 	OpenGBps        float64 `json:"open_gbps"`
 	SealAllocsPerOp float64 `json:"seal_allocs_per_op"`
 	OpenAllocsPerOp float64 `json:"open_allocs_per_op"`
+	// TuneEvaluations and TuneMs record what a FixedRatio tune targeting
+	// this cell's achieved ratio costs: compressor invocations and
+	// wall-clock milliseconds. Fixed-rate codecs satisfy the objective
+	// arithmetically (0 evaluations); search-based codecs pay the MaxLIPO
+	// loop. Absent (zero) in reports written before these columns existed.
+	TuneEvaluations int     `json:"tune_evaluations"`
+	TuneMs          float64 `json:"tune_ms"`
 }
 
 // Key identifies a cell across runs for baseline comparison.
@@ -206,6 +214,7 @@ func run(cfg Config, logf func(format string, args ...interface{})) (Report, err
 				continue
 			}
 			bound := boundFor(codec.Caps, dc.buf.ValueRange())
+			cellStart := len(rep.Results)
 			for _, mode := range []struct {
 				name   string
 				blocks int
@@ -223,6 +232,22 @@ func run(cfg Config, logf func(format string, args ...interface{})) (Report, err
 				rep.Results = append(rep.Results, res)
 				logf("%-14s %-7s %-10s seal %7.3f GB/s (%6.0f allocs)  open %7.3f GB/s (%6.0f allocs)  ratio %.1f",
 					codec.Name, dc.name, mode.name, res.SealGBps, res.SealAllocsPerOp, res.OpenGBps, res.OpenAllocsPerOp, res.Ratio)
+			}
+			// Tuning cost: one FixedRatio tune targeting the monolithic
+			// cell's achieved ratio (feasible by construction). The cost is
+			// a property of the (codec, dtype) pair, so both mode cells of
+			// this dtype get the same columns.
+			if mono := findResult(rep.Results[cellStart:], codec.Name, dc.name, "monolithic"); mono != nil && mono.Ratio > 1 {
+				evals, ms, err := measureTune(codec.New(), dc.buf, mono.Ratio)
+				if err != nil {
+					logf("skip tune %s/%s: %v", codec.Name, dc.name, err)
+				} else {
+					for i := cellStart; i < len(rep.Results); i++ {
+						rep.Results[i].TuneEvaluations = evals
+						rep.Results[i].TuneMs = ms
+					}
+					logf("%-14s %-7s tune ratio %.1f: %d evaluations in %.1f ms", codec.Name, dc.name, mono.Ratio, evals, ms)
+				}
 			}
 			cr, err := cacheSweep(codec.Name, comp, dc.buf, bound)
 			if err == nil {
@@ -291,6 +316,23 @@ func benchCell(comp pressio.Compressor, buf pressio.Buffer, bound float64, block
 		SealAllocsPerOp: sealAllocs,
 		OpenAllocsPerOp: openAllocs,
 	}, nil
+}
+
+// measureTune runs one FixedRatio tune against a fresh compressor and
+// reports its cost: total compressor evaluations and wall-clock
+// milliseconds. Rate-capable codecs resolve the objective arithmetically
+// (0 evaluations); the rest pay the per-region search.
+func measureTune(comp pressio.Compressor, buf pressio.Buffer, target float64) (evals int, ms float64, err error) {
+	tn, err := core.NewTuner(comp, core.Config{TargetRatio: target, Tolerance: 0.1, Seed: 1})
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	res, err := tn.TuneBuffer(context.Background(), buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Iterations, float64(time.Since(start).Microseconds()) / 1e3, nil
 }
 
 // cacheSweep replays a tuner-shaped bound sequence (a region sweep visited

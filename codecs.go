@@ -51,6 +51,14 @@ type CodecInfo struct {
 	// width-restricted back end filters out of CodecAuto races and
 	// capability queries instead of failing at compression time.
 	Float32, Float64 bool
+	// FixedRate marks true fixed-rate codecs (currently frsz:rate): the
+	// tunable parameter is the storage itself, so a FixedRatio objective is
+	// satisfied directly — bits per value computed from the target ratio,
+	// zero tuning evaluations — instead of searched (see
+	// Objective.DirectlySatisfiable and CompressResult.Direct). Note
+	// zfp:rate does not qualify: its rate parameter steers an embedded
+	// coder whose output length still depends on the data.
+	FixedRate bool
 }
 
 // SupportsRank reports whether the codec accepts data of the given rank
@@ -110,5 +118,6 @@ func codecInfo(d pressio.Codec) CodecInfo {
 		MaxRank:      d.Caps.MaxRank,
 		Float32:      d.Caps.Float32,
 		Float64:      d.Caps.Float64,
+		FixedRate:    d.Caps.FixedRate,
 	}
 }

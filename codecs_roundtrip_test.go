@@ -13,7 +13,7 @@ import (
 // bound semantics, keyed by the descriptor the test is validating.
 func testBound(info fraz.CodecInfo) float64 {
 	switch info.Name {
-	case "zfp:rate":
+	case "zfp:rate", "frsz:rate":
 		return 16 // bits per value
 	case "zfp:precision":
 		return 24 // bit planes per block

@@ -39,6 +39,13 @@
 // ObjectiveByName and Objective.Measure, or `fraz -decompress x.fraz
 // -verify`).
 //
+// One combination needs no search at all: a fixed-ratio objective with the
+// truly fixed-rate codec ("frsz:rate", whose compressed size is a
+// closed-form function of shape and bits-per-value) is satisfied directly —
+// the tuner inverts the target ratio into a whole-bit rate and seals with
+// zero compressor evaluations. CompressResult.Direct reports when this fast
+// path ran; CodecInfo.FixedRate identifies the codecs that enable it.
+//
 // Decompression needs no configuration — the container header carries the
 // codec, tuned bound, achieved ratio, shape, element type, and (for
 // quality-targeted archives) the recorded objective:
@@ -137,6 +144,10 @@
 //   - internal/szx       — SZx-style ultra-fast error-bounded compressor
 //     (constant-block detection + leading-byte truncation; trades ratio for
 //     one to two orders of magnitude more throughput)
+//   - internal/frsz      — FRSZ-style true fixed-rate compressor (per-block
+//     exponent scaling to fixed-point, exactly N bits per value); its
+//     closed-form compressed size powers the tuner's zero-evaluation direct
+//     path for fixed-ratio objectives
 //   - internal/zfp       — ZFP-like transform compressor (accuracy + fixed-rate)
 //   - internal/mgard     — MGARD-like multilevel compressor
 //   - internal/pool      — size-bucketed free lists for hot-path scratch

@@ -175,6 +175,11 @@ type CompressResult struct {
 	// them were served from the client's evaluation cache.
 	Evaluations int
 	CacheHits   int
+	// Direct is true when the objective was satisfied directly from codec
+	// capability — a fixed-rate codec's size formula inverted into its
+	// bits-per-value parameter — so tuning ran zero compressor evaluations
+	// and ErrorBound holds the whole-bit rate.
+	Direct bool
 	// UsedPrediction is true when a previous call's bound was reused
 	// without retraining.
 	UsedPrediction bool
@@ -290,6 +295,7 @@ func (c *Client) compressBuffer(ctx context.Context, w io.Writer, buf pressio.Bu
 		BytesWritten:   n,
 		Evaluations:    sr.Tuning.Iterations,
 		CacheHits:      sr.Tuning.CacheHits,
+		Direct:         sr.Tuning.Direct,
 		UsedPrediction: sr.Tuning.UsedPrediction,
 		Elapsed:        sr.Tuning.Elapsed,
 	}, nil
@@ -498,6 +504,9 @@ type TuneResult struct {
 	// served from the client's evaluation cache.
 	Evaluations int
 	CacheHits   int
+	// Direct is true when the objective was satisfied directly from codec
+	// capability with zero evaluations (see CompressResult.Direct).
+	Direct bool
 	// Elapsed is the tuning wall-clock time.
 	Elapsed time.Duration
 	// Selection reports the codec race a CodecAuto client ran before this
@@ -528,6 +537,7 @@ func tuneResult(res core.Result) *TuneResult {
 		UsedPrediction: res.UsedPrediction,
 		Evaluations:    res.Iterations,
 		CacheHits:      res.CacheHits,
+		Direct:         res.Direct,
 		Elapsed:        res.Elapsed,
 		targetRatio:    res.TargetRatio,
 		tolerance:      res.Tolerance,

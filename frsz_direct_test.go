@@ -1,0 +1,175 @@
+package fraz_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fraz"
+	"fraz/internal/frsz"
+)
+
+// TestFRSZDirectExactRatio is the zero-evaluation property test: a
+// FixedRatio objective paired with the fixed-rate codec must be satisfied
+// by arithmetic alone — no tuning evaluations — and must land the target
+// ratio exactly up to container overhead, across random shapes, both
+// dtypes, and both container versions.
+func TestFRSZDirectExactRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	containers := []struct {
+		name   string
+		blocks int
+	}{
+		{"v1-monolithic", 1},
+		{"v2-blocked", 4},
+	}
+	for trial := 0; trial < 6; trial++ {
+		rank := 1 + rng.Intn(3)
+		shape := make([]int, rank)
+		n := 1
+		for i := range shape {
+			shape[i] = 6 + rng.Intn(18)
+			n *= shape[i]
+		}
+		shape[0] *= 1 + 4096/n // keep overhead a rounding error
+		n = 1
+		for _, e := range shape {
+			n *= e
+		}
+		f64 := make([]float64, n)
+		for i := range f64 {
+			f64[i] = math.Sin(float64(i)/7)*3 + rng.Float64()
+		}
+		f32 := make([]float32, n)
+		for i, v := range f64 {
+			f32[i] = float32(v)
+		}
+
+		for _, cont := range containers {
+			for _, target := range []float64{4, 8} {
+				c, err := fraz.New("frsz:rate", fraz.Ratio(target), fraz.Tolerance(0.1), fraz.Blocks(cont.blocks))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				res, err := c.Compress(context.Background(), &buf, f32, shape)
+				if err != nil {
+					t.Fatalf("trial %d %s target %g float32: %v", trial, cont.name, target, err)
+				}
+				checkDirectResult(t, res, target, 32)
+
+				out, err := c.DecompressFull(context.Background(), &buf)
+				if err != nil {
+					t.Fatalf("trial %d %s: decompress: %v", trial, cont.name, err)
+				}
+				if len(out.Data) != n {
+					t.Fatalf("trial %d %s: decoded %d elements, want %d", trial, cont.name, len(out.Data), n)
+				}
+				if cont.blocks == 1 {
+					// Monolithic payload must equal the codec's closed-form
+					// promise bit for bit — that is what "fixed rate" means.
+					bits := int(res.ErrorBound)
+					want := frsz.CompressedSize(n, rank, bits, 0)
+					payload := int(math.Round(float64(4*n) / res.Ratio))
+					if payload != want {
+						t.Errorf("trial %d: payload %d bytes, CompressedSize promises %d (bits=%d)", trial, payload, want, bits)
+					}
+				}
+
+				// float64 through the same container.
+				buf.Reset()
+				res64, err := c.Compress64(context.Background(), &buf, f64, shape)
+				if err != nil {
+					t.Fatalf("trial %d %s target %g float64: %v", trial, cont.name, target, err)
+				}
+				checkDirectResult(t, res64, target, 64)
+			}
+		}
+	}
+}
+
+func checkDirectResult(t *testing.T, res *fraz.CompressResult, target float64, maxBits float64) {
+	t.Helper()
+	if res.Evaluations != 0 {
+		t.Errorf("direct seal ran %d evaluations, want 0", res.Evaluations)
+	}
+	if !res.Direct {
+		t.Error("CompressResult.Direct = false for a fixed-rate ratio seal")
+	}
+	if res.ErrorBound < 1 || res.ErrorBound > maxBits || res.ErrorBound != math.Trunc(res.ErrorBound) {
+		t.Errorf("ErrorBound %v is not a whole bit count in [1, %v]", res.ErrorBound, maxBits)
+	}
+	if d := math.Abs(res.Ratio-target) / target; d > 0.1 {
+		t.Errorf("achieved ratio %.3f misses target %g by %.1f%%", res.Ratio, target, 100*d)
+	}
+	if res.AchievedValue != res.Ratio {
+		t.Errorf("AchievedValue %v != Ratio %v for the ratio objective", res.AchievedValue, res.Ratio)
+	}
+}
+
+// TestFRSZDirectTune pins the fast path on the Tune entry point and its
+// reported TuneResult.
+func TestFRSZDirectTune(t *testing.T) {
+	data, shape := testField()
+	c, err := fraz.New("frsz:rate", fraz.Ratio(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Tune(context.Background(), data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 0 || !res.Direct {
+		t.Errorf("Tune: Evaluations=%d Direct=%v, want 0/true", res.Evaluations, res.Direct)
+	}
+	if res.ErrorBound != 4 {
+		t.Errorf("ratio 8 on float32 inverted to %v bits, want 4", res.ErrorBound)
+	}
+}
+
+// TestFRSZQualityStillSearches pins the other half of the contract: quality
+// objectives ignore the fast path and run the evaluation loop even on a
+// fixed-rate codec.
+func TestFRSZQualityStillSearches(t *testing.T) {
+	data, shape := testField()
+	c, err := fraz.New("frsz:rate", fraz.TargetPSNR(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := c.Compress(context.Background(), &buf, data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Direct {
+		t.Error("quality objective reported Direct = true")
+	}
+	if res.Evaluations == 0 {
+		t.Error("quality objective tuned with zero evaluations")
+	}
+	out, err := c.DecompressFull(context.Background(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr := measurePSNR(data, out.Data); math.Abs(psnr-60) > 3+1e-9 {
+		t.Errorf("measured PSNR %.2f outside 60±3 band", psnr)
+	}
+}
+
+// TestFRSZDirectInfeasible: when no whole-bit rate lands inside a very
+// tight band, the fast path must decline and the fallback search must
+// report infeasibility the normal way.
+func TestFRSZDirectInfeasible(t *testing.T) {
+	data, shape := testField()
+	c, err := fraz.New("frsz:rate", fraz.Ratio(7.51), fraz.Tolerance(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Compress(context.Background(), &bytes.Buffer{}, data, shape)
+	if !errors.Is(err, fraz.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

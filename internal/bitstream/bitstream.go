@@ -51,13 +51,41 @@ func (w *Writer) WriteBool(b bool) {
 
 // WriteBits appends the n least-significant bits of v, LSB first.
 // n must be in [0, 64].
+//
+// The write is byte-granular, not bit-granular: the bits join the
+// accumulator in one shift and leave it a byte at a time, so a fixed-rate
+// packer calling WriteBits per value costs a handful of operations per
+// value instead of per bit. The layout is identical to n WriteBit calls.
 func (w *Writer) WriteBits(v uint64, n uint) {
 	if n > 64 {
 		panic(fmt.Sprintf("bitstream: WriteBits width %d out of range", n))
 	}
-	for i := uint(0); i < n; i++ {
-		w.WriteBit(uint(v>>i) & 1)
+	if n == 0 {
+		return
 	}
+	if n < 64 {
+		v &= uint64(1)<<n - 1
+	}
+	w.bits += int(n)
+	cur := w.cur | v<<w.nCur
+	total := w.nCur + n
+	if total <= 64 {
+		for total >= 8 {
+			w.buf = append(w.buf, byte(cur))
+			cur >>= 8
+			total -= 8
+		}
+		w.cur, w.nCur = cur, total
+		return
+	}
+	// v straddles the 64-bit accumulator (n + nCur > 64): cur holds the
+	// first 64 bits in stream order — flush them whole — and the top
+	// total−64 bits of v restart the accumulator.
+	w.buf = append(w.buf,
+		byte(cur), byte(cur>>8), byte(cur>>16), byte(cur>>24),
+		byte(cur>>32), byte(cur>>40), byte(cur>>48), byte(cur>>56))
+	w.cur = v >> (64 - w.nCur)
+	w.nCur = total - 64
 }
 
 // WriteUnary writes v as v one-bits followed by a terminating zero bit.
@@ -129,17 +157,52 @@ func (r *Reader) ReadBool() (bool, error) {
 }
 
 // ReadBits reads n bits (LSB first) into a uint64. n must be in [0, 64].
+// When fewer than n bits remain it consumes them all and returns
+// ErrOutOfBits.
+//
+// Like WriteBits, the read is byte-granular: a leading partial byte, then
+// whole bytes, then a trailing partial byte, matching the per-bit layout
+// exactly.
 func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
 		panic(fmt.Sprintf("bitstream: ReadBits width %d out of range", n))
 	}
+	if n == 0 {
+		return 0, nil
+	}
+	if (len(r.buf)-r.pos)*8-int(r.bit) < int(n) {
+		r.pos = len(r.buf)
+		r.bit = 0
+		return 0, ErrOutOfBits
+	}
 	var v uint64
-	for i := uint(0); i < n; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+	shift := uint(0)
+	if r.bit != 0 {
+		take := 8 - r.bit
+		if take > n {
+			take = n
 		}
-		v |= uint64(b) << i
+		v = uint64(r.buf[r.pos]>>r.bit) & (uint64(1)<<take - 1)
+		shift = take
+		n -= take
+		r.bit += take
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+		if n == 0 {
+			return v, nil
+		}
+	}
+	for n >= 8 {
+		v |= uint64(r.buf[r.pos]) << shift
+		shift += 8
+		r.pos++
+		n -= 8
+	}
+	if n > 0 {
+		v |= (uint64(r.buf[r.pos]) & (uint64(1)<<n - 1)) << shift
+		r.bit = n
 	}
 	return v, nil
 }

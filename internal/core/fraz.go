@@ -166,6 +166,11 @@ type Result struct {
 	Feasible bool
 	// Iterations is the total number of compressor invocations performed.
 	Iterations int
+	// Direct is true when the objective was satisfied directly from codec
+	// capability — a fixed-rate codec's size formula inverted into its
+	// bits-per-value parameter — with zero search evaluations: Iterations
+	// is 0, Regions is empty, and ErrorBound holds the whole-bit rate.
+	Direct bool
 	// UsedPrediction is true when a reused bound from a previous time-step
 	// satisfied the target without retraining.
 	UsedPrediction bool
@@ -359,6 +364,25 @@ func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, pred
 		TargetRatio: t.cfg.TargetRatio,
 		Tolerance:   t.obj.Tolerance,
 	}
+	// Direct satisfaction (the zero-evaluation fast path): a fixed-ratio
+	// objective paired with a true fixed-rate codec needs no search — the
+	// codec's size formula is inverted into a whole-bit rate, and the
+	// achieved ratio is the same number a real evaluation would measure
+	// (raw bytes over the codec's stream size). Prediction is skipped too:
+	// arithmetic is cheaper than even one cached evaluation. When no
+	// whole-bit rate lands in the acceptance band the normal search runs
+	// and reports infeasibility the usual way.
+	if t.obj.DirectlySatisfiable() {
+		if rc, ok := t.compressor.(pressio.RateCompressor); ok {
+			if ev, ok := t.directRate(rc, buf); ok {
+				res.fill(ev, true)
+				res.Direct = true
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+		}
+	}
+
 	// One evaluator per tuning run: the buffer fingerprint is computed once
 	// and every region search below shares the memoised evaluations.
 	eval := pressio.NewEvaluator(t.cache, t.compressor, buf)
@@ -465,6 +489,53 @@ func (t *Tuner) TuneWithPrediction(ctx context.Context, buf pressio.Buffer, pred
 	res.fill(*best, t.obj.InBand(best.Value))
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// directRate inverts the fixed-ratio target into a bits-per-value setting:
+// the wanted stream size is rawBytes/ρt, the codec's affine size formula
+// size(N) = overhead + ⌈elements·N/8⌉ is solved for N, and the floor and
+// ceil whole-bit candidates are scored against the acceptance band — the
+// in-band candidate whose achieved ratio is closest to the target wins
+// (the paper's closest-to-target rule, applied to a two-point grid). ok is
+// false when neither lands in the band, i.e. the band is narrower than one
+// bit's worth of ratio at this size; the caller falls back to the search.
+func (t *Tuner) directRate(rc pressio.RateCompressor, buf pressio.Buffer) (Evaluation, bool) {
+	rawBytes := buf.Bytes()
+	elements := buf.Shape.Len()
+	if rawBytes == 0 || elements == 0 {
+		return Evaluation{}, false
+	}
+	maxBits := rc.MaxBits(buf.DType())
+	overhead := rc.CompressedSize(buf.Shape, 0)
+	want := float64(rawBytes)/t.obj.Target - float64(overhead)
+	exact := want * 8 / float64(elements)
+	clamp := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		if n > maxBits {
+			return maxBits
+		}
+		return n
+	}
+	lo := clamp(int(math.Floor(exact)))
+	hi := clamp(int(math.Ceil(exact)))
+	var best Evaluation
+	bestDist := math.Inf(1)
+	found := false
+	for _, n := range []int{lo, hi} {
+		size := rc.CompressedSize(buf.Shape, n)
+		ratio := float64(rawBytes) / float64(size)
+		if !t.obj.InBand(ratio) {
+			continue
+		}
+		if d := math.Abs(ratio - t.obj.Target); d < bestDist {
+			bestDist = d
+			best = Evaluation{ErrorBound: float64(n), Ratio: ratio, CompressedSize: size, Value: ratio}
+			found = true
+		}
+	}
+	return best, found
 }
 
 // fill copies one chosen evaluation into the result.

@@ -241,6 +241,18 @@ func (o Objective) Loss(achieved float64) float64 {
 	return Loss(achieved, o.Target, Gamma)
 }
 
+// DirectlySatisfiable reports whether the objective can be satisfied by
+// codec capability alone, with zero search evaluations. Only the
+// fixed-ratio objective qualifies: its achieved value is a pure function of
+// the compressed size, so a true fixed-rate codec (one implementing
+// pressio.RateCompressor) can invert the target into its bits-per-value
+// parameter arithmetically. Quality objectives (PSNR/SSIM/max-error) are
+// measured on the reconstruction, which no capability predicts — they
+// always search.
+func (o Objective) DirectlySatisfiable() bool {
+	return o.Name == "ratio" && !o.NeedsReport
+}
+
 // SearchCutoff returns the early-termination threshold for the modified
 // global minimiser: the squared half-width of the acceptance band, which for
 // the fixed-ratio objective is the paper's ε²ρt² (§V-B3).

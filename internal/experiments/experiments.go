@@ -200,6 +200,9 @@ func Run(name string, cfg Config) ([]*report.Table, error) {
 	case "iters":
 		t, err := IterationComparison(cfg)
 		return wrap(t, err)
+	case "direct":
+		t, err := Direct(cfg)
+		return wrap(t, err)
 	case "regions":
 		t, err := RegionAblation(cfg)
 		return wrap(t, err)
@@ -239,6 +242,8 @@ func wrap(t *report.Table, err error) ([]*report.Table, error) {
 // Names lists the available experiment identifiers. The fig*/table* entries
 // correspond to the paper's evaluation; "iters", "regions", and "lossless"
 // back specific claims made in its text (§V-B1, §V-C/Fig. 5, and §I),
+// "direct" contrasts the zero-evaluation frsz fast path with the search
+// codecs on fixed-ratio objectives,
 // "cache" charts the evaluations saved by the shared evaluation cache,
 // "blocks" measures the blocked (v2) seal/open path against the monolithic
 // one, "objectives" compares convergence cost across the four tuning
@@ -248,5 +253,5 @@ func wrap(t *report.Table, err error) ([]*report.Table, error) {
 // per-field codec race (fraz.CodecAuto) against each single global codec on
 // one multi-field snapshot.
 func Names() []string {
-	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "regions", "lossless", "cache", "blocks", "objectives", "precision", "speed", "portfolio"}
+	return []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "iters", "direct", "regions", "lossless", "cache", "blocks", "objectives", "precision", "speed", "portfolio"}
 }

@@ -45,8 +45,8 @@ func TestDefaultConfig(t *testing.T) {
 
 func TestNamesAndRunDispatch(t *testing.T) {
 	names := Names()
-	if len(names) != 18 {
-		t.Errorf("expected 18 experiments, got %d", len(names))
+	if len(names) != 19 {
+		t.Errorf("expected 19 experiments, got %d", len(names))
 	}
 	if _, err := Run("bogus", quickConfig()); err == nil {
 		t.Errorf("unknown experiment should fail")
@@ -264,6 +264,29 @@ func TestIterationComparison(t *testing.T) {
 		total := tab.Rows[i+1][2].(int)
 		if winning > total {
 			t.Errorf("winning region calls %d exceed parallel total %d", winning, total)
+		}
+	}
+}
+
+func TestDirectExperimentContrast(t *testing.T) {
+	tab, err := Direct(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 3)
+	for _, row := range tab.Rows {
+		name := row[0].(string)
+		evals := row[2].(int)
+		direct := row[4].(bool)
+		if name == "frsz:rate" {
+			if evals != 0 || !direct {
+				t.Errorf("frsz:rate should tune directly with 0 evaluations, got evals=%d direct=%v", evals, direct)
+			}
+			if !row[6].(bool) {
+				t.Errorf("frsz:rate direct tune should converge, row %v", row)
+			}
+		} else if evals <= 0 || direct {
+			t.Errorf("%s should pay search evaluations (evals=%d direct=%v)", name, evals, direct)
 		}
 	}
 }

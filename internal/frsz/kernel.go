@@ -1,0 +1,309 @@
+package frsz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fraz/internal/bitstream"
+	"fraz/internal/grid"
+	"fraz/internal/pool"
+)
+
+func appendHeader(out []byte, magic uint32, shape grid.Dims, o Options) []byte {
+	out = binary.LittleEndian.AppendUint32(out, magic)
+	out = append(out, byte(len(shape)), byte(o.BitsPerValue))
+	out = binary.LittleEndian.AppendUint32(out, uint32(o.BlockSize))
+	for _, e := range shape {
+		out = binary.LittleEndian.AppendUint32(out, uint32(e))
+	}
+	return out
+}
+
+// codeRange returns the two's-complement clamp range and packing mask for
+// an N-bit code. bits is 1..64; the arithmetic routes through uint64 so the
+// full-width case does not overflow.
+func codeRange(bits int) (minQ, maxQ int64, mask uint64) {
+	maxQ = int64(uint64(1)<<(bits-1) - 1)
+	minQ = -maxQ - 1
+	mask = ^uint64(0) >> (64 - uint(bits))
+	return
+}
+
+// quantize rounds a scaled value to its N-bit code. The clamp happens in
+// the float domain first: Round can land exactly on ±2^(N−1), and for the
+// full-width case that float does not fit int64, so converting before
+// clamping would be implementation-specific.
+func quantize(scaled float64, limit float64, minQ, maxQ int64) int64 {
+	r := math.Round(scaled)
+	if r >= limit {
+		return maxQ
+	}
+	if r <= -limit {
+		return minQ
+	}
+	q := int64(r)
+	if q > maxQ {
+		return maxQ
+	}
+	if q < minQ {
+		return minQ
+	}
+	return q
+}
+
+// signExtend interprets the low bits of u as an N-bit two's-complement
+// integer.
+func signExtend(u uint64, bits int) int64 {
+	s := 64 - uint(bits)
+	return int64(u<<s) >> s
+}
+
+func compress32(data []float32, shape grid.Dims, o Options) ([]byte, error) {
+	n := len(data)
+	bs := o.BlockSize
+	nBlocks := (n + bs - 1) / bs
+	bits := o.BitsPerValue
+	total := CompressedSize(n, len(shape), bits, bs)
+
+	out := make([]byte, 0, total)
+	out = appendHeader(out, magic32, shape, o)
+	expOff := len(out)
+	out = append(out, make([]byte, 2*nBlocks)...)
+
+	w := bitstream.NewWriter(total - len(out))
+	minQ, maxQ, mask := codeRange(bits)
+	limit := math.Ldexp(1, bits-1)
+
+	for bi := 0; bi < nBlocks; bi++ {
+		lo := bi * bs
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		block := data[lo:hi]
+
+		maxAbs := 0.0
+		for i, v := range block {
+			if math.Float32bits(v)&0x7f800000 == 0x7f800000 {
+				return nil, fmt.Errorf("%w: non-finite value %v at element %d: frsz has no exponent to scale NaN/Inf against", ErrInvalidInput, v, lo+i)
+			}
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+
+		if maxAbs == 0 {
+			binary.LittleEndian.PutUint16(out[expOff+2*bi:], expZeroBits)
+			for range block {
+				w.WriteBits(0, uint(bits))
+			}
+			continue
+		}
+
+		_, e := math.Frexp(maxAbs)
+		binary.LittleEndian.PutUint16(out[expOff+2*bi:], uint16(int16(e)))
+		shift := bits - 1 - e
+		scale := math.Ldexp(1, shift)
+		if scale > 0 && !math.IsInf(scale, 0) {
+			for _, v := range block {
+				q := quantize(float64(v)*scale, limit, minQ, maxQ)
+				w.WriteBits(uint64(q)&mask, uint(bits))
+			}
+		} else {
+			// 2^shift is outside the float64 range (only reachable with a
+			// denormal-only block at high N); scale per value instead.
+			for _, v := range block {
+				q := quantize(math.Ldexp(float64(v), shift), limit, minQ, maxQ)
+				w.WriteBits(uint64(q)&mask, uint(bits))
+			}
+		}
+	}
+	return append(out, w.Bytes()...), nil
+}
+
+func compress64(data []float64, shape grid.Dims, o Options) ([]byte, error) {
+	n := len(data)
+	bs := o.BlockSize
+	nBlocks := (n + bs - 1) / bs
+	bits := o.BitsPerValue
+	total := CompressedSize(n, len(shape), bits, bs)
+
+	out := make([]byte, 0, total)
+	out = appendHeader(out, magic64, shape, o)
+	expOff := len(out)
+	out = append(out, make([]byte, 2*nBlocks)...)
+
+	w := bitstream.NewWriter(total - len(out))
+	minQ, maxQ, mask := codeRange(bits)
+	limit := math.Ldexp(1, bits-1)
+
+	for bi := 0; bi < nBlocks; bi++ {
+		lo := bi * bs
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		block := data[lo:hi]
+
+		maxAbs := 0.0
+		for i, v := range block {
+			if math.Float64bits(v)&0x7ff0000000000000 == 0x7ff0000000000000 {
+				return nil, fmt.Errorf("%w: non-finite value %v at element %d: frsz has no exponent to scale NaN/Inf against", ErrInvalidInput, v, lo+i)
+			}
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+
+		if maxAbs == 0 {
+			binary.LittleEndian.PutUint16(out[expOff+2*bi:], expZeroBits)
+			for range block {
+				w.WriteBits(0, uint(bits))
+			}
+			continue
+		}
+
+		_, e := math.Frexp(maxAbs)
+		binary.LittleEndian.PutUint16(out[expOff+2*bi:], uint16(int16(e)))
+		shift := bits - 1 - e
+		scale := math.Ldexp(1, shift)
+		if scale > 0 && !math.IsInf(scale, 0) {
+			for _, v := range block {
+				q := quantize(v*scale, limit, minQ, maxQ)
+				w.WriteBits(uint64(q)&mask, uint(bits))
+			}
+		} else {
+			for _, v := range block {
+				q := quantize(math.Ldexp(v, shift), limit, minQ, maxQ)
+				w.WriteBits(uint64(q)&mask, uint(bits))
+			}
+		}
+	}
+	return append(out, w.Bytes()...), nil
+}
+
+func decompress32(h header, body []byte) ([]float32, error) {
+	n := h.shape.Len()
+	nBlocks := (n + h.blockSize - 1) / h.blockSize
+	exps := body[:2*nBlocks]
+	r := bitstream.NewReader(body[2*nBlocks:])
+	bits := h.bits
+
+	// The output comes from the element pool: the blocked open path recycles
+	// block buffers after scattering them. Every element is written below,
+	// so the pool's stale contents never leak. It transfers to the caller
+	// only on success; error returns must recycle it.
+	out := pool.GetFloat32(n)
+	done := false
+	defer func() {
+		if !done {
+			pool.PutFloat32(out)
+		}
+	}()
+
+	for bi := 0; bi < nBlocks; bi++ {
+		lo := bi * h.blockSize
+		hi := lo + h.blockSize
+		if hi > n {
+			hi = n
+		}
+		dst := out[lo:hi]
+
+		e := int(int16(binary.LittleEndian.Uint16(exps[2*bi:])))
+		if e != expZero && (e < minExp32 || e > maxExp32) {
+			return nil, fmt.Errorf("%w: block %d exponent %d outside the float32 window [%d,%d]", ErrCorrupt, bi, e, minExp32, maxExp32)
+		}
+		shift := e - bits + 1
+		quantum := math.Ldexp(1, shift)
+		if e == expZero {
+			quantum = 0 // codes decode to exact zeros whatever their content
+		}
+
+		for i := range dst {
+			u, err := r.ReadBits(uint(bits))
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated bitstream in block %d", ErrCorrupt, bi)
+			}
+			v := float32(float64(signExtend(u, bits)) * quantum)
+			if math.IsInf(float64(v), 0) {
+				// maxabs within one quantisation step of the float32
+				// overflow threshold: clamp instead of forging an Inf.
+				v = float32(math.Copysign(math.MaxFloat32, float64(v)))
+			}
+			dst[i] = v
+		}
+	}
+	done = true
+	return out, nil
+}
+
+func decompress64(h header, body []byte) ([]float64, error) {
+	n := h.shape.Len()
+	nBlocks := (n + h.blockSize - 1) / h.blockSize
+	exps := body[:2*nBlocks]
+	r := bitstream.NewReader(body[2*nBlocks:])
+	bits := h.bits
+
+	out := pool.GetFloat64(n)
+	done := false
+	defer func() {
+		if !done {
+			pool.PutFloat64(out)
+		}
+	}()
+
+	for bi := 0; bi < nBlocks; bi++ {
+		lo := bi * h.blockSize
+		hi := lo + h.blockSize
+		if hi > n {
+			hi = n
+		}
+		dst := out[lo:hi]
+
+		e := int(int16(binary.LittleEndian.Uint16(exps[2*bi:])))
+		if e != expZero && (e < minExp64 || e > maxExp64) {
+			return nil, fmt.Errorf("%w: block %d exponent %d outside the float64 window [%d,%d]", ErrCorrupt, bi, e, minExp64, maxExp64)
+		}
+		shift := e - bits + 1
+		quantum := math.Ldexp(1, shift)
+		zero := e == expZero
+
+		switch {
+		case zero:
+			for range dst {
+				if _, err := r.ReadBits(uint(bits)); err != nil {
+					return nil, fmt.Errorf("%w: truncated bitstream in block %d", ErrCorrupt, bi)
+				}
+			}
+			for i := range dst {
+				dst[i] = 0
+			}
+		case quantum == 0:
+			// 2^shift underflows float64 (denormal-only block at high N):
+			// Ldexp per value preserves the gradual-underflow rounding a
+			// plain multiply by zero would destroy.
+			for i := range dst {
+				u, err := r.ReadBits(uint(bits))
+				if err != nil {
+					return nil, fmt.Errorf("%w: truncated bitstream in block %d", ErrCorrupt, bi)
+				}
+				dst[i] = math.Ldexp(float64(signExtend(u, bits)), shift)
+			}
+		default:
+			for i := range dst {
+				u, err := r.ReadBits(uint(bits))
+				if err != nil {
+					return nil, fmt.Errorf("%w: truncated bitstream in block %d", ErrCorrupt, bi)
+				}
+				v := float64(signExtend(u, bits)) * quantum
+				if math.IsInf(v, 0) {
+					v = math.Copysign(math.MaxFloat64, v)
+				}
+				dst[i] = v
+			}
+		}
+	}
+	done = true
+	return out, nil
+}

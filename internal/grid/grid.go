@@ -191,9 +191,14 @@ func (d Dims) Blocks(edge int) []Block {
 	}
 	blocks := make([]Block, 0, total)
 	idx := make([]int, len(d))
+	// One backing array serves every block's Start and Size: the block list
+	// is the per-call unit of the hot seal/open loops, and 2×total small
+	// allocations here used to dominate their profiles.
+	backing := make(Dims, 2*total*len(d))
 	for {
-		start := make(Dims, len(d))
-		size := make(Dims, len(d))
+		start := backing[:len(d):len(d)]
+		size := backing[len(d) : 2*len(d) : 2*len(d)]
+		backing = backing[2*len(d):]
 		for i := range d {
 			start[i] = idx[i] * edge
 			size[i] = edge

@@ -78,6 +78,7 @@ var (
 	u32Pool   slicePool[uint32]
 	u64Pool   slicePool[uint64]
 	i32Pool   slicePool[int32]
+	i64Pool   slicePool[int64]
 )
 
 // GetBytes returns a byte slice of length n with arbitrary contents.
@@ -115,3 +116,9 @@ func GetUint64(n int) []uint64 { return u64Pool.get(n) }
 
 // PutUint64 parks a uint64 slice for reuse.
 func PutUint64(s []uint64) { u64Pool.put(s) }
+
+// GetInt64 returns an int64 slice of length n with arbitrary contents.
+func GetInt64(n int) []int64 { return i64Pool.get(n) }
+
+// PutInt64 parks an int64 slice for reuse.
+func PutInt64(s []int64) { i64Pool.put(s) }

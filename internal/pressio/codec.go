@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"fraz/internal/container"
+	"fraz/internal/grid"
 	"fraz/internal/metrics"
 )
 
@@ -34,6 +35,34 @@ type Capabilities struct {
 	// dtype-generic adapters; a width-restricted codec declares its window
 	// explicitly.
 	Float32, Float64 bool
+	// FixedRate marks true fixed-rate codecs: the tunable parameter is the
+	// storage itself (bits per value), so the compressed size — and
+	// therefore the compression ratio — is a closed-form function of the
+	// shape and the parameter. The tuner exploits this to satisfy a
+	// fixed-ratio objective directly, with zero search evaluations; see
+	// RateCompressor. Note zfp:rate does NOT qualify: its "bits per value"
+	// steers an embedded coder whose output length still depends on the
+	// data, so its ratio must be searched like any other codec's.
+	FixedRate bool
+}
+
+// RateCompressor is the contract behind Capabilities.FixedRate: a codec
+// whose compressed size is pure arithmetic over the shape and the
+// bits-per-value parameter. Register enforces that a codec declares
+// FixedRate if and only if its instances implement this interface, so a
+// FixedRate capability in the registry is a checked promise, not an
+// annotation.
+type RateCompressor interface {
+	Compressor
+	// CompressedSize returns the exact stream size in bytes that
+	// Compress(buf, bitsPerValue) produces for a buffer of this shape —
+	// before any evaluation runs. Inverting it turns a target ratio into a
+	// bits-per-value setting.
+	CompressedSize(shape grid.Dims, bitsPerValue int) int
+	// MaxBits reports the largest valid bits-per-value for the element
+	// width (the full IEEE width, at which the codec approaches
+	// losslessness).
+	MaxBits(dt container.DType) int
 }
 
 // SupportsRank reports whether the codec accepts data of the given rank.
@@ -107,6 +136,12 @@ func Register(c Codec) {
 		if c.Caps.ErrorBounded != inst.ErrorBounded() {
 			panic(fmt.Sprintf("pressio: Register(%q): Caps.ErrorBounded disagrees with instance", c.Name))
 		}
+	}
+	if _, isRate := inst.(RateCompressor); isRate != c.Caps.FixedRate {
+		if isRate {
+			panic(fmt.Sprintf("pressio: Register(%q): instance implements RateCompressor but Caps.FixedRate is false", c.Name))
+		}
+		panic(fmt.Sprintf("pressio: Register(%q): Caps.FixedRate promised but instance does not implement RateCompressor", c.Name))
 	}
 	if !c.Caps.Float32 && !c.Caps.Float64 {
 		// The dtype window is declarative; every in-tree adapter dispatches

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"fraz/internal/container"
 	"fraz/internal/grid"
+	"fraz/internal/pool"
 	"fraz/internal/sz"
 	"fraz/internal/zfp"
 )
@@ -107,6 +109,16 @@ func (losslessFlate) Decompress(comp []byte, shape grid.Dims, dt container.DType
 	return decompressTyped(dt, comp, shape, losslessDecompress[float32], losslessDecompress[float64])
 }
 
+// getFloats bridges the generic element type to the pool's concrete free
+// lists. Buffers handed out here flow back via Buffer recycling in the
+// blocked open path (see Compressor.Decompress's contract).
+func getFloats[T grid.Float](n int) []T {
+	if grid.ElemSize[T]() == 4 {
+		return any(pool.GetFloat32(n)).([]T)
+	}
+	return any(pool.GetFloat64(n)).([]T)
+}
+
 func losslessMagicFor[T grid.Float]() uint32 {
 	if grid.ElemSize[T]() == 4 {
 		return losslessMagic32
@@ -114,9 +126,26 @@ func losslessMagicFor[T grid.Float]() uint32 {
 	return losslessMagic64
 }
 
+// flateReaders and flateWriters recycle DEFLATE state (a 32 KiB window plus
+// decode tables) across calls. The blocked open path decodes one payload per
+// block, so without these pools every block pays the reader's setup
+// allocations again.
+var flateReaders = sync.Pool{New: func() any {
+	return flate.NewReader(bytes.NewReader(nil))
+}}
+
+var flateWriters = sync.Pool{New: func() any {
+	fw, err := flate.NewWriter(io.Discard, flate.BestCompression)
+	if err != nil {
+		panic(err) // the level constant is valid; NewWriter cannot fail on it
+	}
+	return fw
+}}
+
 func losslessCompress[T grid.Float](data []T, _ grid.Dims) ([]byte, error) {
 	elem := grid.ElemSize[T]()
-	raw := make([]byte, 4+len(data)*elem)
+	raw := pool.GetBytes(4 + len(data)*elem)
+	defer pool.PutBytes(raw)
 	binary.LittleEndian.PutUint32(raw[:4], losslessMagicFor[T]())
 	if elem == 4 {
 		for i, v := range data {
@@ -128,10 +157,9 @@ func losslessCompress[T grid.Float](data []T, _ grid.Dims) ([]byte, error) {
 		}
 	}
 	var out bytes.Buffer
-	fw, err := flate.NewWriter(&out, flate.BestCompression)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", errLossless, err)
-	}
+	fw := flateWriters.Get().(*flate.Writer)
+	defer flateWriters.Put(fw)
+	fw.Reset(&out)
 	if _, err := fw.Write(raw); err != nil {
 		return nil, fmt.Errorf("%w: %v", errLossless, err)
 	}
@@ -142,17 +170,42 @@ func losslessCompress[T grid.Float](data []T, _ grid.Dims) ([]byte, error) {
 }
 
 func losslessDecompress[T grid.Float](comp []byte, shape grid.Dims) ([]T, error) {
-	fr := flate.NewReader(bytes.NewReader(comp))
-	raw, err := io.ReadAll(fr)
-	if err != nil {
+	fr := flateReaders.Get().(io.ReadCloser)
+	defer flateReaders.Put(fr)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(comp), nil); err != nil {
 		return nil, fmt.Errorf("%w: %v", errLossless, err)
+	}
+	elem := grid.ElemSize[T]()
+	var raw []byte
+	if shape != nil {
+		// The shape fixes the payload size exactly, so the inflated bytes can
+		// come from the pool instead of ReadAll's repeated growth: read the
+		// expected length plus one sentinel byte that must hit EOF.
+		want := 4 + shape.Len()*elem
+		raw = pool.GetBytes(want + 1)
+		defer pool.PutBytes(raw)
+		n, err := io.ReadFull(fr, raw)
+		switch {
+		case err == nil || n > want:
+			return nil, fmt.Errorf("%w: payload longer than shape %v expects", errLossless, shape)
+		case err != io.ErrUnexpectedEOF && err != io.EOF:
+			return nil, fmt.Errorf("%w: %v", errLossless, err)
+		case n != want:
+			return nil, fmt.Errorf("%w: truncated payload", errLossless)
+		}
+		raw = raw[:n]
+	} else {
+		all, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errLossless, err)
+		}
+		raw = all
 	}
 	fr.Close()
 	if len(raw) < 4 || binary.LittleEndian.Uint32(raw[:4]) != losslessMagicFor[T]() {
 		return nil, fmt.Errorf("%w: bad magic", errLossless)
 	}
 	raw = raw[4:]
-	elem := grid.ElemSize[T]()
 	if len(raw)%elem != 0 {
 		return nil, fmt.Errorf("%w: truncated payload", errLossless)
 	}
@@ -160,7 +213,7 @@ func losslessDecompress[T grid.Float](comp []byte, shape grid.Dims) ([]T, error)
 	if shape != nil && n != shape.Len() {
 		return nil, fmt.Errorf("%w: payload holds %d values, shape %v expects %d", errLossless, n, shape, shape.Len())
 	}
-	out := make([]T, n)
+	out := getFloats[T](n)
 	if elem == 4 {
 		for i := range out {
 			out[i] = T(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:])))

@@ -1,0 +1,60 @@
+package pressio
+
+import (
+	"math"
+
+	"fraz/internal/container"
+	"fraz/internal/frsz"
+	"fraz/internal/grid"
+)
+
+// frszRate adapts the FRSZ-style true fixed-rate codec. It is the only
+// registered codec implementing RateCompressor: its bound is the exact
+// number of bits every value costs, so a fixed-ratio objective is satisfied
+// by arithmetic instead of search (see the direct-satisfaction fast path in
+// internal/core). The bound is rounded to the nearest whole bit; the
+// searchable BoundRange stays within the float32 width so the fallback
+// search is valid for both dtypes, while the direct path may go up to
+// MaxBits for float64 data.
+type frszRate struct{}
+
+func (frszRate) Name() string       { return "frsz:rate" }
+func (frszRate) BoundName() string  { return "bits per value" }
+func (frszRate) ErrorBounded() bool { return false }
+func (frszRate) SupportsShape(shape grid.Dims) bool {
+	return shape.Validate() == nil
+}
+func (frszRate) BoundRange() (float64, float64) { return 1, 32 }
+func (frszRate) Compress(buf Buffer, bound float64) ([]byte, error) {
+	opts := frsz.Options{BitsPerValue: int(math.Round(bound))}
+	return compressTyped(buf,
+		func(d []float32, s grid.Dims) ([]byte, error) { return frsz.Compress(d, s, opts) },
+		func(d []float64, s grid.Dims) ([]byte, error) { return frsz.Compress(d, s, opts) })
+}
+func (frszRate) Decompress(comp []byte, shape grid.Dims, dt container.DType) (Buffer, error) {
+	return decompressTyped(dt, comp, shape,
+		func(b []byte, s grid.Dims) ([]float32, error) { return frsz.Decompress[float32](b, s) },
+		func(b []byte, s grid.Dims) ([]float64, error) { return frsz.Decompress[float64](b, s) })
+}
+
+// CompressedSize implements RateCompressor: the exact stream size for this
+// shape at a whole-bit rate, no evaluation needed.
+func (frszRate) CompressedSize(shape grid.Dims, bitsPerValue int) int {
+	return frsz.CompressedSize(shape.Len(), shape.NDims(), bitsPerValue, 0)
+}
+
+// MaxBits implements RateCompressor: the full IEEE width of the element
+// type.
+func (frszRate) MaxBits(dt container.DType) int {
+	if dt == container.Float64 {
+		return frsz.MaxBits(8)
+	}
+	return frsz.MaxBits(4)
+}
+
+func init() {
+	Register(Codec{
+		Name: "frsz:rate", New: func() Compressor { return frszRate{} },
+		Caps: Capabilities{BoundName: "bits per value", MinRank: 1, MaxRank: 4, FixedRate: true},
+	})
+}

@@ -208,6 +208,54 @@ func checkWithinBound(t *testing.T, wide bool, raw []byte, bound float64) {
 	}
 }
 
+// TestFixedRateDirectOverHTTP uploads under the fixed-rate codec and checks
+// the direct-satisfaction path surfaces over HTTP: a fixed-ratio objective
+// with frsz:rate must seal with zero search evaluations (the tuner inverts
+// the target ratio into a bits-per-value setting arithmetically) and still
+// round-trip through the service.
+func TestFixedRateDirectOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, dtype := range []string{"float32", "float64"} {
+		t.Run(dtype, func(t *testing.T) {
+			wide := dtype == "float64"
+			resp := postCompress(t, ts.URL, rawBody(wide), map[string]string{
+				"X-Fraz-Shape":     "16x12x10",
+				"X-Fraz-DType":     dtype,
+				"X-Fraz-Codec":     "frsz:rate",
+				"X-Fraz-Objective": "ratio",
+				"X-Fraz-Target":    "8",
+				"X-Fraz-Tolerance": "0.25",
+			})
+			archive := readAll(t, resp)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("compress: status %d body %s", resp.StatusCode, archive)
+			}
+			if got := resp.Header.Get("X-Fraz-Codec"); got != "frsz:rate" {
+				t.Fatalf("X-Fraz-Codec = %q, want frsz:rate", got)
+			}
+			if got := resp.Header.Get("X-Fraz-Evaluations"); got != "0" {
+				t.Fatalf("X-Fraz-Evaluations = %q, want 0 (direct satisfaction)", got)
+			}
+			achieved := headerFloat(t, resp, "X-Fraz-Achieved")
+			if achieved < 6 || achieved > 10 {
+				t.Fatalf("achieved ratio %.3f outside 8 ± 25%%", achieved)
+			}
+
+			dresp, err := http.Post(ts.URL+"/v1/decompress?verify=1", "application/x-fraz", bytes.NewReader(archive))
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw := readAll(t, dresp)
+			if dresp.StatusCode != http.StatusOK {
+				t.Fatalf("decompress: status %d body %s", dresp.StatusCode, raw)
+			}
+			if want := len(rawBody(wide)); len(raw) != want {
+				t.Fatalf("decompressed %d bytes, want %d", len(raw), want)
+			}
+		})
+	}
+}
+
 // TestStoreAndArchiveLifecycle covers ?store=1 → GET by id → decompress by
 // id → DELETE.
 func TestStoreAndArchiveLifecycle(t *testing.T) {

@@ -295,10 +295,13 @@ func decompressBody[T grid.Float](h header, body []byte) ([]T, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer pool.PutBytes(blockMeta)
+	//frazlint:allow poolcheck -- readChunk gets-and-returns a pooled buffer; its error-path put misreads as releasing rd
 	huffBytes, err := readChunk(rd)
 	if err != nil {
 		return nil, err
 	}
+	defer pool.PutBytes(huffBytes)
 	numLit, err := readUint32(rd)
 	if err != nil {
 		return nil, err
@@ -307,6 +310,7 @@ func decompressBody[T grid.Float](h header, body []byte) ([]T, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer putFloats(literals)
 
 	codes, err := huffman.Decode(huffBytes)
 	if err != nil {
@@ -568,13 +572,15 @@ func writeLiterals[T grid.Float](w *bytes.Buffer, literals []T) {
 	}
 }
 
-// readLiterals is the inverse of writeLiterals.
+// readLiterals is the inverse of writeLiterals. The returned slice comes
+// from the element pool; decompressBody recycles it after the block loop.
 func readLiterals[T grid.Float](r *bytes.Reader, n int) ([]T, error) {
-	out := make([]T, n)
+	out := getFloats[T](n)
 	if grid.ElemSize[T]() == 4 {
 		for i := range out {
 			v, err := readUint32(r)
 			if err != nil {
+				putFloats(out)
 				return nil, err
 			}
 			out[i] = T(math.Float32frombits(v))
@@ -584,6 +590,7 @@ func readLiterals[T grid.Float](r *bytes.Reader, n int) ([]T, error) {
 	for i := range out {
 		v, err := readUint64(r)
 		if err != nil {
+			putFloats(out)
 			return nil, err
 		}
 		out[i] = T(math.Float64frombits(v))
@@ -607,8 +614,11 @@ func readChunk(r *bytes.Reader) ([]byte, error) {
 	if int(n) > r.Len() {
 		return nil, fmt.Errorf("%w: chunk length %d exceeds remaining %d", ErrCorrupt, n, r.Len())
 	}
-	buf := make([]byte, n)
+	// Chunk buffers come from the byte pool; decompressBody recycles them
+	// once parsed, so the blocked open path reuses them across blocks.
+	buf := pool.GetBytes(int(n))
 	if _, err := io.ReadFull(r, buf); err != nil {
+		pool.PutBytes(buf)
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return buf, nil

@@ -7,6 +7,7 @@ import (
 
 	"fraz/internal/bitstream"
 	"fraz/internal/grid"
+	"fraz/internal/pool"
 )
 
 // Random access. The paper motivates ZFP's fixed-rate mode partly by its
@@ -88,13 +89,18 @@ func DecompressBlock[T grid.Float](buf []byte, blockIndex int) ([]T, grid.Block,
 		}
 	}
 
-	blockBuf := make([]float64, blockValues)
+	blockBuf := pool.GetFloat64(blockValues)
+	defer pool.PutFloat64(blockBuf)
 	perm := sequencyPermutation(nd)
 	var err error
 	if intprecFor[T]() == 64 {
-		err = decodeBlock[int64](r, blockBuf, nd, perm, ModeFixedRate, 0, 0, maxbits)
+		s := getScratch[int64](blockValues)
+		err = decodeBlock(r, blockBuf, nd, perm, ModeFixedRate, 0, 0, maxbits, s)
+		s.release()
 	} else {
-		err = decodeBlock[int32](r, blockBuf, nd, perm, ModeFixedRate, 0, 0, maxbits)
+		s := getScratch[int32](blockValues)
+		err = decodeBlock(r, blockBuf, nd, perm, ModeFixedRate, 0, 0, maxbits, s)
+		s.release()
 	}
 	if err != nil {
 		return nil, grid.Block{}, err

@@ -32,6 +32,7 @@ import (
 
 	"fraz/internal/bitstream"
 	"fraz/internal/grid"
+	"fraz/internal/pool"
 )
 
 // magic32 and magic64 identify ZFP-Go streams of float32 and float64 data.
@@ -190,17 +191,29 @@ func Compress[T grid.Float](data []T, shape grid.Dims, opts Options) ([]byte, er
 
 	w := bitstream.NewWriter(len(data) / 2)
 	blocks := shape.Blocks(4)
-	blockBuf := make([]float64, blockValues)
+	strides := shape.Strides()
+	blockBuf := pool.GetFloat64(blockValues)
+	defer pool.PutFloat64(blockBuf)
 	perm := sequencyPermutation(nd)
 	wide := intprec == 64
 
+	var s64 blockScratch[int64]
+	var s32 blockScratch[int32]
+	if wide {
+		s64 = getScratch[int64](blockValues)
+		defer s64.release()
+	} else {
+		s32 = getScratch[int32](blockValues)
+		defer s32.release()
+	}
+
 	for _, b := range blocks {
-		gatherPadded(data, shape, b, blockBuf, nd)
+		gatherPadded(data, strides, b, blockBuf, nd)
 		startBits := w.Len()
 		if wide {
-			encodeBlock[int64](w, blockBuf, nd, perm, opts.Mode, minexp, precision, maxbits)
+			encodeBlock(w, blockBuf, nd, perm, opts.Mode, minexp, precision, maxbits, s64)
 		} else {
-			encodeBlock[int32](w, blockBuf, nd, perm, opts.Mode, minexp, precision, maxbits)
+			encodeBlock(w, blockBuf, nd, perm, opts.Mode, minexp, precision, maxbits, s32)
 		}
 		if opts.Mode == ModeFixedRate {
 			used := w.Len() - startBits
@@ -294,19 +307,40 @@ func Decompress[T grid.Float](buf []byte, shape grid.Dims) ([]T, error) {
 	}
 
 	r := bitstream.NewReader(buf[pos:])
-	out := make([]T, hdrShape.Len())
+	// The output comes from the element pool: the blocked open path recycles
+	// block buffers after scattering them, and every element is written
+	// before a successful return (the 4^d blocks tile the domain), so the
+	// pool's stale contents never leak.
+	out := getFloats[T](hdrShape.Len())
+	done := false
+	defer func() {
+		if !done {
+			putFloats(out)
+		}
+	}()
 	blocks := hdrShape.Blocks(4)
-	blockBuf := make([]float64, blockValues)
+	strides := hdrShape.Strides()
+	blockBuf := pool.GetFloat64(blockValues)
+	defer pool.PutFloat64(blockBuf)
 	perm := sequencyPermutation(nd)
 	wide := intprec == 64
+	var s64 blockScratch[int64]
+	var s32 blockScratch[int32]
+	if wide {
+		s64 = getScratch[int64](blockValues)
+		defer s64.release()
+	} else {
+		s32 = getScratch[int32](blockValues)
+		defer s32.release()
+	}
 
 	for _, b := range blocks {
 		startRemaining := r.BitsRemaining()
 		var err error
 		if wide {
-			err = decodeBlock[int64](r, blockBuf, nd, perm, mode, minexp, precision, maxbits)
+			err = decodeBlock(r, blockBuf, nd, perm, mode, minexp, precision, maxbits, s64)
 		} else {
-			err = decodeBlock[int32](r, blockBuf, nd, perm, mode, minexp, precision, maxbits)
+			err = decodeBlock(r, blockBuf, nd, perm, mode, minexp, precision, maxbits, s32)
 		}
 		if err != nil {
 			return nil, err
@@ -319,9 +353,28 @@ func Decompress[T grid.Float](buf []byte, shape grid.Dims) ([]T, error) {
 				}
 			}
 		}
-		scatterPadded(out, hdrShape, b, blockBuf, nd)
+		scatterPadded(out, strides, b, blockBuf, nd)
 	}
+	done = true
 	return out, nil
+}
+
+// getFloats and putFloats bridge the generic element type to the pool's
+// concrete free lists.
+func getFloats[T grid.Float](n int) []T {
+	if intprecFor[T]() == 32 {
+		return any(pool.GetFloat32(n)).([]T)
+	}
+	return any(pool.GetFloat64(n)).([]T)
+}
+
+func putFloats[T grid.Float](s []T) {
+	switch v := any(s).(type) {
+	case []float32:
+		pool.PutFloat32(v)
+	case []float64:
+		pool.PutFloat64(v)
+	}
 }
 
 // CompressedSizeFixedRate predicts the compressed size in bytes of a
@@ -345,8 +398,7 @@ func CompressedSizeFixedRate(shape grid.Dims, rate float64) int {
 // gatherPadded copies a (possibly partial) block into a full 4^d buffer,
 // padding missing samples by replicating the nearest valid sample along each
 // axis, as ZFP does, to avoid introducing artificial discontinuities.
-func gatherPadded[T grid.Float](data []T, shape grid.Dims, b grid.Block, dst []float64, nd int) {
-	strides := shape.Strides()
+func gatherPadded[T grid.Float](data []T, strides []int, b grid.Block, dst []float64, nd int) {
 	switch nd {
 	case 1:
 		for x := 0; x < 4; x++ {
@@ -377,8 +429,7 @@ func gatherPadded[T grid.Float](data []T, shape grid.Dims, b grid.Block, dst []f
 
 // scatterPadded writes the valid portion of a decoded 4^d block back into
 // the output array, discarding padded samples.
-func scatterPadded[T grid.Float](out []T, shape grid.Dims, b grid.Block, src []float64, nd int) {
-	strides := shape.Strides()
+func scatterPadded[T grid.Float](out []T, strides []int, b grid.Block, src []float64, nd int) {
 	switch nd {
 	case 1:
 		for x := 0; x < b.Size[0]; x++ {
@@ -425,9 +476,40 @@ func blockExponent(block []float64) (int, bool) {
 	return e, true
 }
 
+// blockScratch holds the per-block working slices of the coder. One
+// instance is borrowed from the pool per Compress/Decompress call and shared
+// by every 4^d block, so the hot loop itself never allocates.
+type blockScratch[I coeff] struct {
+	ints []I
+	neg  []uint64
+}
+
+// getScratch's field stores are custody transfers into the returned struct;
+// release is the matching put. poolcheck cannot track struct-field custody.
+func getScratch[I coeff](size int) blockScratch[I] {
+	var s blockScratch[I]
+	if intprecOf[I]() == 32 {
+		s.ints = any(pool.GetInt32(size)).([]I) //frazlint:allow poolcheck -- custody moves into the struct; release() puts it
+	} else {
+		s.ints = any(pool.GetInt64(size)).([]I) //frazlint:allow poolcheck -- custody moves into the struct; release() puts it
+	}
+	s.neg = pool.GetUint64(size) //frazlint:allow poolcheck -- custody moves into the struct; release() puts it
+	return s
+}
+
+func (s blockScratch[I]) release() {
+	switch v := any(s.ints).(type) {
+	case []int32:
+		pool.PutInt32(v)
+	case []int64:
+		pool.PutInt64(v)
+	}
+	pool.PutUint64(s.neg)
+}
+
 // encodeBlock encodes one 4^d block with coefficient domain I (int32 for
 // float32 streams, int64 for float64).
-func encodeBlock[I coeff](w *bitstream.Writer, block []float64, nd int, perm []int, mode Mode, minexp, precision, maxbits int) {
+func encodeBlock[I coeff](w *bitstream.Writer, block []float64, nd int, perm []int, mode Mode, minexp, precision, maxbits int, s blockScratch[I]) {
 	intprec := intprecOf[I]()
 	emax, nonzero := blockExponent(block)
 	size := len(block)
@@ -472,7 +554,7 @@ func encodeBlock[I coeff](w *bitstream.Writer, block []float64, nd int, perm []i
 	// enter the lifting transform with two guard bits of headroom.
 	scale := math.Ldexp(1, intprec-2-emax)
 	qmax := math.Ldexp(1, intprec-2) - 1
-	ints := make([]I, size)
+	ints := s.ints[:size]
 	for i, v := range block {
 		q := v * scale
 		if q > qmax {
@@ -487,7 +569,7 @@ func encodeBlock[I coeff](w *bitstream.Writer, block []float64, nd int, perm []i
 	forwardTransform(ints, nd)
 
 	// Reorder by total sequency and convert to negabinary.
-	neg := make([]uint64, size)
+	neg := s.neg[:size]
 	for i, p := range perm {
 		neg[i] = toNegabinary(ints[p])
 	}
@@ -502,7 +584,7 @@ func encodeBlock[I coeff](w *bitstream.Writer, block []float64, nd int, perm []i
 	encodeInts(w, neg, kmin, budget, intprec)
 }
 
-func decodeBlock[I coeff](r *bitstream.Reader, block []float64, nd int, perm []int, mode Mode, minexp, precision, maxbits int) error {
+func decodeBlock[I coeff](r *bitstream.Reader, block []float64, nd int, perm []int, mode Mode, minexp, precision, maxbits int, s blockScratch[I]) error {
 	intprec := intprecOf[I]()
 	flag, err := r.ReadBit()
 	if err != nil {
@@ -542,11 +624,11 @@ func decodeBlock[I coeff](r *bitstream.Reader, block []float64, nd int, perm []i
 			budget = 0
 		}
 	}
-	neg, err := decodeInts(r, size, kmin, budget, intprec)
-	if err != nil {
+	neg := s.neg[:size]
+	if err := decodeInts(r, neg, kmin, budget, intprec); err != nil {
 		return err
 	}
-	ints := make([]I, size)
+	ints := s.ints[:size]
 	for i, p := range perm {
 		ints[p] = fromNegabinary[I](neg[i])
 	}
@@ -811,8 +893,13 @@ func encodeInts(w *bitstream.Writer, data []uint64, kmin, budget, intprec int) i
 }
 
 // decodeInts is the inverse of encodeInts.
-func decodeInts(r *bitstream.Reader, size, kmin, budget, intprec int) ([]uint64, error) {
-	data := make([]uint64, size)
+// decodeInts fills data (caller-provided, any prior contents) with the
+// decoded negabinary coefficients.
+func decodeInts(r *bitstream.Reader, data []uint64, kmin, budget, intprec int) error {
+	size := len(data)
+	for i := range data {
+		data[i] = 0
+	}
 	bits := budget
 	n := 0
 	for k := intprec - 1; k >= kmin && bits > 0; k-- {
@@ -823,13 +910,13 @@ func decodeInts(r *bitstream.Reader, size, kmin, budget, intprec int) ([]uint64,
 		bits -= m
 		x, err := r.ReadBits(uint(m))
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 		for n < size && bits > 0 {
 			bits--
 			b, err := r.ReadBit()
 			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+				return fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
 			if b == 0 {
 				break
@@ -838,7 +925,7 @@ func decodeInts(r *bitstream.Reader, size, kmin, budget, intprec int) ([]uint64,
 				bits--
 				bb, err := r.ReadBit()
 				if err != nil {
-					return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+					return fmt.Errorf("%w: %v", ErrCorrupt, err)
 				}
 				if bb != 0 {
 					break
@@ -853,5 +940,5 @@ func decodeInts(r *bitstream.Reader, size, kmin, budget, intprec int) ([]uint64,
 			x >>= 1
 		}
 	}
-	return data, nil
+	return nil
 }

@@ -149,8 +149,8 @@ func TestEncodeDecodeIntsRoundTrip(t *testing.T) {
 		w := bitstream.NewWriter(0)
 		encodeInts(w, data, 0, math.MaxInt32, intprec)
 		r := bitstream.NewReader(w.Bytes())
-		got, err := decodeInts(r, size, 0, math.MaxInt32, intprec)
-		if err != nil {
+		got := make([]uint64, size)
+		if err := decodeInts(r, got, 0, math.MaxInt32, intprec); err != nil {
 			t.Fatal(err)
 		}
 		for i := range data {

@@ -102,6 +102,18 @@ func (o Objective) Band() (lo, hi float64) {
 	return o.obj.WithDefaults().Band()
 }
 
+// DirectlySatisfiable reports whether this objective, paired with the
+// described codec, is satisfiable by capability alone — no search, zero
+// tuning evaluations. True only for FixedRatio with a fixed-rate codec
+// (CodecInfo.FixedRate): the codec's compressed size is a closed-form
+// function of its bits-per-value parameter, so the target ratio is
+// inverted arithmetically. A Client detecting this combination seals with
+// CompressResult.Evaluations == 0 and Direct == true; quality objectives
+// always run the search.
+func (o Objective) DirectlySatisfiable(ci CodecInfo) bool {
+	return o.err == nil && o.obj.DirectlySatisfiable() && ci.FixedRate
+}
+
 // Measure computes the objective's value for a reconstruction of original
 // with the given shape; compressedBytes sizes the ratio computation (pass 0
 // when unknown — quality objectives do not need it). It is how `fraz
